@@ -1,0 +1,52 @@
+# Record-Boundary Discovery in Web Documents — build targets.
+
+GO ?= go
+
+.PHONY: all build test testshort cover bench fuzz experiments corpus examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+testshort:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Brief fuzz sessions over every fuzz target (seeds always run under `test`).
+fuzz:
+	$(GO) test -fuzz='^FuzzTokenize$$' -fuzztime=30s ./internal/htmlparse/
+	$(GO) test -fuzz='^FuzzTokenizeXML$$' -fuzztime=30s ./internal/htmlparse/
+	$(GO) test -fuzz='^FuzzDecodeEntities$$' -fuzztime=30s ./internal/htmlparse/
+	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s ./internal/tagtree/
+	$(GO) test -fuzz='^FuzzParseXML$$' -fuzztime=30s ./internal/tagtree/
+
+# Regenerate every table of the paper, plus quality, scaling, and the
+# threshold ablation.
+experiments:
+	$(GO) run ./cmd/experiments -scaling -ablation
+
+corpus:
+	$(GO) run ./cmd/gencorpus -out corpus
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/obituaries
+	$(GO) run ./examples/carads
+	$(GO) run ./examples/jobads
+	$(GO) run ./examples/courses
+	$(GO) run ./examples/xmlfeed
+
+clean:
+	rm -rf corpus cover.out test_output.txt bench_output.txt

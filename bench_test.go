@@ -1,0 +1,390 @@
+package repro
+
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each BenchmarkTableN measures the full computation behind that table;
+// BenchmarkLinearScaling checks the paper's O(n) claim (§3, §5.3) by
+// sweeping document size; the ablation benchmarks cover the design knobs
+// DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The printed experiment outputs themselves come from cmd/experiments.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/certainty"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/ontology"
+	"repro/internal/paperdoc"
+	"repro/internal/tagtree"
+	"repro/internal/wrapper"
+)
+
+// BenchmarkFigure2Document measures the §5.3 worked example end-to-end:
+// tag tree, candidates, all five heuristics, and the compound combination
+// on the paper's Figure 2 page.
+func BenchmarkFigure2Document(b *testing.B) {
+	ont := ontology.Builtin("obituary")
+	b.SetBytes(int64(len(paperdoc.Figure2)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Discover(paperdoc.Figure2, core.Options{Ontology: ont})
+		if err != nil || res.Separator != "hr" {
+			b.Fatalf("separator = %v, err = %v", res, err)
+		}
+	}
+}
+
+// benchTraining measures evaluating one 50-document training corpus (the
+// computation behind Tables 2 and 3).
+func benchTraining(b *testing.B, d corpus.Domain) {
+	docs := corpus.TrainingDocuments(d)
+	total := 0
+	for _, doc := range docs {
+		total += len(doc.HTML)
+	}
+	b.SetBytes(int64(total))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := eval.EvaluateAll(docs, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sr := eval.SuccessRate(results); sr != 1.0 {
+			b.Fatalf("ORSIH success = %v, want 1.0", sr)
+		}
+	}
+}
+
+// BenchmarkTable2Obituaries regenerates the obituary training distribution.
+func BenchmarkTable2Obituaries(b *testing.B) { benchTraining(b, corpus.Obituaries) }
+
+// BenchmarkTable3CarAds regenerates the car-ad training distribution.
+func BenchmarkTable3CarAds(b *testing.B) { benchTraining(b, corpus.CarAds) }
+
+// BenchmarkTable4Calibration measures deriving certainty factors from the
+// measured training distributions (Tables 2+3 → Table 4).
+func BenchmarkTable4Calibration(b *testing.B) {
+	obits, err := eval.EvaluateAll(corpus.TrainingDocuments(corpus.Obituaries), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cars, err := eval.EvaluateAll(corpus.TrainingDocuments(corpus.CarAds), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dists := append(eval.RankingDistribution(obits), eval.RankingDistribution(cars)...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := certainty.Calibrate(dists)
+		if len(t) != 5 {
+			b.Fatalf("calibrated table has %d heuristics", len(t))
+		}
+	}
+}
+
+// BenchmarkTable5CombinationSweep measures scoring all 26 heuristic
+// combinations over the 100 training documents.
+func BenchmarkTable5CombinationSweep(b *testing.B) {
+	obits, err := eval.EvaluateAll(corpus.TrainingDocuments(corpus.Obituaries), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cars, err := eval.EvaluateAll(corpus.TrainingDocuments(corpus.CarAds), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := append(obits, cars...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := eval.CombinationSweep(all, certainty.PaperTable)
+		if len(rows) != 26 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// benchTestSet measures one Tables 6–9 test-set evaluation.
+func benchTestSet(b *testing.B, d corpus.Domain) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.TestSetTable(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			if row.A != 1 {
+				b.Fatalf("%s: compound rank %d", row.Site, row.A)
+			}
+		}
+	}
+}
+
+// BenchmarkTable6TestObituaries regenerates test set 1.
+func BenchmarkTable6TestObituaries(b *testing.B) { benchTestSet(b, corpus.Obituaries) }
+
+// BenchmarkTable7TestCarAds regenerates test set 2.
+func BenchmarkTable7TestCarAds(b *testing.B) { benchTestSet(b, corpus.CarAds) }
+
+// BenchmarkTable8TestJobAds regenerates test set 3.
+func BenchmarkTable8TestJobAds(b *testing.B) { benchTestSet(b, corpus.JobAds) }
+
+// BenchmarkTable9TestCourses regenerates test set 4.
+func BenchmarkTable9TestCourses(b *testing.B) { benchTestSet(b, corpus.Courses) }
+
+// BenchmarkTable10SuccessRates measures the final 20-document success-rate
+// computation.
+func BenchmarkTable10SuccessRates(b *testing.B) {
+	docs := corpus.TestDocuments()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := eval.EvaluateAll(docs, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rates := eval.IndividualSuccessRates(results)
+		if rates["ORSIH"] != 1.0 {
+			b.Fatalf("ORSIH = %v", rates["ORSIH"])
+		}
+	}
+}
+
+// BenchmarkLinearScaling sweeps document size (records × multiplier) to
+// exhibit the paper's O(n) behaviour: ns/op should grow roughly linearly
+// with bytes processed (compare the MB/s column across sizes).
+func BenchmarkLinearScaling(b *testing.B) {
+	ont := ontology.Builtin("obituary")
+	for _, mult := range []int{1, 4, 16, 64} {
+		records := 8 * mult
+		site := &corpus.Site{
+			Name:   fmt.Sprintf("scale-%dx", mult),
+			Domain: corpus.Obituaries,
+			Profile: corpus.Profile{
+				Container: []string{"div"},
+				Layout:    corpus.Delimited,
+				Separator: "hr",
+				Records:   [2]int{records, records},
+				BoldRuns:  [2]int{2, 3},
+				Breaks:    [2]int{1, 2},
+				BaseSize:  300,
+			},
+		}
+		doc := site.Generate(0)
+		b.Run(fmt.Sprintf("%dx_%dKB", mult, len(doc.HTML)/1024), func(b *testing.B) {
+			b.SetBytes(int64(len(doc.HTML)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Discover(doc.HTML, core.Options{Ontology: ont})
+				if err != nil || res.Separator != "hr" {
+					b.Fatalf("res = %v err = %v", res, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCandidateThreshold sweeps the irrelevant-tag cutoff
+// around the paper's 10% choice.
+func BenchmarkAblationCandidateThreshold(b *testing.B) {
+	ont := ontology.Builtin("obituary")
+	for _, threshold := range []float64{0.02, 0.05, 0.10, 0.20} {
+		b.Run(fmt.Sprintf("%.0f%%", threshold*100), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Discover(paperdoc.Figure2, core.Options{
+					Ontology:           ont,
+					CandidateThreshold: threshold,
+				})
+				if err != nil || res.Separator != "hr" {
+					b.Fatalf("threshold %v: res=%v err=%v", threshold, res, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHeuristicSubsets measures the per-document cost of the
+// paper's headline combinations (Table 5's winners plus cheap baselines).
+func BenchmarkAblationHeuristicSubsets(b *testing.B) {
+	ont := ontology.Builtin("obituary")
+	combos := []certainty.Combination{
+		{certainty.IT, certainty.HT},
+		{certainty.OM, certainty.IT},
+		{certainty.OM, certainty.RP, certainty.SD, certainty.IT},
+		certainty.AllHeuristics,
+	}
+	for _, combo := range combos {
+		b.Run(combo.Abbrev(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Discover(paperdoc.Figure2, core.Options{
+					Ontology:    ont,
+					Combination: combo,
+				})
+				if err != nil || res.Separator != "hr" {
+					b.Fatalf("%s: res=%v err=%v", combo.Abbrev(), res, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtractPipeline measures the complete Figure 1 pipeline —
+// boundary discovery, recognition, correlation, database population — on a
+// mid-sized synthetic page.
+func BenchmarkExtractPipeline(b *testing.B) {
+	site := corpus.TestSites(corpus.CarAds)[2] // wrapped table layout
+	doc := site.Generate(0)
+	ont := ontology.Builtin("carad")
+	b.SetBytes(int64(len(doc.HTML)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db, err := Extract(doc.HTML, ont)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if db.Table("CarAd").Len() == 0 {
+			b.Fatal("no records extracted")
+		}
+	}
+}
+
+// BenchmarkCorpusGeneration measures synthesizing the full 120-document
+// corpus (both training domains plus the test set).
+func BenchmarkCorpusGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := len(corpus.TrainingDocuments(corpus.Obituaries)) +
+			len(corpus.TrainingDocuments(corpus.CarAds)) +
+			len(corpus.TestDocuments())
+		if n != 120 {
+			b.Fatalf("corpus = %d docs", n)
+		}
+	}
+}
+
+// BenchmarkSplitRecords measures record chunking on a large page.
+func BenchmarkSplitRecords(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<html><body><div>")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&sb, "<hr><b>Record %d</b> body text with several words in it.", i)
+	}
+	sb.WriteString("<hr></div></body></html>")
+	doc := sb.String()
+	res, err := Discover(doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs := Split(doc, res)
+		if len(recs) != 200 {
+			b.Fatalf("records = %d", len(recs))
+		}
+	}
+}
+
+// BenchmarkParallelEvaluation compares sequential and worker-pool corpus
+// evaluation (the production crawl shape).
+func BenchmarkParallelEvaluation(b *testing.B) {
+	docs := corpus.TestDocuments()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				results, err := eval.EvaluateAllParallel(docs, core.Options{}, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != 20 {
+					b.Fatal("wrong result count")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDiscoverXML measures footnote 1's XML generalization on a
+// synthetic feed.
+func BenchmarkDiscoverXML(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<export><ads>")
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&sb, "<ad><vehicle>1994 Ford %d</vehicle><price>$%d</price><contact>(801) 555-%04d</contact></ad>", i, 1000+i, i)
+	}
+	sb.WriteString("</ads></export>")
+	feed := sb.String()
+	opts := Options{SeparatorList: []string{"ad", "item"}}
+	b.SetBytes(int64(len(feed)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := DiscoverXML(feed, opts)
+		if err != nil || res.Separator != "ad" {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}
+
+// BenchmarkWrapperApplyVsDiscover shows why a learned wrapper exists: Apply
+// skips the heuristic voting entirely.
+func BenchmarkWrapperApplyVsDiscover(b *testing.B) {
+	site := corpus.TrainingSites(corpus.Obituaries)[0]
+	samples := []string{site.Generate(0).HTML, site.Generate(1).HTML, site.Generate(2).HTML}
+	w, err := wrapper.Learn(samples, ontology.Builtin("obituary"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := site.Generate(9).HTML
+	b.Run("WrapperApply", func(b *testing.B) {
+		b.SetBytes(int64(len(target)))
+		for i := 0; i < b.N; i++ {
+			if _, err := w.Apply(target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("FullDiscover", func(b *testing.B) {
+		b.SetBytes(int64(len(target)))
+		ont := ontology.Builtin("obituary")
+		for i := 0; i < b.N; i++ {
+			res, err := core.Discover(target, core.Options{Ontology: ont})
+			if err != nil {
+				b.Fatal(err)
+			}
+			core.Split(target, res)
+		}
+	})
+}
+
+// BenchmarkTagTreeVsFullDiscovery isolates the tag-tree construction share
+// of the end-to-end cost (the paper's Appendix A component).
+func BenchmarkTagTreeVsFullDiscovery(b *testing.B) {
+	doc := corpus.TestSites(corpus.Obituaries)[1].Generate(0)
+	b.Run("TagTreeOnly", func(b *testing.B) {
+		b.SetBytes(int64(len(doc.HTML)))
+		for i := 0; i < b.N; i++ {
+			tagtree.Parse(doc.HTML)
+		}
+	})
+	b.Run("FullDiscovery", func(b *testing.B) {
+		b.SetBytes(int64(len(doc.HTML)))
+		for i := 0; i < b.N; i++ {
+			if _, err := Discover(doc.HTML); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,110 @@
+// Command boundary discovers the record separator of an HTML document and
+// optionally dumps the separated records.
+//
+// Usage:
+//
+//	boundary [-ontology obituary] [-records] [-explain] [-xml] [-check] [file.html]
+//
+// With no file argument the document is read from standard input. The
+// -ontology flag enables the OM heuristic with one of the built-in
+// application ontologies (obituary, carad, jobad, course) or a path to an
+// ontology DSL file. -xml parses the input with XML semantics. -check runs
+// the document classifier first and refuses to discover boundaries on
+// pages that do not hold multiple records (the paper's input assumption).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/ontology"
+)
+
+func main() {
+	ontName := flag.String("ontology", "", "built-in ontology name or DSL file path (enables OM)")
+	records := flag.Bool("records", false, "print the separated records' cleaned text")
+	explain := flag.Bool("explain", true, "print per-heuristic rankings and compound scores")
+	xml := flag.Bool("xml", false, "parse the input as XML instead of HTML")
+	check := flag.Bool("check", false, "classify the document first; refuse non-multi-record pages")
+	flag.Parse()
+
+	if err := run(os.Stdout, *ontName, *records, *explain, *xml, *check, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "boundary:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, ontName string, records, explain, xml, check bool, args []string) error {
+	doc, err := readDocument(args)
+	if err != nil {
+		return err
+	}
+	ont, err := loadOntology(ontName)
+	if err != nil {
+		return err
+	}
+
+	if check {
+		if ont == nil {
+			return fmt.Errorf("-check needs -ontology (classification is content-based)")
+		}
+		cls, err := classify.Classify(doc, ont)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "classification: %s (estimate %.1f records, fan-out %d)\n",
+			cls.Kind, cls.Estimate, cls.FanOut)
+		if cls.Kind != classify.MultipleRecords {
+			return fmt.Errorf("document does not hold multiple records; boundary discovery does not apply")
+		}
+	}
+
+	discover := core.Discover
+	if xml {
+		discover = core.DiscoverXML
+	}
+	res, err := discover(doc, core.Options{Ontology: ont})
+	if err != nil {
+		return err
+	}
+	if explain {
+		fmt.Fprint(out, core.Explain(res))
+	} else {
+		fmt.Fprintf(out, "separator: <%s>\n", res.Separator)
+	}
+	if records {
+		for i, rec := range core.Split(doc, res) {
+			fmt.Fprintf(out, "\n--- record %d [%d:%d] ---\n%s\n", i+1, rec.Start, rec.End, rec.Text)
+		}
+	}
+	return nil
+}
+
+func readDocument(args []string) (string, error) {
+	if len(args) == 0 {
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), err
+	}
+	data, err := os.ReadFile(args[0])
+	return string(data), err
+}
+
+// loadOntology resolves the -ontology flag: empty disables OM, a built-in
+// name selects it, anything else is treated as a DSL file path.
+func loadOntology(name string) (*ontology.Ontology, error) {
+	if name == "" {
+		return nil, nil
+	}
+	if ont := ontology.Builtin(name); ont != nil {
+		return ont, nil
+	}
+	src, err := os.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("ontology %q is neither built-in nor readable: %w", name, err)
+	}
+	return ontology.Parse(string(src))
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleTable(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 6, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Table 6: test set 1 - obituaries") {
+		t.Errorf("missing title:\n%s", s)
+	}
+	if !strings.Contains(s, "Alameda Newspaper") {
+		t.Errorf("missing site row:\n%s", s)
+	}
+	if strings.Contains(s, "Table 10") {
+		t.Errorf("-table 6 should not emit Table 10:\n%s", s)
+	}
+}
+
+func TestRunTable10AndQuality(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 10, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "ORSIH") || !strings.Contains(s, "100.0%") {
+		t.Errorf("Table 10 output:\n%s", s)
+	}
+}
+
+// TestGoldenOutput locks the complete Tables 1–10 output: the corpus is
+// deterministic, so any diff means an intentional change — regenerate with
+//
+//	go run ./cmd/experiments -quality=false > cmd/experiments/testdata/golden.txt
+func TestGoldenOutput(t *testing.T) {
+	golden, err := os.ReadFile("testdata/golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(&out, 0, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(golden) {
+		t.Errorf("experiments output diverged from testdata/golden.txt;\n"+
+			"regenerate it if the change is intentional.\ngot:\n%s", out.String())
+	}
+}
+
+func TestRunScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep is slow")
+	}
+	var out strings.Builder
+	if err := run(&out, 99, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "O(n) scaling") {
+		t.Errorf("scaling output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/paperdoc"
+)
+
+func figure2File(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fig2.html")
+	if err := os.WriteFile(path, []byte(paperdoc.Figure2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSummary(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "obituary", "summary", []string{figure2File(t)}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "separator: <hr>") || !strings.Contains(out.String(), "Obituary(3)") {
+		t.Errorf("summary output:\n%s", out.String())
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "obituary", "csv", []string{figure2File(t)}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# table Obituary") {
+		t.Errorf("csv missing table header:\n%s", s)
+	}
+	if !strings.Contains(s, "Lemar K. Adamson") {
+		t.Errorf("csv missing extracted name:\n%s", s)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "obituary", "json", []string{figure2File(t)}); err != nil {
+		t.Fatal(err)
+	}
+	var generic map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(out.String()), &generic); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if _, ok := generic["Obituary"]; !ok {
+		t.Errorf("JSON missing Obituary table: %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "", "summary", nil); err == nil {
+		t.Error("missing ontology should error")
+	}
+	if err := run(&out, "bogus-name", "summary", []string{figure2File(t)}); err == nil {
+		t.Error("unknown ontology should error")
+	}
+	if err := run(&out, "obituary", "yaml", []string{figure2File(t)}); err == nil {
+		t.Error("unknown format should error")
+	}
+	if err := run(&out, "obituary", "summary", []string{"/nope.html"}); err == nil {
+		t.Error("missing file should error")
+	}
+}

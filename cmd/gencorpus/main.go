@@ -1,0 +1,99 @@
+// Command gencorpus writes the synthetic experimental corpus to disk for
+// inspection: the 100 training documents (Tables 2–5) and the 20 test
+// documents (Tables 6–10), one HTML file each, plus a manifest with the
+// ground-truth separators.
+//
+// Usage:
+//
+//	gencorpus -out corpus/
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/corpus"
+)
+
+type manifestEntry struct {
+	File    string   `json:"file"`
+	Site    string   `json:"site"`
+	URL     string   `json:"url"`
+	Domain  string   `json:"domain"`
+	Set     string   `json:"set"` // "training" or "test"
+	Index   int      `json:"index"`
+	Records int      `json:"records"`
+	Truth   []string `json:"truth"`
+}
+
+func main() {
+	out := flag.String("out", "corpus", "output directory")
+	flag.Parse()
+
+	if err := run(os.Stdout, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "gencorpus:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, out string) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	var manifest []manifestEntry
+
+	emit := func(d *corpus.Document, set string) error {
+		name := fmt.Sprintf("%s_%s_%s_%d.html", set, d.Site.Domain, slug(d.Site.Name), d.Index)
+		if err := os.WriteFile(filepath.Join(out, name), []byte(d.HTML), 0o644); err != nil {
+			return err
+		}
+		manifest = append(manifest, manifestEntry{
+			File: name, Site: d.Site.Name, URL: d.Site.URL,
+			Domain: string(d.Site.Domain), Set: set, Index: d.Index,
+			Records: d.Records, Truth: d.Truth,
+		})
+		return nil
+	}
+
+	for _, dom := range []corpus.Domain{corpus.Obituaries, corpus.CarAds} {
+		for _, d := range corpus.TrainingDocuments(dom) {
+			if err := emit(d, "training"); err != nil {
+				return err
+			}
+		}
+	}
+	for _, d := range corpus.TestDocuments() {
+		if err := emit(d, "test"); err != nil {
+			return err
+		}
+	}
+
+	data, err := json.MarshalIndent(manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(out, "manifest.json"), data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %d documents + manifest.json to %s\n", len(manifest), out)
+	return nil
+}
+
+func slug(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '/':
+			b.WriteByte('-')
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesCorpusAndManifest(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run(&out, dir); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote 120 documents") {
+		t.Errorf("output: %s", out.String())
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var manifest []manifestEntry
+	if err := json.Unmarshal(data, &manifest); err != nil {
+		t.Fatal(err)
+	}
+	if len(manifest) != 120 {
+		t.Fatalf("manifest entries = %d, want 120", len(manifest))
+	}
+	training, test := 0, 0
+	for _, e := range manifest {
+		switch e.Set {
+		case "training":
+			training++
+		case "test":
+			test++
+		default:
+			t.Errorf("bad set %q", e.Set)
+		}
+		if len(e.Truth) == 0 || e.Records == 0 {
+			t.Errorf("entry %s lacks ground truth", e.File)
+		}
+		if _, err := os.Stat(filepath.Join(dir, e.File)); err != nil {
+			t.Errorf("document file missing: %s", e.File)
+		}
+	}
+	if training != 100 || test != 20 {
+		t.Errorf("training/test = %d/%d, want 100/20", training, test)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Salt Lake Tribune", "salt-lake-tribune"},
+		{"GoCincinnati.com", "gocincinnaticom"},
+		{"UT - Austin", "ut---austin"},
+	}
+	for _, c := range cases {
+		if got := slug(c.in); got != c.want {
+			t.Errorf("slug(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

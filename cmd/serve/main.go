@@ -1,0 +1,37 @@
+// Command serve runs the record-boundary discovery pipeline as a JSON HTTP
+// service (see internal/httpapi for the endpoint reference).
+//
+// Usage:
+//
+//	serve -addr :8080
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/discover \
+//	     -d '{"html":"<div><hr><b>A</b> x<hr><b>B</b> y<hr></div>"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.NewServeMux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
+	fmt.Printf("record-boundary service listening on %s\n", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

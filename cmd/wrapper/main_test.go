@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// sitePages writes n generated pages to disk and returns their paths.
+func sitePages(t *testing.T, n int) []string {
+	t.Helper()
+	site := corpus.TrainingSites(corpus.Obituaries)[0]
+	dir := t.TempDir()
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, "page"+string(rune('0'+i))+".html")
+		if err := os.WriteFile(paths[i], []byte(site.Generate(i).HTML), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return paths
+}
+
+func TestLearnApplyShowWorkflow(t *testing.T) {
+	pages := sitePages(t, 4)
+	wrapperPath := filepath.Join(t.TempDir(), "site.wrapper")
+
+	var out strings.Builder
+	err := learnCmd(&out, []string{"-ontology", "obituary", "-out", wrapperPath, pages[0], pages[1], pages[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sep=<hr>") {
+		t.Errorf("learn output: %s", out.String())
+	}
+
+	out.Reset()
+	if err := showCmd(&out, []string{"-wrapper", wrapperPath}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sep=<hr>") {
+		t.Errorf("show output: %s", out.String())
+	}
+
+	out.Reset()
+	if err := applyCmd(&out, []string{"-wrapper", wrapperPath, pages[3]}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "--- record 1") {
+		t.Errorf("apply output: %s", out.String())
+	}
+}
+
+func TestLearnErrors(t *testing.T) {
+	var out strings.Builder
+	if err := learnCmd(&out, []string{}); err == nil {
+		t.Error("learn without samples should fail")
+	}
+	if err := learnCmd(&out, []string{"/nope.html"}); err == nil {
+		t.Error("learn with a missing file should fail")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	var out strings.Builder
+	if err := applyCmd(&out, []string{}); err == nil {
+		t.Error("apply without -wrapper should fail")
+	}
+	pages := sitePages(t, 1)
+	if err := applyCmd(&out, []string{"-wrapper", "/nope.wrapper", pages[0]}); err == nil {
+		t.Error("apply with a missing wrapper should fail")
+	}
+}
+
+func TestShowErrors(t *testing.T) {
+	var out strings.Builder
+	if err := showCmd(&out, []string{}); err == nil {
+		t.Error("show without -wrapper should fail")
+	}
+}

@@ -1,0 +1,77 @@
+package repro_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro"
+)
+
+// A small classifieds page: three car ads separated by horizontal rules.
+const page = `<html><body><div>
+<hr><b>1994 Ford Taurus</b>, red, good condition. Asking $4,500 obo. Call (801) 555-1234.
+<hr><b>1991 Honda Civic</b>, blue, runs great. Asking $2,900. Call (801) 555-9876.
+<hr><b>1997 Toyota Camry</b>, white, like new. Asking $11,200. Call (435) 555-4321.
+<hr></div></body></html>`
+
+func ExampleDiscover() {
+	res, err := repro.Discover(page)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Separator)
+	// Output: hr
+}
+
+func ExampleSplit() {
+	res, err := repro.Discover(page)
+	if err != nil {
+		panic(err)
+	}
+	for i, rec := range repro.Split(page, res) {
+		fmt.Printf("%d: %s\n", i+1, strings.TrimSpace(rec.Text[:30]))
+	}
+	// Output:
+	// 1: 1994 Ford Taurus , red, good c
+	// 2: 1991 Honda Civic , blue, runs
+	// 3: 1997 Toyota Camry , white, lik
+}
+
+func ExampleExtract() {
+	db, err := repro.Extract(page, repro.BuiltinOntology("carad"))
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range db.Table("CarAd").Select(nil) {
+		fmt.Println(row.Get("Year").Str, row.Get("Make").Str, row.Get("Price").Str)
+	}
+	// Output:
+	// 1994 Ford $4,500
+	// 1991 Honda $2,900
+	// 1997 Toyota $11,200
+}
+
+func ExampleClassify() {
+	res, err := repro.Classify(page, repro.BuiltinOntology("carad"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Kind)
+	// Output: multiple-records
+}
+
+func ExampleDiscoverXML() {
+	feed := `<catalog>
+  <item><title>one</title></item>
+  <item><title>two</title></item>
+  <item><title>three</title></item>
+</catalog>`
+	res, err := repro.DiscoverXML(feed, repro.Options{
+		SeparatorList: []string{"item", "entry"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Separator)
+	// Output: item
+}

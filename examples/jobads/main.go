@@ -1,0 +1,111 @@
+// Jobads: a crawler-shaped workflow over computer-job listings. Pages are
+// first *classified* (the paper's future-work assumption check): navigation
+// pages are skipped, single-posting detail pages are taken whole, and only
+// multi-record listing pages go through boundary discovery. Extracted
+// postings are then aggregated into a skills demand table.
+//
+// Run with:
+//
+//	go run ./examples/jobads
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro"
+	"repro/internal/classify"
+	"repro/internal/corpus"
+)
+
+// navPage imitates a section front page: links, no postings.
+const navPage = `<html><body><ul>
+<li><a href="mon.html">Monday's listings</a>
+<li><a href="tue.html">Tuesday's listings</a>
+<li><a href="archive.html">Archive</a>
+<li><a href="place-ad.html">Place an ad</a>
+</ul></body></html>`
+
+// detailPage imitates a single-posting page.
+const detailPage = `<html><body><div>
+<b>SOFTWARE ENGINEER</b><br>
+Summit Systems Inc. seeks a Software Engineer for its Provo office.
+3+ years experience in Java, SQL required. Send resume to Summit Systems Inc.
+Email jobs@summit.com for details. Job #41372.
+</div></body></html>`
+
+func main() {
+	ont := repro.BuiltinOntology("jobad")
+
+	// The crawl frontier: two chrome pages plus the five Table 8 sites.
+	pages := []struct {
+		name string
+		html string
+	}{
+		{"section front", navPage},
+		{"detail page", detailPage},
+	}
+	for _, site := range corpus.TestSites(corpus.JobAds) {
+		pages = append(pages, struct {
+			name string
+			html string
+		}{site.Name, site.Generate(0).HTML})
+	}
+
+	skills := map[string]int{}
+	postings := 0
+	for _, page := range pages {
+		cls, err := repro.Classify(page.html, ont)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-28s %-17s", page.name, cls.Kind)
+		switch cls.Kind {
+		case classify.NoRecords:
+			fmt.Println(" → skipped")
+			continue
+		case classify.SingleRecord:
+			fmt.Println(" → taken whole")
+			postings++
+			continue
+		}
+
+		res, err := repro.DiscoverWithOntology(page.html, ont)
+		if err != nil {
+			panic(err)
+		}
+		db, err := repro.Extract(page.html, ont)
+		if err != nil {
+			panic(err)
+		}
+		n := db.Table("JobAd").Len()
+		postings += n
+		fmt.Printf(" → separator <%s>, %d postings\n", res.Separator, n)
+
+		for _, row := range db.Table("JobAd_Skill").Select(nil) {
+			skills[row.Get("Skill").Str]++
+		}
+	}
+
+	fmt.Printf("\n%d postings collected; most demanded skills:\n", postings)
+	type kv struct {
+		skill string
+		n     int
+	}
+	var ranked []kv
+	for s, n := range skills {
+		ranked = append(ranked, kv{s, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].skill < ranked[j].skill
+	})
+	for i, e := range ranked {
+		if i >= 6 {
+			break
+		}
+		fmt.Printf("  %-14s %d postings\n", e.skill, e.n)
+	}
+}

@@ -1,0 +1,281 @@
+package certainty
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCombinePaperExample(t *testing.T) {
+	// §5.1: factors 88%, 74%, 66% combine to "98.93%" (the paper truncates;
+	// the exact value is 0.989392).
+	got := Combine(0.88, 0.74, 0.66)
+	if math.Abs(got-0.989392) > 1e-6 {
+		t.Errorf("Combine(0.88,0.74,0.66) = %.6f, want 0.989392", got)
+	}
+}
+
+func TestCombineEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		factors []float64
+		want    float64
+	}{
+		{"no evidence", nil, 0},
+		{"single factor", []float64{0.5}, 0.5},
+		{"certainty absorbs", []float64{1.0, 0.3}, 1.0},
+		{"zeros are neutral", []float64{0, 0, 0.4}, 0.4},
+		{"pairwise rule", []float64{0.6, 0.5}, 0.6 + 0.5 - 0.3},
+		{"clamps negatives", []float64{-0.5, 0.4}, 0.4},
+		{"clamps above one", []float64{1.5}, 1.0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Combine(c.factors...); !almostEqual(got, c.want) {
+				t.Errorf("Combine(%v) = %v, want %v", c.factors, got, c.want)
+			}
+		})
+	}
+}
+
+// Property: Combine is commutative, monotone, and stays in [0,1].
+func TestCombineProperties(t *testing.T) {
+	clamp := func(f float64) float64 {
+		f = math.Abs(math.Mod(f, 1))
+		if math.IsNaN(f) {
+			return 0.5
+		}
+		return f
+	}
+	commutative := func(a, b, c float64) bool {
+		a, b, c = clamp(a), clamp(b), clamp(c)
+		return almostEqual(Combine(a, b, c), Combine(c, a, b))
+	}
+	if err := quick.Check(commutative, nil); err != nil {
+		t.Error("commutativity:", err)
+	}
+	monotone := func(a, b float64) bool {
+		a, b = clamp(a), clamp(b)
+		return Combine(a, b) >= Combine(a)-1e-12
+	}
+	if err := quick.Check(monotone, nil); err != nil {
+		t.Error("monotonicity:", err)
+	}
+	bounded := func(fs []float64) bool {
+		for i := range fs {
+			fs[i] = clamp(fs[i])
+		}
+		got := Combine(fs...)
+		return got >= 0 && got <= 1
+	}
+	if err := quick.Check(bounded, nil); err != nil {
+		t.Error("boundedness:", err)
+	}
+}
+
+func TestTableFactor(t *testing.T) {
+	if got := PaperTable.Factor(OM, 1); got != 0.845 {
+		t.Errorf("OM rank 1 = %v, want 0.845", got)
+	}
+	if got := PaperTable.Factor(IT, 2); got != 0.040 {
+		t.Errorf("IT rank 2 = %v, want 0.040", got)
+	}
+	if got := PaperTable.Factor(HT, 5); got != 0 {
+		t.Errorf("HT rank 5 = %v, want 0", got)
+	}
+	if got := PaperTable.Factor("XX", 1); got != 0 {
+		t.Errorf("unknown heuristic = %v, want 0", got)
+	}
+	if got := PaperTable.Factor(OM, 0); got != 0 {
+		t.Errorf("rank 0 = %v, want 0", got)
+	}
+}
+
+func TestPaperTableRowsSumNearOne(t *testing.T) {
+	// Each Table 4 row is a probability distribution over ranks 1-4.
+	for h, fs := range PaperTable {
+		sum := 0.0
+		for _, f := range fs {
+			sum += f
+		}
+		if math.Abs(sum-1.0) > 1e-9 {
+			t.Errorf("%s factors sum to %v, want 1.0", h, sum)
+		}
+	}
+}
+
+func TestCalibrateAveragesTables2And3(t *testing.T) {
+	// The paper's Table 4 is the average of Tables 2 and 3; reproduce the
+	// derivation for every heuristic.
+	table2 := []Distribution{ // obituaries
+		{OM, []float64{0.83, 0.17, 0.00, 0.00}},
+		{RP, []float64{0.83, 0.07, 0.10, 0.00}},
+		{SD, []float64{0.59, 0.27, 0.14, 0.00}},
+		{IT, []float64{0.92, 0.08, 0.00, 0.00}},
+		{HT, []float64{0.58, 0.23, 0.17, 0.02}},
+	}
+	table3 := []Distribution{ // car ads
+		{OM, []float64{0.86, 0.08, 0.04, 0.02}},
+		{RP, []float64{0.72, 0.18, 0.08, 0.02}},
+		{SD, []float64{0.72, 0.18, 0.10, 0.00}},
+		{IT, []float64{1.00, 0.00, 0.00, 0.00}},
+		{HT, []float64{0.40, 0.42, 0.16, 0.02}},
+	}
+	got := Calibrate(append(table2, table3...))
+	for h, want := range PaperTable {
+		for i, w := range want {
+			if math.Abs(got[h][i]-w) > 1e-9 {
+				t.Errorf("%s rank %d = %v, want %v", h, i+1, got[h][i], w)
+			}
+		}
+	}
+}
+
+func TestCalibrateHandlesUnequalLengths(t *testing.T) {
+	got := Calibrate([]Distribution{
+		{OM, []float64{1.0}},
+		{OM, []float64{0.5, 0.5}},
+	})
+	if !almostEqual(got[OM][0], 0.75) || !almostEqual(got[OM][1], 0.25) {
+		t.Errorf("calibrated = %v, want [0.75 0.25]", got[OM])
+	}
+}
+
+func TestCombinationsCount(t *testing.T) {
+	// The paper: sum C(5,i) for i=2..5 = 26 compound heuristics.
+	all := Combinations(AllHeuristics, 2)
+	if len(all) != 26 {
+		t.Fatalf("combinations = %d, want 26", len(all))
+	}
+	seen := map[string]bool{}
+	for _, c := range all {
+		ab := c.Abbrev()
+		if seen[ab] {
+			t.Errorf("duplicate combination %s", ab)
+		}
+		seen[ab] = true
+	}
+	if !seen["ORSIH"] || !seen["OR"] || !seen["RSIH"] {
+		t.Errorf("missing expected combinations; have %v", seen)
+	}
+}
+
+func TestCombinationAbbrev(t *testing.T) {
+	c := Combination{HT, OM, IT}
+	if got := c.Abbrev(); got != "OIH" {
+		t.Errorf("Abbrev = %q, want OIH (canonical order)", got)
+	}
+}
+
+func TestCompoundWorkedExample(t *testing.T) {
+	// §5.3: the Figure 2 document's per-heuristic rankings combine to
+	// hr 99.96%, b 64.75%, br 56.34% under the paper's Table 4.
+	rankings := map[string]map[string]int{
+		OM: {"hr": 1, "br": 2, "b": 3},
+		RP: {"hr": 1, "br": 2, "b": 3},
+		SD: {"hr": 1, "b": 2, "br": 3},
+		IT: {"hr": 1, "br": 2, "b": 3},
+		HT: {"b": 1, "br": 2, "hr": 3},
+	}
+	scores := Compound(PaperTable, AllHeuristics, rankings, []string{"hr", "b", "br"})
+	want := []struct {
+		tag string
+		cf  float64
+	}{{"hr", 0.9996}, {"b", 0.6475}, {"br", 0.5634}}
+	for i, w := range want {
+		if scores[i].Tag != w.tag {
+			t.Fatalf("rank %d tag = %s, want %s (scores %v)", i+1, scores[i].Tag, w.tag, scores)
+		}
+		if math.Abs(scores[i].CF-w.cf) > 5e-5 {
+			t.Errorf("%s CF = %.6f, want %.4f", w.tag, scores[i].CF, w.cf)
+		}
+	}
+}
+
+func TestCompoundSkipsAbsentHeuristics(t *testing.T) {
+	rankings := map[string]map[string]int{
+		IT: {"hr": 1},
+		// OM supplied no answer: not in map.
+	}
+	scores := Compound(PaperTable, Combination{OM, IT}, rankings, []string{"hr"})
+	if !almostEqual(scores[0].CF, 0.96) {
+		t.Errorf("CF = %v, want 0.96 (IT only)", scores[0].CF)
+	}
+}
+
+func TestCompoundUnrankedTagGetsZeroFromThatHeuristic(t *testing.T) {
+	rankings := map[string]map[string]int{
+		IT: {"hr": 1}, // "b" not in IT's list → rank 0 → factor 0
+		HT: {"b": 1, "hr": 2},
+	}
+	scores := Compound(PaperTable, Combination{IT, HT}, rankings, []string{"hr", "b"})
+	byTag := map[string]float64{}
+	for _, s := range scores {
+		byTag[s.Tag] = s.CF
+	}
+	if !almostEqual(byTag["b"], 0.49) {
+		t.Errorf("b CF = %v, want 0.49", byTag["b"])
+	}
+	if !almostEqual(byTag["hr"], Combine(0.96, 0.325)) {
+		t.Errorf("hr CF = %v, want %v", byTag["hr"], Combine(0.96, 0.325))
+	}
+}
+
+func TestCompoundDeterministicTieBreak(t *testing.T) {
+	rankings := map[string]map[string]int{IT: {"a": 1, "b": 1}}
+	scores := Compound(PaperTable, Combination{IT}, rankings, []string{"b", "a"})
+	if scores[0].Tag != "a" || scores[1].Tag != "b" {
+		t.Errorf("tie break not by name: %v", scores)
+	}
+}
+
+func TestScoreString(t *testing.T) {
+	s := Score{Tag: "hr", CF: 0.99964}
+	if got := s.String(); got != "hr 99.96%" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTableClone(t *testing.T) {
+	c := PaperTable.Clone()
+	c[OM][0] = 0
+	if PaperTable[OM][0] != 0.845 {
+		t.Error("Clone shares backing arrays with original")
+	}
+}
+
+// Property: improving a tag's rank under any single heuristic never lowers
+// its compound certainty factor (the paper's Table 4 columns are
+// monotonically non-increasing in rank, and Combine is monotone).
+func TestCompoundMonotoneInRank(t *testing.T) {
+	for _, h := range AllHeuristics {
+		factors := PaperTable[h]
+		for better := 0; better+1 < len(factors); better++ {
+			if factors[better] < factors[better+1] {
+				t.Errorf("%s: factor at rank %d (%v) below rank %d (%v) — Table 4 must be non-increasing",
+					h, better+1, factors[better], better+2, factors[better+1])
+			}
+		}
+	}
+	// End-to-end: rank 1 vs rank 2 under OM with everything else fixed.
+	base := map[string]map[string]int{
+		RP: {"x": 2}, SD: {"x": 2}, IT: {"x": 2}, HT: {"x": 2},
+	}
+	withRank := func(k int) float64 {
+		rankings := map[string]map[string]int{OM: {"x": k}}
+		for h, m := range base {
+			rankings[h] = m
+		}
+		return Compound(PaperTable, AllHeuristics, rankings, []string{"x"})[0].CF
+	}
+	prev := 2.0
+	for k := 1; k <= 5; k++ {
+		cf := withRank(k)
+		if cf > prev {
+			t.Errorf("compound CF increased when OM rank worsened to %d: %v > %v", k, cf, prev)
+		}
+		prev = cf
+	}
+}

@@ -1,0 +1,260 @@
+// Package core implements the paper's primary contribution: the
+// Record-Boundary Discovery Algorithm of Section 5.3.
+//
+// Given a Web document containing multiple records, the algorithm
+//
+//  1. builds the tag tree (Appendix A),
+//  2. locates the highest-fan-out subtree,
+//  3. extracts the candidate separator tags (the 10% rule),
+//  4. applies the five individual heuristics (OM, RP, SD, IT, HT), and
+//  5. combines their rankings with Stanford certainty theory using the
+//     calibrated certainty factors of Table 4, choosing the tag with the
+//     highest compound certainty factor as the record separator.
+//
+// The package also implements the surrounding Record Extractor of Figure 1:
+// splitting the document into record-sized chunks at the separator and
+// cleaning markup, ready for downstream recognition.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/certainty"
+	"repro/internal/heuristic"
+	"repro/internal/ontology"
+	"repro/internal/tagtree"
+)
+
+// Options configure discovery. The zero value gives the paper's published
+// configuration: all five heuristics (ORSIH), the Table 4 certainty factors,
+// and the 10% candidate threshold.
+type Options struct {
+	// Ontology enables the OM heuristic; nil disables it (OM then declines
+	// and contributes nothing, as the paper specifies for documents without
+	// enough record-identifying fields).
+	Ontology *ontology.Ontology
+	// Combination selects which heuristics participate; nil means ORSIH.
+	Combination certainty.Combination
+	// Factors is the rank→certainty table; nil means the paper's Table 4.
+	Factors certainty.Table
+	// CandidateThreshold is the irrelevant-tag cutoff; 0 means the paper's
+	// 10%.
+	CandidateThreshold float64
+	// SeparatorList overrides IT's identifiable-separator list; nil means
+	// the paper's list.
+	SeparatorList []string
+}
+
+func (o Options) combination() certainty.Combination {
+	if o.Combination == nil {
+		return certainty.AllHeuristics
+	}
+	return o.Combination
+}
+
+func (o Options) factors() certainty.Table {
+	if o.Factors == nil {
+		return certainty.PaperTable
+	}
+	return o.Factors
+}
+
+func (o Options) threshold() float64 {
+	if o.CandidateThreshold == 0 {
+		return tagtree.DefaultCandidateThreshold
+	}
+	return o.CandidateThreshold
+}
+
+func (o Options) heuristics() []heuristic.Heuristic {
+	var out []heuristic.Heuristic
+	for _, name := range o.combination() {
+		h := heuristic.ByName(name)
+		if h == nil {
+			continue
+		}
+		if it, ok := h.(heuristic.IT); ok && o.SeparatorList != nil {
+			it.List = o.SeparatorList
+			h = it
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// Result is the outcome of record-boundary discovery on one document.
+type Result struct {
+	// Separator is the consensus record-separator tag (the highest
+	// compound certainty factor; ties broken by tag name, with all tied
+	// tags listed in TopTags).
+	Separator string
+	// TopTags lists every tag sharing the highest compound CF — the "X
+	// tags" of the paper's sc(D) = Y/X success measure. Usually length 1.
+	TopTags []string
+	// Scores are all candidates with compound certainty factors, best
+	// first.
+	Scores []certainty.Score
+	// Rankings holds each heuristic's individual answer; heuristics that
+	// declined are absent.
+	Rankings map[string]heuristic.Ranking
+	// Candidates are the candidate tags with counts, by descending count.
+	Candidates []tagtree.Candidate
+	// Subtree is the highest-fan-out subtree's root node.
+	Subtree *tagtree.Node
+	// Tree is the document's tag tree.
+	Tree *tagtree.Tree
+}
+
+// ErrNoCandidates is returned for documents whose highest-fan-out subtree
+// yields no candidate separator tags (e.g. an empty or tagless document).
+// The paper assumes every input has multiple records and at least one
+// record-separator tag; this error flags inputs violating that assumption.
+var ErrNoCandidates = errors.New("core: no candidate separator tags")
+
+// Discover runs the Record-Boundary Discovery Algorithm on an HTML document.
+func Discover(doc string, opts Options) (*Result, error) {
+	return DiscoverTree(tagtree.Parse(doc), opts)
+}
+
+// DiscoverXML runs the algorithm on an XML document (the paper's footnote 1
+// generalization to other DTDs): the tag tree is built with XML semantics —
+// case-sensitive names, no void elements, no implied closings. Note that
+// IT's default separator list is HTML-specific; for XML vocabularies
+// callers usually supply Options.SeparatorList (or rely on the other
+// heuristics, which are markup-agnostic).
+func DiscoverXML(doc string, opts Options) (*Result, error) {
+	return DiscoverTree(tagtree.ParseXML(doc), opts)
+}
+
+// DiscoverTree runs discovery over an already-parsed tag tree, for callers
+// that need the tree for other purposes too.
+func DiscoverTree(tree *tagtree.Tree, opts Options) (*Result, error) {
+	// The Data-Record Table (regular-expression recognition) is by far the
+	// most expensive context ingredient; skip it when OM is not voting.
+	ont := opts.Ontology
+	if !opts.combination().Contains(certainty.OM) {
+		ont = nil
+	}
+	ctx := heuristic.NewContext(tree, opts.threshold(), ont)
+	if len(ctx.Candidates) == 0 {
+		return nil, ErrNoCandidates
+	}
+
+	res := &Result{
+		Rankings:   make(map[string]heuristic.Ranking),
+		Candidates: ctx.Candidates,
+		Subtree:    ctx.Subtree,
+		Tree:       tree,
+	}
+
+	// Section 3: a single candidate is the separator outright.
+	if len(ctx.Candidates) == 1 {
+		res.Separator = ctx.Candidates[0].Name
+		res.TopTags = []string{res.Separator}
+		res.Scores = []certainty.Score{{Tag: res.Separator, CF: 1}}
+		return res, nil
+	}
+
+	rankMaps := make(map[string]map[string]int)
+	for _, h := range opts.heuristics() {
+		if r, ok := h.Rank(ctx); ok {
+			res.Rankings[h.Name()] = r
+			rankMaps[h.Name()] = r.ToMap()
+		}
+	}
+
+	tags := make([]string, len(ctx.Candidates))
+	for i, c := range ctx.Candidates {
+		tags[i] = c.Name
+	}
+	res.Scores = certainty.Compound(opts.factors(), opts.combination(), rankMaps, tags)
+	res.Separator = res.Scores[0].Tag
+	for _, s := range res.Scores {
+		if s.CF == res.Scores[0].CF {
+			res.TopTags = append(res.TopTags, s.Tag)
+		}
+	}
+	return res, nil
+}
+
+// Record is one record-sized chunk of a document.
+type Record struct {
+	// HTML is the raw markup of the chunk.
+	HTML string
+	// Text is the chunk's plain text with markup removed and whitespace
+	// collapsed — the "cleaned" unstructured record document of Figure 1.
+	Text string
+	// Start and End are the chunk's byte offsets in the original document.
+	Start, End int
+}
+
+// Split partitions the document at the separator-tag occurrences inside the
+// highest-fan-out subtree, returning one Record per chunk between
+// consecutive separators. Content before the first separator and after the
+// last one (within the subtree) forms leading/trailing chunks; chunks with
+// no plain text (adjacent separators, a trailing separator at the subtree's
+// edge) are dropped.
+func Split(doc string, res *Result) []Record {
+	positions := tagtree.Occurrences(res.Tree, res.Subtree, res.Separator)
+	if len(positions) == 0 {
+		return nil
+	}
+	subStart, subEnd := res.Subtree.StartPos, res.Subtree.EndPos
+	bounds := append([]int{subStart}, positions...)
+	bounds = append(bounds, subEnd)
+
+	var out []Record
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		if lo >= hi || lo < 0 || hi > len(doc) {
+			continue
+		}
+		raw := doc[lo:hi]
+		text := tagtree.Parse(raw).Root.Text()
+		if text == "" {
+			continue
+		}
+		out = append(out, Record{HTML: raw, Text: text, Start: lo, End: hi})
+	}
+	return out
+}
+
+// Explain renders a human-readable report of a discovery result: the chosen
+// separator, each heuristic's ranking, and the compound scores — the
+// worked-example format of §5.3.
+func Explain(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "highest-fan-out subtree: <%s> (fan-out %d)\n", res.Subtree.Name, res.Subtree.FanOut())
+	b.WriteString("candidates:")
+	for _, c := range res.Candidates {
+		fmt.Fprintf(&b, " %s(%d)", c.Name, c.Count)
+	}
+	b.WriteByte('\n')
+	for _, name := range certainty.AllHeuristics {
+		r, ok := res.Rankings[name]
+		if !ok {
+			fmt.Fprintf(&b, "%s: (no answer)\n", name)
+			continue
+		}
+		fmt.Fprintf(&b, "%s: [", name)
+		for i, e := range r {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "(%s, %d)", e.Tag, e.Rank)
+		}
+		b.WriteString("]\n")
+	}
+	b.WriteString("compound: [")
+	for i, s := range res.Scores {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%s, %.2f%%)", s.Tag, s.CF*100)
+	}
+	b.WriteString("]\n")
+	fmt.Fprintf(&b, "separator: <%s>\n", res.Separator)
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Adversarial documents probe the paper's stated assumptions rather than
+// its heuristics: pages that violate "the subtree with the highest fan-out
+// contains the records" (§3) or "each document has multiple records and at
+// least one record-separator tag" (§1). The paper explicitly scopes these
+// out ("we do not consider Web documents that do not satisfy this
+// conjecture"); the cases below document what the implementation actually
+// does on them, and the classifier's role in catching them first.
+
+// AdversarialCase is one assumption-violating document with the expected
+// behaviour documented.
+type AdversarialCase struct {
+	Name string
+	// HTML is the page.
+	HTML string
+	// Violates names the violated assumption.
+	Violates string
+	// ConjectureHolds reports whether the highest-fan-out subtree still
+	// contains the records (when there are records at all).
+	ConjectureHolds bool
+}
+
+// AdversarialCases generates the assumption-violating pages. Deterministic.
+func AdversarialCases() []AdversarialCase {
+	r := rand.New(rand.NewSource(424242))
+
+	// Case 1: a navigation list with more entries than the record list —
+	// the highest-fan-out conjecture picks the nav <ul>, not the records.
+	var nav strings.Builder
+	nav.WriteString("<html><body><ul>\n")
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&nav, `<li><a href="s%d.html">Section %d</a>`+"\n", i, i)
+	}
+	nav.WriteString("</ul>\n<div>\n")
+	for i := 0; i < 4; i++ {
+		var rec strings.Builder
+		obituaryRecord(&rec, r, &Profile{BoldRuns: [2]int{1, 1}, BaseSize: 200}, omPlan{dropField: -1, extraField: -1})
+		nav.WriteString("<hr>" + rec.String() + "\n")
+	}
+	nav.WriteString("<hr></div></body></html>")
+
+	// Case 2: two record groups of different applications on one page; the
+	// algorithm can only find one subtree.
+	var dual strings.Builder
+	dual.WriteString("<html><body><div id=obits>\n")
+	for i := 0; i < 8; i++ {
+		var rec strings.Builder
+		obituaryRecord(&rec, r, &Profile{BoldRuns: [2]int{1, 1}, BaseSize: 180}, omPlan{dropField: -1, extraField: -1})
+		dual.WriteString("<hr>" + rec.String() + "\n")
+	}
+	dual.WriteString("<hr></div>\n<div id=cars>\n")
+	for i := 0; i < 6; i++ {
+		var rec strings.Builder
+		carAdRecord(&rec, r, &Profile{BoldRuns: [2]int{1, 1}, BaseSize: 150}, omPlan{dropField: -1, extraField: -1})
+		dual.WriteString("<p>" + rec.String() + "\n")
+	}
+	dual.WriteString("</div></body></html>")
+
+	// Case 3: records exist but no tag separates them — boundaries are
+	// blank lines in a <pre> block (violates "at least one record-separator
+	// tag").
+	var pre strings.Builder
+	pre.WriteString("<html><body><pre>\n")
+	for i := 0; i < 6; i++ {
+		fmt.Fprintf(&pre, "Person %d died on March %d, 1998. Funeral services pending. Interment follows.\n\n", i, 1+i)
+	}
+	pre.WriteString("</pre></body></html>")
+
+	return []AdversarialCase{
+		{
+			Name:            "nav-dominant",
+			HTML:            nav.String(),
+			Violates:        "highest-fan-out conjecture (§3): the nav list out-fans the record group",
+			ConjectureHolds: false,
+		},
+		{
+			Name:            "two-record-groups",
+			HTML:            dual.String(),
+			Violates:        "single record group per page (implicit in §3's single-subtree search)",
+			ConjectureHolds: true, // the larger group still wins
+		},
+		{
+			Name:            "no-separator-tag",
+			HTML:            pre.String(),
+			Violates:        "assumption (2) of §1: no record-separator tag exists",
+			ConjectureHolds: false,
+		},
+	}
+}

@@ -1,0 +1,70 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/tagtree"
+)
+
+// TestAdversarialCasesDocumentAssumptionFailures pins down what happens on
+// pages that violate the paper's stated input assumptions — the behaviour
+// is documented, not hidden.
+func TestAdversarialCasesDocumentAssumptionFailures(t *testing.T) {
+	cases := AdversarialCases()
+	if len(cases) != 3 {
+		t.Fatalf("cases = %d", len(cases))
+	}
+	byName := map[string]AdversarialCase{}
+	for _, c := range cases {
+		byName[c.Name] = c
+	}
+
+	// nav-dominant: the highest-fan-out subtree is the nav list, exactly
+	// the failure the paper scopes out with its conjecture.
+	nav := byName["nav-dominant"]
+	tree := tagtree.Parse(nav.HTML)
+	if hf := tree.HighestFanOut(); hf.Name != "ul" {
+		t.Errorf("nav-dominant highest fan-out = %s; the case should defeat the conjecture", hf.Name)
+	}
+	if nav.ConjectureHolds {
+		t.Error("nav-dominant should be marked as defeating the conjecture")
+	}
+
+	// two-record-groups: the obituary group (8 records) out-fans the car
+	// group (6) — the conjecture picks it and the car ads are missed.
+	dual := byName["two-record-groups"]
+	tree = tagtree.Parse(dual.HTML)
+	hf := tree.HighestFanOut()
+	if hf.Name != "div" {
+		t.Errorf("two-groups highest fan-out = %s, want the obituary div", hf.Name)
+	}
+	counts := tagtree.TagCounts(hf)
+	if counts["hr"] != 9 {
+		t.Errorf("winning group should be the hr-separated obituaries; counts = %v", counts)
+	}
+	if counts["p"] != 0 {
+		t.Errorf("the car-ad group should be outside the winning subtree; counts = %v", counts)
+	}
+
+	// no-separator-tag: the record prose lives in one <pre> region with no
+	// repeating tag — whatever structural tags become candidates, none
+	// occurs once per record, so no candidate can separate the six records.
+	pre := byName["no-separator-tag"]
+	tree = tagtree.Parse(pre.HTML)
+	hf = tree.HighestFanOut()
+	for _, c := range tagtree.Candidates(hf, tagtree.DefaultCandidateThreshold) {
+		if c.Count >= 6 {
+			t.Errorf("candidate %v repeats like a separator; the case should have none", c)
+		}
+	}
+}
+
+func TestAdversarialDeterministic(t *testing.T) {
+	a := AdversarialCases()
+	b := AdversarialCases()
+	for i := range a {
+		if a[i].HTML != b[i].HTML {
+			t.Errorf("case %s not deterministic", a[i].Name)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+// Package corpus generates the synthetic Web-document corpus that stands in
+// for the paper's 1998 newspaper and university pages (DESIGN.md documents
+// the substitution). Every document is deterministic in (site, index), and
+// every site carries a Profile whose knobs control exactly the properties
+// the five heuristics observe:
+//
+//   - separator tag identity and layout (IT),
+//   - per-record bold/break tag counts (HT),
+//   - record-size uniformity vs. fixed-width line structure (SD),
+//   - tag adjacency at record boundaries (RP),
+//   - record-identifying keyword regularity (OM).
+//
+// The training sites (Table 1 analogues) and test sites (Tables 6–9
+// analogues) live in sites.go.
+package corpus
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+
+	"repro/internal/ontology"
+)
+
+// Domain is an application area of the paper's experiments.
+type Domain string
+
+// The four application areas.
+const (
+	Obituaries Domain = "obituary"
+	CarAds     Domain = "carad"
+	JobAds     Domain = "jobad"
+	Courses    Domain = "course"
+)
+
+// Ontology returns the built-in application ontology for the domain.
+func (d Domain) Ontology() *ontology.Ontology { return ontology.Builtin(string(d)) }
+
+// Title returns a human-readable name for the domain.
+func (d Domain) Title() string {
+	switch d {
+	case Obituaries:
+		return "obituaries"
+	case CarAds:
+		return "car advertisements"
+	case JobAds:
+		return "computer job advertisements"
+	case Courses:
+		return "university course descriptions"
+	default:
+		return string(d)
+	}
+}
+
+// Layout selects how records relate to the separator tag.
+type Layout int
+
+// Layouts.
+const (
+	// Delimited records are separated by a void/boundary tag (<hr>, <p>,
+	// <br>) with the record content between occurrences.
+	Delimited Layout = iota
+	// Wrapped records are each enclosed by the separator element
+	// (<tr>…</tr> table rows).
+	Wrapped
+)
+
+// Profile is the knob set describing one site's page style.
+type Profile struct {
+	// Container is the element path under <body> whose innermost element
+	// holds the records (and becomes the highest-fan-out subtree).
+	Container []string
+	// Layout selects delimiter- vs wrapper-style records.
+	Layout Layout
+	// Separator is the correct record-separator tag.
+	Separator string
+	// TruthExtra lists additional tags that also correctly separate the
+	// records (a wrapped <tr> whose single <td> is an equally correct
+	// separator).
+	TruthExtra []string
+	// Records bounds the records per document.
+	Records [2]int
+
+	// BoldRuns bounds the <b> segments per record (HT pressure).
+	BoldRuns [2]int
+	// Breaks bounds the <br> tags per record in prose style.
+	Breaks [2]int
+	// BreakEvery, when positive, inserts a <br> after every k-th sentence
+	// instead of at random spots. Sentence-group lengths are far more
+	// uniform than jittered record sizes, so with SizeJitter this is the
+	// prose-style SD-failure knob (the line-break tag's intervals beat the
+	// separator's) while keeping the <br> count low enough that the
+	// separator stays above the 10%% candidate threshold.
+	BreakEvery int
+	// ItalicNote adds exactly one <i>…</i> segment per record. On a
+	// Delimited layout this is the OM-failure knob: the italic's count
+	// equals the record count exactly, beating the separator's count of
+	// records+1.
+	ItalicNote bool
+	// ItalicBoldPair adds one or two <i><b>…</b></i> segments per record.
+	// The italic immediately wraps a bold, so the (i, b) adjacency is a
+	// perfect repeating pattern — the RP-failure knob — while the italic
+	// count (≈1.5 per record) stays away from the record count, leaving OM
+	// unaffected.
+	ItalicBoldPair bool
+	// Anchors adds one or two <a href> links per record (guest books,
+	// mailto contacts). With a <p>-separated layout this is the IT-failure
+	// knob: <a> precedes <p> on the identifiable-separator list.
+	Anchors bool
+	// LeadTextRate is the fraction of records beginning with plain text
+	// before their first tag (defeats the separator's RP adjacency).
+	LeadTextRate float64
+	// TrailBreak ends each record with a <br> just before the next
+	// separator (creates the <br><sep> RP pair).
+	TrailBreak bool
+
+	// LineStructured renders records as fixed-width lines each ended by
+	// <br>, making <br> intervals far more uniform than record sizes (the
+	// SD failure mode). LineLen is the line width; Lines bounds the line
+	// count per record.
+	LineStructured bool
+	LineLen        int
+	Lines          [2]int
+	// BaseSize is the target plain-text size per prose record; SizeJitter
+	// is the relative uniform jitter applied to it (SD pressure).
+	BaseSize   int
+	SizeJitter float64
+
+	// KeywordDropRate is the per-record probability of omitting one
+	// record-identifying keyword (OM undercount); KeywordExtraRate the
+	// probability of emitting a duplicate (OM overcount).
+	KeywordDropRate  float64
+	KeywordExtraRate float64
+	// NoiseRate is the per-record probability of writing one field value in
+	// a degraded form the recognizer's patterns miss (an abbreviated month,
+	// a slash-formatted phone number) while the fact is still planted as
+	// ground truth — the knob that gives extraction the paper's ~90% recall
+	// instead of a synthetic 100%.
+	NoiseRate float64
+}
+
+// Truth returns every correct separator tag for the profile.
+func (p *Profile) Truth() []string {
+	return append([]string{p.Separator}, p.TruthExtra...)
+}
+
+// Site is one synthetic Web site.
+type Site struct {
+	// Name and URL echo the paper's site tables ("Salt Lake Tribune",
+	// "www.sltrib.com").
+	Name string
+	URL  string
+	// Domain is the application area of the site's documents.
+	Domain Domain
+	// Profile is the page style shared by the site's documents.
+	Profile Profile
+}
+
+// Fact is the planted ground truth of one record: object-set name → the
+// value the generator wrote into the page. Only fields the ontology can
+// extract as constants are recorded.
+type Fact map[string]string
+
+// Document is one generated page with its ground truth.
+type Document struct {
+	Site  *Site
+	Index int
+	HTML  string
+	// Truth lists every correct record-separator tag.
+	Truth []string
+	// Records is the number of records the page contains.
+	Records int
+	// Facts holds the planted field values of each record, in page order —
+	// the ground truth for extraction-quality measurement.
+	Facts []Fact
+}
+
+// IsCorrect reports whether tag is one of the document's correct separators.
+func (d *Document) IsCorrect(tag string) bool {
+	for _, t := range d.Truth {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// seed derives the document's deterministic seed from site name and index.
+func (s *Site) seed(index int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%s/%d", s.Name, s.Domain, index)
+	return int64(h.Sum64())
+}
+
+// recordWriter emits the inner markup of one record (no separators) and
+// returns the planted facts. Domain writers must honor the profile's knobs.
+type recordWriter func(w *strings.Builder, r *rand.Rand, p *Profile, om omPlan) Fact
+
+// omPlan tells the record writer how to treat the record-identifying
+// keywords of this record.
+type omPlan struct {
+	// dropField is the 0-based record-identifying field to omit, or -1.
+	dropField int
+	// extraField is the 0-based field to duplicate, or -1.
+	extraField int
+	// noisy requests one field value be written in a degraded form.
+	noisy bool
+}
+
+func newOMPlan(r *rand.Rand, p *Profile) omPlan {
+	plan := omPlan{dropField: -1, extraField: -1}
+	if chance(r, p.KeywordDropRate) {
+		plan.dropField = r.Intn(3)
+	}
+	if chance(r, p.KeywordExtraRate) {
+		plan.extraField = r.Intn(3)
+	}
+	// Guard the draw: consuming randomness when the knob is off would
+	// change every clean document's content.
+	if p.NoiseRate > 0 {
+		plan.noisy = chance(r, p.NoiseRate)
+	}
+	return plan
+}
+
+// writerFor returns the domain's record writer.
+func writerFor(d Domain) recordWriter {
+	switch d {
+	case Obituaries:
+		return obituaryRecord
+	case CarAds:
+		return carAdRecord
+	case JobAds:
+		return jobAdRecord
+	case Courses:
+		return courseRecord
+	default:
+		panic("corpus: unknown domain " + string(d))
+	}
+}
+
+// Generate renders document index for the site. The same (site, index)
+// always yields the identical document.
+func (s *Site) Generate(index int) *Document {
+	r := rand.New(rand.NewSource(s.seed(index)))
+	p := &s.Profile
+	n := between(r, p.Records[0], p.Records[1])
+	write := writerFor(s.Domain)
+
+	var body strings.Builder
+	var facts []Fact
+	for i := 0; i < n; i++ {
+		var rec strings.Builder
+		facts = append(facts, write(&rec, r, p, newOMPlan(r, p)))
+		if p.Layout == Wrapped {
+			body.WriteString(wrapRecord(p.Separator, rec.String()))
+			body.WriteByte('\n')
+		} else {
+			body.WriteString("<" + p.Separator + ">\n")
+			body.WriteString(rec.String())
+			body.WriteByte('\n')
+		}
+	}
+	if p.Layout == Delimited {
+		body.WriteString("<" + p.Separator + ">\n")
+	}
+
+	var doc strings.Builder
+	doc.WriteString("<html><head><title>")
+	doc.WriteString(s.Name)
+	doc.WriteString(" - ")
+	doc.WriteString(s.Domain.Title())
+	doc.WriteString("</title></head>\n<body bgcolor=\"#FFFFFF\">\n")
+	fmt.Fprintf(&doc, "<h1 align=\"left\">%s</h1> %s\n", pageHeading(s.Domain), dateIn(r, 1998))
+	for _, c := range p.Container {
+		doc.WriteString("<" + c + ">")
+	}
+	doc.WriteByte('\n')
+	doc.WriteString(body.String())
+	for i := len(p.Container) - 1; i >= 0; i-- {
+		doc.WriteString("</" + p.Container[i] + ">")
+	}
+	doc.WriteString("\nAll material is copyrighted. <a href=\"index.html\">Home</a>\n</body>\n</html>\n")
+
+	return &Document{
+		Site:    s,
+		Index:   index,
+		HTML:    doc.String(),
+		Truth:   p.Truth(),
+		Records: n,
+		Facts:   facts,
+	}
+}
+
+// wrapRecord encloses the record in the separator element, using the
+// conventional inner cell for table rows.
+func wrapRecord(sep, inner string) string {
+	if sep == "tr" {
+		return "<tr><td>" + inner + "</td></tr>"
+	}
+	return "<" + sep + ">" + inner + "</" + sep + ">"
+}
+
+func pageHeading(d Domain) string {
+	switch d {
+	case Obituaries:
+		return "Funeral Notices - "
+	case CarAds:
+		return "Autos For Sale - "
+	case JobAds:
+		return "Computer &amp; Technical Employment - "
+	case Courses:
+		return "Course Catalog - "
+	default:
+		return "Classifieds - "
+	}
+}

@@ -1,0 +1,244 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/recognizer"
+	"repro/internal/tagtree"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, d := range AllDomains {
+		site := TestSites(d)[0]
+		a := site.Generate(3)
+		b := site.Generate(3)
+		if a.HTML != b.HTML || a.Records != b.Records {
+			t.Errorf("%s: generation not deterministic", d)
+		}
+		c := site.Generate(4)
+		if c.HTML == a.HTML {
+			t.Errorf("%s: different indexes produced identical documents", d)
+		}
+	}
+}
+
+func TestTrainingCorpusSize(t *testing.T) {
+	obits := TrainingDocuments(Obituaries)
+	cars := TrainingDocuments(CarAds)
+	if len(obits) != 50 || len(cars) != 50 {
+		t.Fatalf("training corpus = %d + %d docs, want 50 + 50", len(obits), len(cars))
+	}
+	totalRecords := 0
+	for _, d := range append(obits, cars...) {
+		totalRecords += d.Records
+	}
+	if totalRecords < 1000 {
+		t.Errorf("training corpus has %d records; the paper's corpus had thousands", totalRecords)
+	}
+}
+
+func TestTestCorpusSize(t *testing.T) {
+	docs := TestDocuments()
+	if len(docs) != 20 {
+		t.Fatalf("test corpus = %d docs, want 20", len(docs))
+	}
+	seen := map[Domain]int{}
+	for _, d := range docs {
+		seen[d.Site.Domain]++
+	}
+	for _, dom := range AllDomains {
+		if seen[dom] != 5 {
+			t.Errorf("domain %s has %d test docs, want 5", dom, seen[dom])
+		}
+	}
+}
+
+func TestEveryDocumentRecordCountInRange(t *testing.T) {
+	for _, d := range allDocs() {
+		lo, hi := d.Site.Profile.Records[0], d.Site.Profile.Records[1]
+		if d.Records < lo || d.Records > hi {
+			t.Errorf("%s #%d: %d records outside [%d,%d]", d.Site.Name, d.Index, d.Records, lo, hi)
+		}
+	}
+}
+
+func allDocs() []*Document {
+	docs := TrainingDocuments(Obituaries)
+	docs = append(docs, TrainingDocuments(CarAds)...)
+	return append(docs, TestDocuments()...)
+}
+
+// TestSeparatorIsAlwaysCandidate guards the corpus's core invariant: the
+// true separator must survive the 10% irrelevant-tag rule in the highest-
+// fan-out subtree of every generated document.
+func TestSeparatorIsAlwaysCandidate(t *testing.T) {
+	for _, d := range allDocs() {
+		tree := tagtree.Parse(d.HTML)
+		hf := tree.HighestFanOut()
+		cands := tagtree.Candidates(hf, tagtree.DefaultCandidateThreshold)
+		found := false
+		for _, c := range cands {
+			if d.IsCorrect(c.Name) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s %s #%d: no correct separator among candidates %v",
+				d.Site.Name, d.Site.Domain, d.Index, cands)
+		}
+	}
+}
+
+// TestSeparatorCountMatchesRecords: the separator tag count must track the
+// record count (N for wrapped layouts, N+1 for delimited).
+func TestSeparatorCountMatchesRecords(t *testing.T) {
+	for _, d := range allDocs() {
+		tree := tagtree.Parse(d.HTML)
+		hf := tree.HighestFanOut()
+		counts := tagtree.TagCounts(hf)
+		got := counts[d.Site.Profile.Separator]
+		want := d.Records
+		if d.Site.Profile.Layout == Delimited {
+			want++
+		}
+		if got != want {
+			t.Errorf("%s %s #%d: separator count %d, want %d (records %d)",
+				d.Site.Name, d.Site.Domain, d.Index, got, want, d.Records)
+		}
+	}
+}
+
+// TestRecordIdentifyingKeywordsPlanted: with no OM noise knobs, every record
+// must contain exactly one indicator per record-identifying field — the
+// OM estimate must then equal the record count.
+func TestRecordIdentifyingKeywordsPlanted(t *testing.T) {
+	for _, dom := range AllDomains {
+		site := &Site{Name: "clean", Domain: dom, Profile: Profile{
+			Container: []string{"div"},
+			Layout:    Delimited,
+			Separator: "hr",
+			Records:   [2]int{12, 12},
+			BoldRuns:  [2]int{2, 3},
+			BaseSize:  250,
+		}}
+		doc := site.Generate(0)
+		ont := dom.Ontology()
+		tree := tagtree.Parse(doc.HTML)
+		table := recognizer.Recognize(ont, tree, tree.HighestFanOut())
+		est, ok := recognizer.EstimateRecordCount(ont, table)
+		if !ok {
+			t.Fatalf("%s: no estimate", dom)
+		}
+		if est != float64(doc.Records) {
+			fields, _ := ont.RecordIdentifyingFields()
+			for _, f := range fields {
+				t.Logf("%s field %s count=%d", dom, f.Set.Name, recognizer.FieldCount(table, f))
+			}
+			t.Errorf("%s: OM estimate %.2f, want exactly %d", dom, est, doc.Records)
+		}
+	}
+}
+
+func TestKeywordDropReducesEstimate(t *testing.T) {
+	base := Profile{
+		Container: []string{"div"}, Layout: Delimited, Separator: "hr",
+		Records: [2]int{20, 20}, BoldRuns: [2]int{1, 2}, BaseSize: 250,
+	}
+	dropped := base
+	dropped.KeywordDropRate = 1.0
+	est := func(p Profile) float64 {
+		site := &Site{Name: "x", Domain: Obituaries, Profile: p}
+		doc := site.Generate(0)
+		tree := tagtree.Parse(doc.HTML)
+		table := recognizer.Recognize(Obituaries.Ontology(), tree, tree.HighestFanOut())
+		e, _ := recognizer.EstimateRecordCount(Obituaries.Ontology(), table)
+		return e
+	}
+	if e1, e2 := est(base), est(dropped); e2 >= e1 {
+		t.Errorf("drop rate 1.0 estimate %.2f should be below clean estimate %.2f", e2, e1)
+	}
+}
+
+func TestWrappedLayoutShape(t *testing.T) {
+	site := TestSites(Obituaries)[0] // Alameda: tableRows
+	doc := site.Generate(0)
+	tree := tagtree.Parse(doc.HTML)
+	table := tree.Root.Find("table")
+	if table == nil {
+		t.Fatal("no table element")
+	}
+	if got := table.FanOut(); got != doc.Records {
+		t.Errorf("table fan-out %d, want %d rows", got, doc.Records)
+	}
+	for _, tr := range table.Children {
+		if tr.Name != "tr" {
+			t.Errorf("table child %s, want tr", tr.Name)
+		}
+	}
+}
+
+func TestDocumentWellFormedEnough(t *testing.T) {
+	// Every document should parse into a tree whose highest-fan-out subtree
+	// is the intended container element.
+	for _, d := range allDocs() {
+		tree := tagtree.Parse(d.HTML)
+		hf := tree.HighestFanOut()
+		container := d.Site.Profile.Container
+		wantName := "table" // wrapped layout: the table itself
+		if d.Site.Profile.Layout == Delimited {
+			wantName = container[len(container)-1]
+		}
+		if hf.Name != wantName {
+			t.Errorf("%s %s #%d: highest-fan-out is <%s>, want <%s>",
+				d.Site.Name, d.Site.Domain, d.Index, hf.Name, wantName)
+		}
+	}
+}
+
+func TestLineStructuredLinesAreUniform(t *testing.T) {
+	site := &Site{Name: "lines", Domain: CarAds, Profile: Profile{
+		Container: []string{"div"}, Layout: Delimited, Separator: "hr",
+		Records: [2]int{10, 10}, LineStructured: true, LineLen: 50,
+		Lines: [2]int{3, 6},
+	}}
+	doc := site.Generate(0)
+	for _, line := range strings.Split(doc.HTML, "<br>") {
+		line = strings.TrimSpace(line)
+		if i := strings.LastIndexByte(line, '>'); i >= 0 {
+			line = line[i+1:]
+		}
+		if len(line) > 60 {
+			t.Errorf("line exceeds width budget: %q (%d chars)", line, len(line))
+		}
+	}
+}
+
+func TestIsCorrect(t *testing.T) {
+	d := &Document{Truth: []string{"tr", "td"}}
+	if !d.IsCorrect("tr") || !d.IsCorrect("td") || d.IsCorrect("b") {
+		t.Error("IsCorrect wrong")
+	}
+}
+
+func TestDomainHelpers(t *testing.T) {
+	for _, d := range AllDomains {
+		if d.Ontology() == nil {
+			t.Errorf("%s: no ontology", d)
+		}
+		if d.Title() == string(d) {
+			t.Errorf("%s: no human title", d)
+		}
+	}
+	if Domain("bogus").Title() != "bogus" {
+		t.Error("unknown domain title should fall back to name")
+	}
+}
+
+func TestProfileTruth(t *testing.T) {
+	p := Profile{Separator: "tr", TruthExtra: []string{"td"}}
+	got := p.Truth()
+	if len(got) != 2 || got[0] != "tr" || got[1] != "td" {
+		t.Errorf("Truth = %v", got)
+	}
+}

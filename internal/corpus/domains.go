@@ -1,0 +1,531 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Record-identifying field indices per domain, matching the built-in
+// ontologies' §4.5 selections. An omPlan's dropField/extraField refer to
+// these positions.
+//
+//	obituary: 0 DeathDate, 1 FuneralService, 2 Interment
+//	carad:    0 Price,     1 Year,           2 Phone
+//	jobad:    0 HowToApply, 1 ContactEmail,  2 JobCode
+//	course:   0 Credits,   1 Instructor,     2 CourseCode
+
+// record assembles the common structure of a prose or line-structured
+// record from a head fragment (markup allowed) and body sentences
+// (markup allowed only in prose mode).
+type record struct {
+	head      string
+	sentences []string
+}
+
+// emit renders the record into w per the profile's layout knobs.
+func (rec record) emit(w *strings.Builder, r *rand.Rand, p *Profile) {
+	if p.LineStructured {
+		rec.emitLines(w, r, p)
+		return
+	}
+	rec.emitProse(w, r, p)
+}
+
+// emitProse writes head + sentences + filler to the profile's target size,
+// scattering <br> tags and an optional trailing <br>.
+func (rec record) emitProse(w *strings.Builder, r *rand.Rand, p *Profile) {
+	target := p.BaseSize
+	if target == 0 {
+		target = 300
+	}
+	if p.SizeJitter > 0 {
+		target = int(float64(target) * (1 + p.SizeJitter*(2*r.Float64()-1)))
+	}
+
+	sentences := append([]string(nil), rec.sentences...)
+	textLen := func() int {
+		n := approxTextLen(rec.head)
+		for _, s := range sentences {
+			n += approxTextLen(s) + 1
+		}
+		return n
+	}
+	for textLen() < target {
+		sentences = append(sentences, fillerSentence(r, min(80, target-textLen()+10)))
+	}
+
+	// Sentence order within a record is shuffled: field statistics are
+	// order-independent (keyword and value share a sentence), and random
+	// positions keep inline tags' SD intervals honestly irregular.
+	r.Shuffle(len(sentences), func(i, j int) {
+		sentences[i], sentences[j] = sentences[j], sentences[i]
+	})
+
+	breakAfter := map[int]bool{}
+	if p.BreakEvery > 0 {
+		for i := p.BreakEvery; i <= len(sentences); i += p.BreakEvery {
+			breakAfter[i] = true
+		}
+	} else {
+		breaks := between(r, p.Breaks[0], p.Breaks[1])
+		for i := 0; i < breaks; i++ {
+			breakAfter[r.Intn(len(sentences)+1)] = true
+		}
+	}
+
+	w.WriteString(rec.head)
+	if breakAfter[0] {
+		w.WriteString("<br>")
+	}
+	w.WriteByte(' ')
+	for i, s := range sentences {
+		w.WriteString(s)
+		if breakAfter[i+1] {
+			w.WriteString("<br>")
+		}
+		w.WriteByte(' ')
+	}
+	if p.TrailBreak {
+		w.WriteString("<br>")
+	}
+}
+
+// emitLines writes the head on its own line and packs plain-text sentences
+// into fixed-width lines, each terminated by <br>; the line count is drawn
+// from the profile. Sentences in line mode must be markup-free.
+func (rec record) emitLines(w *strings.Builder, r *rand.Rand, p *Profile) {
+	lineLen := p.LineLen
+	if lineLen == 0 {
+		lineLen = 60
+	}
+	lines := between(r, p.Lines[0], p.Lines[1])
+	target := lines * lineLen
+
+	var text strings.Builder
+	for _, s := range rec.sentences {
+		// Line mode is plain-text only: inline markup would inflate tag
+		// counts and break line-width uniformity.
+		text.WriteString(stripTags(s))
+		text.WriteByte(' ')
+	}
+	for text.Len() < target {
+		text.WriteString(fillerSentence(r, min(80, target-text.Len()+10)))
+		text.WriteByte(' ')
+	}
+
+	w.WriteString(rec.head)
+	w.WriteString("<br>\n")
+	words := strings.Fields(text.String())
+	var line strings.Builder
+	emitted := 0
+	for _, word := range words {
+		if line.Len() > 0 && line.Len()+1+len(word) > lineLen {
+			w.WriteString(line.String())
+			w.WriteString("<br>\n")
+			line.Reset()
+			emitted++
+			if emitted >= lines {
+				return
+			}
+		}
+		if line.Len() > 0 {
+			line.WriteByte(' ')
+		}
+		line.WriteString(word)
+	}
+	if line.Len() > 0 {
+		w.WriteString(line.String())
+		w.WriteString("<br>\n")
+	}
+}
+
+// stripTags removes markup from an HTML fragment, keeping its text.
+func stripTags(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	inTag := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '<':
+			inTag = true
+		case s[i] == '>':
+			inTag = false
+		case !inTag:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// approxTextLen estimates the plain-text length of an HTML fragment.
+func approxTextLen(s string) int {
+	n, inTag := 0, false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '<':
+			inTag = true
+		case s[i] == '>':
+			inTag = false
+		case !inTag:
+			n++
+		}
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// abbreviateMonth rewrites "September 30, 1998" as "Sept. 30, 1998" — a
+// common hand-authored form the ontology's month lexicon does not cover.
+func abbreviateMonth(date string) string {
+	i := strings.IndexByte(date, ' ')
+	if i < 4 {
+		return date
+	}
+	return date[:4] + ". " + date[i+1:]
+}
+
+// freeProse reports layouts where extra optional sentences are harmless:
+// prose without per-sentence breaks or fixed-width lines. On BreakEvery and
+// LineStructured sites every added sentence adds a <br>, eroding the
+// separator's share of the 10%% candidate threshold.
+func freeProse(p *Profile) bool {
+	return p.BreakEvery == 0 && !p.LineStructured
+}
+
+// lead prefixes the head with plain text for a LeadTextRate fraction of
+// records, defeating separator→tag adjacency for RP.
+func lead(r *rand.Rand, p *Profile, phrase string) string {
+	if chance(r, p.LeadTextRate) {
+		return phrase
+	}
+	return ""
+}
+
+// boldBudget draws the record's total <b>-run budget from the profile.
+func boldBudget(r *rand.Rand, p *Profile) int {
+	return between(r, p.BoldRuns[0], p.BoldRuns[1])
+}
+
+// maybeBold wraps s in <b> when the budget allows, decrementing it.
+func maybeBold(budget *int, s string) string {
+	if *budget <= 0 {
+		return s
+	}
+	*budget--
+	return "<b>" + s + "</b>"
+}
+
+// boldExtras renders the remaining budget as standalone bold runs.
+func boldExtras(r *rand.Rand, budget int, pool []string) []string {
+	var out []string
+	for i := 0; i < budget; i++ {
+		out = append(out, "<b>"+pick(r, pool)+"</b>"+pickPunct(r))
+	}
+	return out
+}
+
+func pickPunct(r *rand.Rand) string {
+	if chance(r, 0.5) {
+		return ","
+	}
+	return "."
+}
+
+// anchors renders the profile's optional link segments: exactly two
+// <a href> sentences per record. Two, not one-or-two: a tag whose count
+// can land on the record count would tie the separator under OM (the
+// exactly-once trap), and this knob's purpose is only IT's list order.
+func anchors(r *rand.Rand, p *Profile, href, label string) []string {
+	if !p.Anchors {
+		return nil
+	}
+	_ = r
+	return []string{
+		`See <a href="` + href + `">` + label + `</a>.`,
+		`Or visit the <a href="index.html">front page</a>.`,
+	}
+}
+
+// italics renders the profile's optional italic segments: exactly one plain
+// <i> for ItalicNote (the OM-failure knob), one-to-two <i><b>…</b></i>
+// pairs for ItalicBoldPair (the RP-failure knob), or exactly one such pair
+// when both are set (tripping OM and RP together).
+func italics(r *rand.Rand, p *Profile, note string) []string {
+	switch {
+	case p.ItalicNote && p.ItalicBoldPair:
+		return []string{"<i><b>" + note + "</b></i>."}
+	case p.ItalicBoldPair:
+		n := between(r, 1, 2)
+		out := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, "<i><b>"+note+"</b></i>.")
+		}
+		return out
+	case p.ItalicNote:
+		return []string{"<i>" + note + "</i>."}
+	default:
+		return nil
+	}
+}
+
+// obituaryRecord emits one obituary in the Figure 2 style.
+func obituaryRecord(w *strings.Builder, r *rand.Rand, p *Profile, om omPlan) Fact {
+	name := personName(r)
+	deathYear := 1998
+	budget := boldBudget(r, p)
+	head := lead(r, p, "Our beloved ") + maybeBold(&budget, name)
+	fact := Fact{"DeceasedName": name}
+
+	var sents []string
+	if om.dropField != 0 {
+		verb := "died on"
+		if chance(r, 0.5) {
+			verb = "passed away on"
+		}
+		deathDate := dateIn(r, deathYear)
+		fact["DeathDate"] = deathDate
+		written := deathDate
+		if om.noisy {
+			// Hand-abbreviated month: the ontology's date pattern misses it,
+			// but the planted fact still names the full form.
+			written = abbreviateMonth(deathDate)
+		}
+		sents = append(sents, fmt.Sprintf("%s %s.", verb, written))
+	} else {
+		sents = append(sents, fmt.Sprintf("left us %s.", dateIn(r, deathYear)))
+	}
+	birthDate := dateIn(r, between(r, 1905, 1960))
+	fact["BirthDate"] = birthDate
+	sents = append(sents, fmt.Sprintf("%s was born on %s in %s.",
+		strings.Split(name, " ")[0], birthDate, pick(r, cities)))
+	if freeProse(p) && chance(r, 0.6) {
+		sents = append(sents, fmt.Sprintf("He reached age %d surrounded by family.", between(r, 38, 96)))
+	}
+	if freeProse(p) && chance(r, 0.5) {
+		spouse := personName(r)
+		sents = append(sents, fmt.Sprintf("He married %s and they made their home in %s.",
+			spouse, pick(r, cities)))
+	}
+
+	if om.dropField != 1 {
+		sents = append(sents, fmt.Sprintf("Funeral services will be held %s at 11:00 a.m. at %s.",
+			pick(r, weekdays), maybeBold(&budget, pick(r, mortuaries))))
+	}
+	if om.extraField == 1 {
+		sents = append(sents, "A memorial service for the family will follow.")
+	}
+	if om.dropField != 2 {
+		sents = append(sents, fmt.Sprintf("Interment will follow in %s.", pick(r, cemeteries)))
+	}
+	if om.extraField == 0 {
+		sents = append(sents, fmt.Sprintf("His wife passed away in %d.", between(r, 1980, 1995)))
+	}
+	if om.extraField == 2 {
+		sents = append(sents, "Burial will be private.")
+	}
+	sents = append(sents, italics(r, p, "The family suggests donations to the "+pick(r, churches))...)
+	sents = append(sents, anchors(r, p, "guestbook.html", "guest book")...)
+	sents = append(sents, boldExtras(r, budget, churches)...)
+
+	record{head: head, sentences: sents}.emit(w, r, p)
+	return fact
+}
+
+// carAdRecord emits one classified car advertisement.
+func carAdRecord(w *strings.Builder, r *rand.Rand, p *Profile, om omPlan) Fact {
+	fact := Fact{}
+	make_ := pick(r, carMakes)
+	models := carModels[make_]
+	model := ""
+	if len(models) > 0 {
+		model = " " + pick(r, models)
+	}
+	year := between(r, 1987, 1998)
+	yearStr := fmt.Sprintf("%d", year)
+	if om.dropField == 1 {
+		yearStr = "Late model"
+	} else {
+		fact["Year"] = yearStr
+	}
+	fact["Make"] = make_
+	budget := boldBudget(r, p)
+	head := lead(r, p, "For sale: ") + maybeBold(&budget, fmt.Sprintf("%s %s%s", yearStr, make_, model))
+
+	var sents []string
+	color := pick(r, carColors)
+	fact["Color"] = color
+	desc := fmt.Sprintf("%s, %s.", color, pick(r, carConditions))
+	sents = append(sents, desc)
+	if freeProse(p) && chance(r, 0.6) {
+		sents = append(sents, pick(r, []string{"Automatic.", "5-speed manual.", "4-speed auto trans."}))
+	}
+	nf := between(r, 1, 3)
+	feats := make([]string, 0, nf)
+	for i := 0; i < nf; i++ {
+		feats = append(feats, pick(r, carFeatures))
+	}
+	sents = append(sents, strings.Join(feats, ", ")+".")
+	sents = append(sents, fmt.Sprintf("%s miles.", fmt.Sprintf("%d,%03d", between(r, 20, 120), r.Intn(1000))))
+
+	if om.dropField != 0 {
+		ask := price(r, 1200, 14000)
+		fact["Price"] = ask
+		sents = append(sents, fmt.Sprintf("Asking %s obo.", ask))
+	} else {
+		sents = append(sents, "Best offer takes it.")
+	}
+	if om.extraField == 0 {
+		sents = append(sents, fmt.Sprintf("Priced at %s when new.", price(r, 14000, 18000)))
+	}
+	if om.extraField == 1 {
+		sents = append(sents, fmt.Sprintf("New engine in %d.", between(r, 1995, 1997)))
+	}
+	if om.dropField != 2 {
+		tel := phone(r)
+		fact["Phone"] = tel
+		written := tel
+		if om.noisy {
+			// Slash-separated phone: the recognizer's pattern misses it.
+			written = strings.NewReplacer("(", "", ") ", "/").Replace(tel)
+		}
+		sents = append(sents, fmt.Sprintf("Call %s %s.", pick(r, firstNames), written))
+	} else {
+		sents = append(sents, "See dealer for details.")
+	}
+	if om.extraField == 2 {
+		sents = append(sents, fmt.Sprintf("Evenings %s.", phone(r)))
+	}
+	sents = append(sents, italics(r, p, "dealer inquiries welcome")...)
+	sents = append(sents, anchors(r, p, "photos.html", "photos")...)
+	sents = append(sents, boldExtras(r, budget, []string{"MUST SELL", "REDUCED", "ONE OWNER", "NEW TIRES"})...)
+
+	record{head: head, sentences: sents}.emit(w, r, p)
+	return fact
+}
+
+// jobAdRecord emits one computer-job advertisement.
+func jobAdRecord(w *strings.Builder, r *rand.Rand, p *Profile, om omPlan) Fact {
+	fact := Fact{}
+	title := pick(r, jobTitles)
+	budget := boldBudget(r, p)
+	head := lead(r, p, "Immediate opening: ") + maybeBold(&budget, strings.ToUpper(title))
+	company := pick(r, companies) + " Inc."
+
+	var sents []string
+	sents = append(sents, fmt.Sprintf("%s seeks a %s for its %s office.",
+		company, title, pick(r, cities)))
+	ns := between(r, 2, 4)
+	skills := make([]string, 0, ns)
+	for i := 0; i < ns; i++ {
+		skills = append(skills, pick(r, jobSkills))
+	}
+	sents = append(sents, fmt.Sprintf("%d+ years experience in %s required.",
+		between(r, 2, 7), strings.Join(skills, ", ")))
+
+	if freeProse(p) && chance(r, 0.5) {
+		sents = append(sents, fmt.Sprintf("Salary $%d%sK, DOE.", between(r, 4, 9), "0"))
+	}
+	if freeProse(p) && chance(r, 0.4) {
+		sents = append(sents, "BS degree required.")
+	}
+	if om.dropField != 0 {
+		sents = append(sents, fmt.Sprintf("Send resume to %s.", company))
+	}
+	if om.extraField == 0 {
+		sents = append(sents, "Apply online today.")
+	}
+	if om.dropField != 1 {
+		user := strings.ToLower(strings.Fields(company)[0])
+		email := fmt.Sprintf("%s@%s.com", pick(r, []string{"jobs", "hr", "careers", "resumes"}), user)
+		fact["ContactEmail"] = email
+		written := email
+		if om.noisy {
+			// Anti-harvest spelling: the recognizer's pattern misses it.
+			written = strings.ReplaceAll(email, "@", " at ")
+		}
+		sents = append(sents, fmt.Sprintf("Email %s for details.", written))
+	}
+	if om.extraField == 1 {
+		sents = append(sents, fmt.Sprintf("Questions: info@%s.org.", strings.ToLower(pick(r, cities))))
+	}
+	if om.dropField != 2 {
+		code := fmt.Sprintf("Job #%d", between(r, 10000, 99999))
+		fact["JobCode"] = code
+		sents = append(sents, code+".")
+	}
+	if om.extraField == 2 {
+		sents = append(sents, fmt.Sprintf("Ref #%d.", between(r, 1000, 9999)))
+	}
+	sents = append(sents, italics(r, p, "competitive salary, DOE")...)
+	sents = append(sents, anchors(r, p, "apply.html", "application form")...)
+	sents = append(sents, boldExtras(r, budget, []string{"FULL TIME", "CONTRACT", "BENEFITS", "401K PLAN"})...)
+
+	record{head: head, sentences: sents}.emit(w, r, p)
+	return fact
+}
+
+// courseRecord emits one university course description.
+func courseRecord(w *strings.Builder, r *rand.Rand, p *Profile, om omPlan) Fact {
+	fact := Fact{}
+	dept := pick(r, courseDepts)
+	num := between(r, 100, 599)
+	code := fmt.Sprintf("%s %d", dept, num)
+	title := pick(r, courseLeads) + " " + pick(r, courseTopics)
+	budget := boldBudget(r, p)
+	var head string
+	if om.dropField == 2 {
+		head = lead(r, p, "New this term: ") + maybeBold(&budget, title)
+	} else {
+		fact["CourseCode"] = code
+		written := code
+		if om.noisy {
+			// Dash-joined code: the recognizer's pattern misses it.
+			written = strings.ReplaceAll(code, " ", "-")
+		}
+		head = lead(r, p, "New this term: ") + maybeBold(&budget, written) + " " + title + "."
+	}
+
+	var sents []string
+	if om.dropField != 0 {
+		sents = append(sents, fmt.Sprintf("%d credit hours.", between(r, 1, 5)))
+	}
+	if om.extraField == 0 {
+		sents = append(sents, "Lab counts for 1 credit hours.")
+	}
+	if om.dropField != 1 {
+		instructor := "Instructor: " + pick(r, lastNames) + "."
+		if chance(r, 0.2) {
+			instructor = "Taught by " + pick(r, lastNames) + "."
+		}
+		sents = append(sents, instructor)
+	}
+	if om.extraField == 1 {
+		sents = append(sents, "Instructor: Staff.")
+	}
+	if om.extraField == 2 {
+		sents = append(sents, fmt.Sprintf("Same as %s %d.", pick(r, courseDepts), between(r, 100, 599)))
+	}
+	sents = append(sents, fmt.Sprintf("%s %d:00, Room %d.",
+		pick(r, []string{"MWF", "TTh", "Daily at"}), between(r, 8, 15), between(r, 100, 400)))
+	sents = append(sents, fmt.Sprintf("Covers %s and %s.",
+		strings.ToLower(pick(r, courseTopics)), strings.ToLower(pick(r, courseTopics))))
+	if freeProse(p) && chance(r, 0.4) {
+		sents = append(sents, "Prerequisites: consent of instructor.")
+	}
+	if freeProse(p) && chance(r, 0.3) {
+		sents = append(sents, fmt.Sprintf("Enrollment limited to %d students.", between(r, 15, 120)))
+	}
+	sents = append(sents, italics(r, p, "satisfies the general education requirement")...)
+	sents = append(sents, anchors(r, p, "syllabus.html", "syllabus")...)
+	sents = append(sents, boldExtras(r, budget, []string{"HONORS SECTION", "FALL TERM", "LIMITED ENROLLMENT"})...)
+
+	record{head: head, sentences: sents}.emit(w, r, p)
+	return fact
+}

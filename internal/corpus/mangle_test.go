@@ -1,0 +1,46 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tagtree"
+)
+
+func TestMangleChangesSurface(t *testing.T) {
+	doc := TestSites(Obituaries)[0].Generate(0)
+	mangled := Mangle(doc.HTML, 1)
+	if mangled == doc.HTML {
+		t.Fatal("mangling left the document unchanged")
+	}
+	// It must actually exercise the normalization paths.
+	if !strings.Contains(mangled, "<!--") {
+		t.Error("no comments injected")
+	}
+}
+
+func TestMangleDeterministic(t *testing.T) {
+	doc := TestSites(CarAds)[0].Generate(0)
+	if Mangle(doc.HTML, 7) != Mangle(doc.HTML, 7) {
+		t.Error("mangle not deterministic for equal seeds")
+	}
+	if Mangle(doc.HTML, 7) == Mangle(doc.HTML, 8) {
+		t.Error("mangle identical across different seeds")
+	}
+}
+
+// TestManglePreservesTreeStructure: dropped omissible end-tags, case
+// changes, comments, and whitespace must all normalize away — the tag tree
+// of the mangled document equals the original's.
+func TestManglePreservesTreeStructure(t *testing.T) {
+	for _, d := range TestDocuments() {
+		for seed := int64(0); seed < 3; seed++ {
+			orig := tagtree.Parse(d.HTML)
+			mang := tagtree.Parse(Mangle(d.HTML, seed))
+			if !tagtree.Equal(orig, mang) {
+				t.Errorf("%s %s seed %d: tree changed under mangling",
+					d.Site.Name, d.Site.Domain, seed)
+			}
+		}
+	}
+}

@@ -1,0 +1,393 @@
+package corpus
+
+// This file defines the synthetic analogues of the paper's experimental
+// sites: the ten training newspapers of Table 1 (each contributing five
+// obituary documents for Table 2 and five car-ad documents for Table 3) and
+// the twenty test sites of Tables 6–9 (one document each).
+//
+// Each site's Profile is engineered around one observation about the
+// heuristics: a tag that appears exactly once per record is statistically
+// indistinguishable from the separator (its count matches the record
+// estimate for OM, and a boundary-adjacent pair count matches its own count
+// for RP), while bold-rich Figure-2-style prose defeats HT, line-structured
+// or sentence-broken text defeats SD, and <a>-bearing <p> layouts defeat
+// IT. The per-site mixes below distribute those failure modes so the
+// aggregate distributions track Tables 2, 3, 6–10; EXPERIMENTS.md records
+// measured-vs-paper numbers.
+
+// Archetypes. Each profileFn returns a fresh Profile; .with tweaks knobs.
+
+// figure2Prose is the paper's Figure 2 house style: bold-rich obituary
+// prose delimited by <hr>. The bold count (~2.5 per record) sinks HT —
+// exactly as the paper's own worked example shows — while every other
+// heuristic succeeds.
+var figure2Prose profileFn = func() Profile {
+	return Profile{
+		Container:  []string{"table", "tr", "td"},
+		Layout:     Delimited,
+		Separator:  "hr",
+		Records:    [2]int{10, 22},
+		BoldRuns:   [2]int{2, 3},
+		Breaks:     [2]int{1, 2},
+		BaseSize:   320,
+		SizeJitter: 0.12,
+		TrailBreak: true,
+	}
+}
+
+// plainProse is sparse hr-delimited prose: roughly half the records bold
+// their head and little else is marked up, so the separator holds the top
+// count (HT succeeds). The occasional head bold still forms an
+// <hr><b> pair whose count equals the bold count, so RP ranks <b> first —
+// the one heuristic this style defeats.
+var plainProse profileFn = func() Profile {
+	return Profile{
+		Container:  []string{"table", "tr", "td"},
+		Layout:     Delimited,
+		Separator:  "hr",
+		Records:    [2]int{10, 22},
+		BoldRuns:   [2]int{0, 1},
+		Breaks:     [2]int{0, 1},
+		BaseSize:   300,
+		SizeJitter: 0.12,
+	}
+}
+
+// tableRows wraps each record in a <tr><td> cell — the tool-generated
+// layout. Both tr and td correctly separate the records, and every
+// heuristic succeeds (the (tr, td) adjacency is perfect for RP, the counts
+// are exact for OM and HT, and row sizes are uniform for SD).
+var tableRows profileFn = func() Profile {
+	return Profile{
+		Container:  []string{"table"},
+		Layout:     Wrapped,
+		Separator:  "tr",
+		TruthExtra: []string{"td"},
+		Records:    [2]int{12, 25},
+		BoldRuns:   [2]int{0, 1},
+		Breaks:     [2]int{0, 1},
+		BaseSize:   240,
+		SizeJitter: 0.15,
+	}
+}
+
+// pDelimited separates records with <p>.
+var pDelimited profileFn = func() Profile {
+	return Profile{
+		Container:  []string{"div"},
+		Layout:     Delimited,
+		Separator:  "p",
+		Records:    [2]int{10, 20},
+		BoldRuns:   [2]int{2, 3},
+		Breaks:     [2]int{1, 2},
+		BaseSize:   280,
+		SizeJitter: 0.12,
+	}
+}
+
+// lineWrapped renders records as fixed-width <br>-terminated lines between
+// <hr> rules: the <br> intervals are nearly constant while record sizes
+// vary, so SD and HT prefer <br>.
+var lineWrapped profileFn = func() Profile {
+	return Profile{
+		Container:      []string{"table", "tr", "td"},
+		Layout:         Delimited,
+		Separator:      "hr",
+		Records:        [2]int{10, 20},
+		BoldRuns:       [2]int{0, 1},
+		LineStructured: true,
+		LineLen:        58,
+		Lines:          [2]int{2, 6},
+	}
+}
+
+// sentenceBroken is jittered prose with a <br> after every sentence:
+// sentence lengths are far more uniform than record sizes, so SD prefers
+// <br> (and HT does too, by count); the trailing sentence break keeps the
+// <br><hr> boundary pair intact, so RP still succeeds.
+var sentenceBroken profileFn = func() Profile {
+	p := figure2Prose()
+	p.SizeJitter = 0.6
+	p.BreakEvery = 2
+	p.TrailBreak = false
+	return p
+}
+
+// omOvercount is bold-rich prose where every record mentions one extra
+// record-identifying phrase ("His wife passed away in 1987"), pushing the
+// OM estimate toward the <br> count.
+var omOvercount profileFn = func() Profile {
+	p := figure2Prose()
+	p.KeywordExtraRate = 1.0
+	p.TrailBreak = false
+	return p
+}
+
+// italicTrap is prose with exactly one <i> note per record: the italic
+// count equals the record count, so OM ranks <i> first.
+var italicTrap profileFn = func() Profile {
+	p := figure2Prose()
+	p.ItalicNote = true
+	p.TrailBreak = false
+	return p
+}
+
+// rpTrap is prose whose records carry <i><b>…</b></i> segments (a perfect
+// repeating pair, so RP ranks <i> first) and often open with plain text
+// (weakening the separator's own pairs).
+var rpTrap profileFn = func() Profile {
+	p := figure2Prose()
+	p.ItalicBoldPair = true
+	p.LeadTextRate = 0.5
+	p.TrailBreak = false
+	p.Breaks = [2]int{0, 1}
+	return p
+}
+
+// profileFn helpers let archetypes be tweaked inline.
+type profileFn func() Profile
+
+func (f profileFn) with(mutate func(*Profile)) Profile {
+	p := f()
+	mutate(&p)
+	return p
+}
+
+func (f profileFn) sized(base int) Profile {
+	p := f()
+	p.BaseSize = base
+	return p
+}
+
+// Training sites: the paper's Table 1.
+
+// TrainingDocsPerSite is the paper's five documents per site per domain.
+const TrainingDocsPerSite = 5
+
+// trainingSpec couples a site identity with its per-domain profiles.
+type trainingSpec struct {
+	name, url string
+	obit      Profile
+	carad     Profile
+}
+
+func trainingSpecs() []trainingSpec {
+	return []trainingSpec{
+		{
+			name: "Salt Lake Tribune", url: "www.sltrib.com",
+			obit:  plainProse(),
+			carad: plainProse.sized(170),
+		},
+		{
+			name: "Arizona Daily Star", url: "www.azstarnet.com",
+			obit:  figure2Prose(),
+			carad: figure2Prose.sized(180),
+		},
+		{
+			name: "Houston Chronicle", url: "www.chron.com",
+			obit:  italicTrap(),
+			carad: italicTrap.sized(180),
+		},
+		{
+			name: "San Francisco Chronicle", url: "www.sfgate.com",
+			obit:  lineWrapped(),
+			carad: lineWrapped.with(func(p *Profile) { p.Lines = [2]int{2, 5} }),
+		},
+		{
+			name: "Seattle Times", url: "www.seatimes.com",
+			obit:  tableRows(),
+			carad: tableRows.sized(160),
+		},
+		{
+			name: "GoCincinnati.com", url: "classifinder.gocinci.net",
+			// Anchor-per-record (guest-book links) for obituaries: IT ranks
+			// <a> above <p>. The car-ad side drops the anchors, keeping
+			// Table 3's IT row at 100%.
+			obit:  pDelimited.with(func(p *Profile) { p.Anchors = true }),
+			carad: pDelimited.with(func(p *Profile) { p.BaseSize = 170; p.LeadTextRate = 0.5 }),
+		},
+		{
+			name: "Standard Times", url: "www.s-t.com",
+			obit:  rpTrap(),
+			carad: rpTrap.sized(180),
+		},
+		{
+			name: "Detroit Newspapers", url: "www.dnps.com",
+			obit:  tableRows.sized(260),
+			carad: tableRows.sized(150),
+		},
+		{
+			name: "Connecticut Post", url: "www.connpost.com",
+			obit:  sentenceBroken(),
+			carad: sentenceBroken.sized(190),
+		},
+		{
+			name: "Access Atlanta", url: "www.accessatlanta.com",
+			obit:  omOvercount(),
+			carad: omOvercount.sized(190),
+		},
+	}
+}
+
+// TrainingSites returns the Table 1 sites for the given training domain
+// (Obituaries or CarAds).
+func TrainingSites(d Domain) []*Site {
+	var out []*Site
+	for _, spec := range trainingSpecs() {
+		p := spec.obit
+		if d == CarAds {
+			p = spec.carad
+		}
+		out = append(out, &Site{Name: spec.name, URL: spec.url, Domain: d, Profile: p})
+	}
+	return out
+}
+
+// TrainingDocuments generates the full training corpus for one domain:
+// TrainingDocsPerSite documents per Table 1 site (50 documents), the corpus
+// behind Table 2 (obituaries) and Table 3 (car ads).
+func TrainingDocuments(d Domain) []*Document {
+	var out []*Document
+	for _, s := range TrainingSites(d) {
+		for i := 0; i < TrainingDocsPerSite; i++ {
+			out = append(out, s.Generate(i))
+		}
+	}
+	return out
+}
+
+// Test sites: the paper's Tables 6–9, one document per site.
+
+// TestSites returns the five test sites for the given domain, engineered to
+// echo the failure patterns of the paper's corresponding table.
+func TestSites(d Domain) []*Site {
+	mk := func(name, url string, p Profile) *Site {
+		return &Site{Name: name, URL: url, Domain: d, Profile: p}
+	}
+	switch d {
+	case Obituaries: // Table 6
+		return []*Site{
+			mk("Alameda Newspaper", "www.adone.com/alameda", tableRows()),
+			// Idaho State Journal: paper shows SD 2, HT 2.
+			mk("Idaho State Journal", "www.journalnet.com", sentenceBroken()),
+			mk("Sacramento Bee", "www.sacbee.com", tableRows.sized(280)),
+			mk("Tampa Tribune", "www.tampatrib.com", plainProse()),
+			// Shoals Timesdaily: paper shows HT 2 — bold-rich prose.
+			mk("Shoals Timesdaily", "www.timesdaily.com", figure2Prose()),
+		}
+	case CarAds: // Table 7
+		return []*Site{
+			// Arkansas Democrat-Gazette: HT 2.
+			mk("Arkansas Democrat-Gazette", "www.ardemgaz.com", figure2Prose.sized(170)),
+			// Sioux City Journal: RP 2, SD 2, HT 4 — jittered sentence-broken
+			// ads with italic-bold pairs and plenty of bold.
+			mk("Sioux City Journal", "www.siouxcityjournal.com", sentenceBroken.with(func(p *Profile) {
+				p.BaseSize = 200
+				p.BoldRuns = [2]int{1, 2}
+				p.ItalicBoldPair = true
+				p.LeadTextRate = 0.5
+			})),
+			mk("Knoxville News", "www.knoxnews.com", tableRows.sized(150)),
+			mk("Lincoln Journal Star", "www.nebweb.com", tableRows.sized(170)),
+			// Reno Gazette-Journal: the paper's hardest row (OM 3, RP 3,
+			// HT 3): an exactly-once italic-bold pair per record plus heavy
+			// lead text.
+			mk("Reno Gazette-Journal", "www.nevadanet.com/renogazette", figure2Prose.with(func(p *Profile) {
+				p.BaseSize = 190
+				p.ItalicBoldPair = true
+				p.LeadTextRate = 0.7
+				p.TrailBreak = false
+				p.Breaks = [2]int{0, 1}
+			})),
+		}
+	case JobAds: // Table 8
+		return []*Site{
+			// Baltimore Sun: HT 2.
+			mk("Baltimore Sun", "www.sunspot.net", figure2Prose.sized(260)),
+			// Dallas Morning News: SD 2, HT 2.
+			mk("Dallas Morning News", "dallasnews.com", sentenceBroken.sized(260)),
+			// Denver Post: OM 4, HT 4 — overcounted keywords plus an
+			// exact-count italic.
+			mk("Denver Post", "www.denverpost.com", italicTrap.with(func(p *Profile) {
+				p.BaseSize = 300
+				p.KeywordDropRate = 0.5
+				p.Breaks = [2]int{2, 3}
+			})),
+			mk("Indianapolis Star/News", "www.starnews.com", tableRows.sized(220)),
+			// Los Angeles Times: OM 2, RP 3, SD 2, HT 2.
+			mk("Los Angeles Times", "www.latimes.com", sentenceBroken.with(func(p *Profile) {
+				p.BaseSize = 260
+				p.ItalicNote = true
+				p.LeadTextRate = 0.6
+			})),
+		}
+	case Courses: // Table 9
+		return []*Site{
+			// BYU: OM 2, RP 2 — exact-count italic plus italic-bold pairs.
+			mk("BYU", "www.byu.edu", figure2Prose.with(func(p *Profile) {
+				p.BaseSize = 210
+				p.ItalicNote = true
+				p.ItalicBoldPair = true
+				p.LeadTextRate = 0.5
+				p.TrailBreak = false
+			})),
+			mk("MIT", "registrar.mit.edu", tableRows.sized(180)),
+			// KSU: SD 2, IT 2, HT 2 — <p>-separated listings with syllabus
+			// links and sentence breaks.
+			mk("KSU", "www.ksu.edu", pDelimited.with(func(p *Profile) {
+				p.BaseSize = 220
+				p.SizeJitter = 0.6
+				p.BreakEvery = 2
+				// Bold-rich so <b> outcounts the anchors: <a> must fail via
+				// IT's list order, not also climb HT past the separator.
+				p.BoldRuns = [2]int{2, 3}
+				p.Anchors = true
+			})),
+			// USC: SD 2 — line-structured listings.
+			mk("USC", "www.usc.edu", lineWrapped.with(func(p *Profile) {
+				p.Container = []string{"div"}
+				p.LineLen = 56
+			})),
+			// UT Austin: RP 2, SD 2.
+			mk("UT - Austin", "www.utexas.edu", sentenceBroken.with(func(p *Profile) {
+				p.BaseSize = 210
+				p.ItalicBoldPair = true
+				p.LeadTextRate = 0.5
+			})),
+		}
+	default:
+		return nil
+	}
+}
+
+// TestDocuments generates the 20-document test corpus of Tables 6–9: one
+// document per test site across all four domains.
+func TestDocuments() []*Document {
+	var out []*Document
+	for _, d := range AllDomains {
+		for _, s := range TestSites(d) {
+			out = append(out, s.Generate(0))
+		}
+	}
+	return out
+}
+
+// AllDomains lists the four application areas in the paper's order.
+var AllDomains = []Domain{Obituaries, CarAds, JobAds, Courses}
+
+// NoisyTestDocuments generates the test corpus with hand-authoring noise
+// (Profile.NoiseRate) applied: roughly one record in four writes one field
+// in a degraded form the recognizer misses. This is the corpus for
+// measuring extraction quality in the paper's ~90% recall regime; the clean
+// TestDocuments corpus extracts at essentially 100%.
+func NoisyTestDocuments() []*Document {
+	var out []*Document
+	for _, d := range AllDomains {
+		for _, s := range TestSites(d) {
+			noisy := *s
+			noisy.Profile.NoiseRate = 0.25
+			out = append(out, noisy.Generate(0))
+		}
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Lexicons for synthetic text. The value vocabularies (car makes, models,
+// months, skills, departments) deliberately coincide with the built-in
+// application ontologies' data frames so the recognizer finds what the
+// generator plants.
+
+var firstNames = []string{
+	"Lemar", "Brian", "Leonard", "Phyllis", "Harold", "Margaret", "Walter",
+	"Dorothy", "Eugene", "Mildred", "Ralph", "Bernice", "Chester", "Opal",
+	"Vernon", "Lucille", "Homer", "Gladys", "Floyd", "Edna", "Clifford",
+	"Thelma", "Herman", "Beulah", "Orville", "Hazel", "Emmett", "Vera",
+	"Clarence", "Irene", "Norman", "Ethel", "Willard", "Ruby", "Stanley",
+	"Agnes", "Milton", "Doris", "Russell", "Elsie",
+}
+
+var lastNames = []string{
+	"Adamson", "Frost", "Gunther", "Jensen", "Whitaker", "Caldwell",
+	"Huffman", "Barrett", "Stocks", "Pemberton", "Ashworth", "Lindqvist",
+	"Romero", "Castleton", "Bagley", "Sorensen", "McAllister", "Draper",
+	"Holladay", "Bingham", "Okelberry", "Tanner", "Beesley", "Crandall",
+	"Openshaw", "Despain", "Winward", "Leavitt", "Stratton", "Chappell",
+}
+
+var middleInitials = "ABCDEFGHJKLMNPRSTW"
+
+var months = []string{
+	"January", "February", "March", "April", "May", "June", "July",
+	"August", "September", "October", "November", "December",
+}
+
+var weekdays = []string{
+	"Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday",
+}
+
+var cities = []string{
+	"Provo", "Ogden", "Tucson", "Sandy", "Murray", "Layton", "Orem",
+	"Tooele", "Logan", "Bountiful", "Cheyenne", "Boise", "Spokane",
+	"Fresno", "Amarillo", "Topeka", "Peoria", "Dayton", "Macon", "Erie",
+}
+
+var churches = []string{
+	"First Presbyterian Church", "St. Mark's Parish", "Grace Lutheran Church",
+	"Twelfth Ward", "Holy Trinity Parish", "Calvary Baptist Church",
+}
+
+var mortuaries = []string{
+	"MEMORIAL CHAPEL", "HEATHER MORTUARY", "WASATCH FUNERAL HOME",
+	"LINDQUIST MORTUARY", "SUNSET CHAPEL", "EVERGREEN FUNERAL HOME",
+}
+
+var cemeteries = []string{
+	"Holy Hope Cemetery", "Evergreen Cemetery", "Mountain View Cemetery",
+	"Oak Hill Cemetery", "Pleasant Grove Cemetery",
+}
+
+var carMakes = []string{
+	"Ford", "Chevrolet", "Toyota", "Honda", "Dodge", "Nissan", "Buick",
+	"Pontiac", "Chrysler", "Jeep", "Mercury", "Oldsmobile", "Subaru",
+	"Mazda", "Volkswagen", "Saturn",
+}
+
+// carModels maps a make to plausible models; model names coincide with the
+// CarAd ontology's Model pattern.
+var carModels = map[string][]string{
+	"Ford":       {"Taurus", "Escort", "Mustang"},
+	"Chevrolet":  {"Cavalier", "Corsica", "Lumina"},
+	"Toyota":     {"Corolla", "Camry"},
+	"Honda":      {"Civic", "Accord"},
+	"Dodge":      {"Caravan", "Neon"},
+	"Nissan":     {"Sentra", "Altima"},
+	"Buick":      {"LeSabre", "Regal"},
+	"Volkswagen": {"Jetta", "Passat"},
+	"Subaru":     {"Legacy"},
+	"Mazda":      {"Protege"},
+}
+
+var carColors = []string{
+	"red", "blue", "white", "black", "green", "silver", "gold", "maroon",
+	"teal", "tan", "gray", "burgundy",
+}
+
+var carFeatures = []string{
+	"A/C", "power windows", "power locks", "power steering", "CD",
+	"cassette", "sunroof", "leather", "cruise",
+}
+
+var carConditions = []string{
+	"excellent condition", "good condition", "runs great", "must sell",
+	"like new",
+}
+
+var jobTitles = []string{
+	"Programmer/Analyst", "Software Engineer", "Systems Analyst",
+	"Database Administrator", "Web Developer", "Network Administrator",
+	"Project Manager", "Help Desk Technician",
+}
+
+var jobSkills = []string{
+	"Java", "C", "COBOL", "SQL", "Oracle", "Sybase", "UNIX", "Windows",
+	"HTML", "Perl", "CGI", "PowerBuilder", "Informix", "DB2",
+}
+
+var companies = []string{
+	"Summit Systems", "Deseret Technologies", "Wasatch Consulting",
+	"Pioneer Data Corp", "Intermountain Software Inc", "Canyon Technologies",
+	"Redrock Systems", "Bonneville Consulting",
+}
+
+var courseDepts = []string{
+	"CS", "MATH", "PHYS", "CHEM", "ENGL", "HIST", "BIOL", "ECON",
+	"PSYCH", "PHIL", "STAT", "GEOG",
+}
+
+var courseTopics = []string{
+	"Computer Programming", "Data Structures", "Discrete Mathematics",
+	"Organic Chemistry", "American Literature", "World History",
+	"Microeconomics", "Cognitive Psychology", "Formal Logic",
+	"Statistical Methods", "Physical Geography", "Cell Biology",
+	"Database Systems", "Operating Systems", "Linear Algebra",
+}
+
+var courseLeads = []string{
+	"Introduction to", "Advanced", "Principles of", "Topics in",
+	"Foundations of", "Seminar in",
+}
+
+var fillerWords = []string{
+	"the", "and", "with", "for", "many", "years", "community", "family",
+	"member", "active", "served", "loved", "known", "friends", "where",
+	"after", "before", "during", "later", "also", "devoted", "longtime",
+	"dedicated", "together", "local", "area", "worked", "enjoyed",
+	"gardening", "fishing", "quilting", "reading", "music", "church",
+	"neighbors", "cherished", "remembered", "honor", "generous",
+}
+
+// pick returns a uniformly random element.
+func pick[T any](r *rand.Rand, xs []T) T { return xs[r.Intn(len(xs))] }
+
+// between returns a uniform integer in [lo, hi].
+func between(r *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// chance reports true with probability p.
+func chance(r *rand.Rand, p float64) bool { return r.Float64() < p }
+
+// personName produces "First Last" or "First M. Last".
+func personName(r *rand.Rand) string {
+	first := pick(r, firstNames)
+	last := pick(r, lastNames)
+	if chance(r, 0.4) {
+		mi := middleInitials[r.Intn(len(middleInitials))]
+		return fmt.Sprintf("%s %c. %s", first, mi, last)
+	}
+	return first + " " + last
+}
+
+// dateIn produces "Month D, YYYY" within the given year.
+func dateIn(r *rand.Rand, year int) string {
+	return fmt.Sprintf("%s %d, %d", pick(r, months), between(r, 1, 28), year)
+}
+
+// phone produces "(NNN) NNN-NNNN".
+func phone(r *rand.Rand) string {
+	return fmt.Sprintf("(%d) 555-%04d", between(r, 201, 989), r.Intn(10000))
+}
+
+// price produces "$N,NNN" in [lo, hi].
+func price(r *rand.Rand, lo, hi int) string {
+	p := between(r, lo, hi)
+	if p >= 1000 {
+		return fmt.Sprintf("$%d,%03d", p/1000, p%1000)
+	}
+	return fmt.Sprintf("$%d", p)
+}
+
+// fillerSentence emits a prose sentence of roughly n characters built from
+// the filler vocabulary; it never contains ontology keywords.
+func fillerSentence(r *rand.Rand, n int) string {
+	var b strings.Builder
+	b.WriteString("He was ")
+	for b.Len() < n {
+		b.WriteString(pick(r, fillerWords))
+		b.WriteByte(' ')
+	}
+	s := strings.TrimSpace(b.String())
+	return s + "."
+}
+
+// fillerExact emits filler prose of exactly n characters (padded or
+// truncated), for profiles that need tight control over text lengths.
+func fillerExact(r *rand.Rand, n int) string {
+	if n <= 0 {
+		return ""
+	}
+	s := fillerSentence(r, n+16)
+	if len(s) > n {
+		s = s[:n]
+	}
+	for len(s) < n {
+		s += "."
+	}
+	return s
+}

@@ -1,0 +1,71 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/tagtree"
+)
+
+// Validate checks a Profile for contradictory or degenerate knob settings
+// before any document is generated. The corpus's own sites are validated in
+// tests; callers building custom profiles get the same guardrails.
+func (p *Profile) Validate() error {
+	if len(p.Container) == 0 && p.Layout == Delimited {
+		return fmt.Errorf("corpus: delimited profile needs a container element")
+	}
+	if p.Separator == "" {
+		return fmt.Errorf("corpus: profile has no separator tag")
+	}
+	if p.Records[0] < 2 {
+		return fmt.Errorf("corpus: at least 2 records required (the paper assumes multiple records); got min %d", p.Records[0])
+	}
+	if p.Records[1] < p.Records[0] {
+		return fmt.Errorf("corpus: record bounds inverted: [%d,%d]", p.Records[0], p.Records[1])
+	}
+	if p.Layout == Wrapped && p.Separator == "hr" {
+		return fmt.Errorf("corpus: hr is a void element and cannot wrap records")
+	}
+	if p.LineStructured && p.BreakEvery > 0 {
+		return fmt.Errorf("corpus: LineStructured and BreakEvery are alternative SD knobs; set one")
+	}
+	if p.LineStructured && p.Lines[1] < p.Lines[0] {
+		return fmt.Errorf("corpus: line bounds inverted: [%d,%d]", p.Lines[0], p.Lines[1])
+	}
+	if p.BoldRuns[1] < p.BoldRuns[0] {
+		return fmt.Errorf("corpus: bold bounds inverted: [%d,%d]", p.BoldRuns[0], p.BoldRuns[1])
+	}
+	if p.KeywordDropRate < 0 || p.KeywordDropRate > 1 || p.KeywordExtraRate < 0 || p.KeywordExtraRate > 1 {
+		return fmt.Errorf("corpus: keyword rates must be in [0,1]")
+	}
+	if p.LeadTextRate < 0 || p.LeadTextRate > 1 {
+		return fmt.Errorf("corpus: LeadTextRate must be in [0,1]")
+	}
+	// Budget check: the separator must be able to clear the 10% candidate
+	// rule. Estimate tags per record from the knobs.
+	perRecord := 1.0 // the separator itself
+	perRecord += float64(p.BoldRuns[0]+p.BoldRuns[1]) / 2
+	if p.LineStructured {
+		perRecord += float64(p.Lines[0]+p.Lines[1])/2 + 1
+	} else if p.BreakEvery > 0 {
+		perRecord += float64(p.BaseSize) / 60 / float64(p.BreakEvery)
+	} else {
+		perRecord += float64(p.Breaks[0]+p.Breaks[1]) / 2
+	}
+	if p.ItalicNote || p.ItalicBoldPair {
+		perRecord += 1.5
+		if p.ItalicBoldPair {
+			perRecord += 1.5 // the wrapped bolds
+		}
+	}
+	if p.Anchors {
+		perRecord += 2
+	}
+	if p.Layout == Wrapped {
+		perRecord += 1 // the td cell
+	}
+	if share := 1.0 / perRecord; share < tagtree.DefaultCandidateThreshold*1.1 {
+		return fmt.Errorf("corpus: separator share ≈ %.0f%% of tags per record is too close to the 10%% candidate cutoff (≈%.1f tags/record)",
+			share*100, perRecord)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllShippedProfilesValidate: every training and test site must pass
+// its own guardrails.
+func TestAllShippedProfilesValidate(t *testing.T) {
+	check := func(name string, p Profile) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	for _, d := range []Domain{Obituaries, CarAds} {
+		for _, s := range TrainingSites(d) {
+			check(s.Name+"/"+string(d), s.Profile)
+		}
+	}
+	for _, d := range AllDomains {
+		for _, s := range TestSites(d) {
+			check(s.Name+"/"+string(d), s.Profile)
+		}
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	base := func() Profile {
+		return Profile{
+			Container: []string{"div"}, Layout: Delimited, Separator: "hr",
+			Records: [2]int{10, 20}, BoldRuns: [2]int{0, 1}, BaseSize: 300,
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Profile)
+		want   string
+	}{
+		{"no separator", func(p *Profile) { p.Separator = "" }, "no separator"},
+		{"no container", func(p *Profile) { p.Container = nil }, "container"},
+		{"single record", func(p *Profile) { p.Records = [2]int{1, 1} }, "at least 2"},
+		{"inverted records", func(p *Profile) { p.Records = [2]int{20, 10} }, "inverted"},
+		{"void wrapper", func(p *Profile) { p.Layout = Wrapped; p.Separator = "hr" }, "void"},
+		{"two SD knobs", func(p *Profile) { p.LineStructured = true; p.BreakEvery = 2; p.Lines = [2]int{2, 4} }, "alternative SD knobs"},
+		{"bad rate", func(p *Profile) { p.KeywordDropRate = 1.5 }, "rates"},
+		{"bad lead", func(p *Profile) { p.LeadTextRate = -0.1 }, "LeadTextRate"},
+		{"inverted bolds", func(p *Profile) { p.BoldRuns = [2]int{3, 1} }, "bold bounds"},
+		{"threshold crowd-out", func(p *Profile) {
+			p.LineStructured = true
+			p.Lines = [2]int{8, 14}
+			p.BoldRuns = [2]int{2, 3}
+			p.Anchors = true
+		}, "10% candidate cutoff"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := base()
+			c.mutate(&p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}

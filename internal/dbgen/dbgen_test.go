@@ -1,0 +1,264 @@
+package dbgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ontology"
+	"repro/internal/paperdoc"
+	"repro/internal/reldb"
+)
+
+func populateFigure2(t *testing.T) *reldb.DB {
+	t.Helper()
+	ont := ontology.Builtin("obituary")
+	res, err := core.Discover(paperdoc.Figure2, core.Options{Ontology: ont})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Populate(ont, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPopulateFigure2ThreeObituaries(t *testing.T) {
+	db := populateFigure2(t)
+	tab := db.Table("Obituary")
+	if tab == nil {
+		t.Fatal("no Obituary table")
+	}
+	if tab.Len() != 3 {
+		rows := tab.Select(nil)
+		for _, r := range rows {
+			t.Logf("row: name=%v death=%v", r.Get("DeceasedName"), r.Get("DeathDate"))
+		}
+		t.Fatalf("obituaries = %d, want 3 (header/footer must be rejected)", tab.Len())
+	}
+}
+
+func TestPopulateFigure2Names(t *testing.T) {
+	db := populateFigure2(t)
+	rows := db.Table("Obituary").Select(nil)
+	wantNames := []string{"Lemar K. Adamson", "Brian Fielding Frost", "Leonard Kenneth Gunther"}
+	for i, w := range wantNames {
+		if got := rows[i].Get("DeceasedName").Str; got != w {
+			t.Errorf("record %d name = %q, want %q", i+1, got, w)
+		}
+	}
+}
+
+func TestPopulateFigure2KeywordAnchoredDates(t *testing.T) {
+	db := populateFigure2(t)
+	rows := db.Table("Obituary").Select(nil)
+	// All three died September 30, 1998 — and crucially the keyword
+	// anchoring must NOT pick up the nearby birth dates.
+	for i, r := range rows {
+		if got := r.Get("DeathDate").Str; got != "September 30, 1998" {
+			t.Errorf("record %d DeathDate = %q, want September 30, 1998", i+1, got)
+		}
+	}
+	// Record 1's birth date is distinct and must land in BirthDate.
+	if got := rows[0].Get("BirthDate").Str; got != "September 5, 1913" {
+		t.Errorf("record 1 BirthDate = %q, want September 5, 1913", got)
+	}
+}
+
+func TestPopulateSchemeShape(t *testing.T) {
+	db := populateFigure2(t)
+	names := db.TableNames()
+	if names[0] != "Obituary" {
+		t.Errorf("first table = %s", names[0])
+	}
+	// One many-valued set in the obituary ontology: Relative.
+	found := false
+	for _, n := range names {
+		if n == "Obituary_Relative" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing many-valued table; have %v", names)
+	}
+}
+
+func TestRecordSpansFigure2(t *testing.T) {
+	ont := ontology.Builtin("obituary")
+	res, err := core.Discover(paperdoc.Figure2, core.Options{Ontology: ont})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := RecordSpans(res)
+	// header + 3 records + trailing region inside td.
+	if len(spans) != 5 {
+		t.Fatalf("spans = %d (%v), want 5", len(spans), spans)
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].End {
+			t.Errorf("spans overlap: %v %v", spans[i-1], spans[i])
+		}
+	}
+}
+
+func TestHeaderAndFooterRejected(t *testing.T) {
+	// The "Funeral Notices - October 1, 1998" header chunk matches a name
+	// pattern and a date but has no death/funeral/interment keywords, so it
+	// must not become a record.
+	db := populateFigure2(t)
+	for _, r := range db.Table("Obituary").Select(nil) {
+		if strings.Contains(r.Get("DeceasedName").Str, "Funeral Notices") {
+			t.Error("header chunk became a record")
+		}
+	}
+}
+
+func TestPopulateFromTableSharesRecognition(t *testing.T) {
+	// PopulateFromTable with a precomputed table must agree with Populate.
+	ont := ontology.Builtin("obituary")
+	res, err := core.Discover(paperdoc.Figure2, core.Options{Ontology: ont})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db1, err := Populate(ont, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reuse the table the heuristic context would have built.
+	db2, err := Populate(ont, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db1.Summary() != db2.Summary() {
+		t.Errorf("summaries differ: %s vs %s", db1.Summary(), db2.Summary())
+	}
+}
+
+func TestPopulateCarAds(t *testing.T) {
+	doc := `<html><body><table>
+<tr><td><b>1994 Ford Taurus</b>, red, automatic, 78,000 miles. Excellent condition.
+Asking $4,500 obo. Call Mike (801) 555-1234.</td></tr>
+<tr><td><b>1991 Honda Civic</b>, blue, 5-speed, A/C, CD. Runs great. $2,900.
+Call (801) 555-9876.</td></tr>
+<tr><td><b>1997 Toyota Camry</b>, white, automatic, low miles, power windows.
+$11,200. Call Sue (435) 555-4321.</td></tr>
+</table></body></html>`
+	ont := ontology.Builtin("carad")
+	res, err := core.Discover(doc, core.Options{Ontology: ont})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Separator != "tr" && res.Separator != "td" {
+		t.Fatalf("separator = %s, want tr or td\n%s", res.Separator, core.Explain(res))
+	}
+	db, err := Populate(ont, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := db.Table("CarAd").Select(nil)
+	if len(rows) != 3 {
+		t.Fatalf("car ads = %d, want 3", len(rows))
+	}
+	wantYears := []string{"1994", "1991", "1997"}
+	wantPrices := []string{"$4,500", "$2,900", "$11,200"}
+	for i := range rows {
+		if got := rows[i].Get("Year").Str; got != wantYears[i] {
+			t.Errorf("ad %d year = %q, want %q", i+1, got, wantYears[i])
+		}
+		if got := rows[i].Get("Price").Str; got != wantPrices[i] {
+			t.Errorf("ad %d price = %q, want %q", i+1, got, wantPrices[i])
+		}
+	}
+}
+
+func TestKeywordWindowBoundary(t *testing.T) {
+	// A constant beyond KeywordWindow bytes after its keyword must not be
+	// anchored to it; the keyword-only evidence is used instead.
+	pad := strings.Repeat("x", KeywordWindow+8)
+	doc := `<html><body><div>
+<hr><b>Ann Alpha</b> died on ` + pad + ` March 3, 1998. Funeral services Friday. Interment follows.
+<hr><b>Bob Beta</b> died on March 4, 1998. Funeral services Saturday. Interment follows.
+<hr><b>Cal Gamma</b> died on March 5, 1998. Funeral services Sunday. Interment follows.
+<hr></div></body></html>`
+	ont := ontology.Builtin("obituary")
+	res, err := core.Discover(doc, core.Options{Ontology: ont})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Populate(ont, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := db.Table("Obituary").Select(nil)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Record 1's date is out of window: the DeathDate cell falls back to
+	// the keyword evidence, not the distant date.
+	if got := rows[0].Get("DeathDate").Str; got != "died on" {
+		t.Errorf("record 1 DeathDate = %q, want the keyword-only evidence", got)
+	}
+	// Record 2's date is adjacent: anchored normally.
+	if got := rows[1].Get("DeathDate").Str; got != "March 4, 1998" {
+		t.Errorf("record 2 DeathDate = %q", got)
+	}
+}
+
+func TestClaimedConstantNotReused(t *testing.T) {
+	// Birth and death dates share the "date" type; once the death keyword
+	// anchors a date, the birth keyword must not claim the same constant.
+	doc := `<html><body><div>
+<hr><b>Ann Alpha</b> died on March 3, 1998 and was born on March 3, 1998. Funeral services Friday. Interment follows.
+<hr><b>Bob Beta</b> died on June 9, 1998. He was born on May 1, 1920. Funeral services Saturday. Interment follows.
+<hr><b>Cal Gamma</b> died on July 2, 1998. He was born on April 4, 1931. Funeral services Sunday. Interment follows.
+<hr></div></body></html>`
+	ont := ontology.Builtin("obituary")
+	res, err := core.Discover(doc, core.Options{Ontology: ont})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Populate(ont, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := db.Table("Obituary").Select(nil)
+	// Record 1: both dates are textually "March 3, 1998" but at different
+	// positions — both fields bind, to different occurrences.
+	if d, b := rows[0].Get("DeathDate").Str, rows[0].Get("BirthDate").Str; d != "March 3, 1998" || b != "March 3, 1998" {
+		t.Errorf("record 1 dates = %q / %q", d, b)
+	}
+	// Record 2: distinct dates must land in their own columns.
+	if d, b := rows[1].Get("DeathDate").Str, rows[1].Get("BirthDate").Str; d != "June 9, 1998" || b != "May 1, 1920" {
+		t.Errorf("record 2 dates = %q / %q", d, b)
+	}
+}
+
+func TestManyValuedFeaturesCollected(t *testing.T) {
+	doc := `<html><body><div>
+<p>1994 Ford Taurus, A/C, CD, power windows, cruise. $4,500. (801) 555-1234.</p>
+<p>1991 Honda Civic, sunroof. $2,900. (801) 555-9876.</p>
+<p>1997 Toyota Camry, leather, CD. $11,200. (435) 555-4321.</p>
+</div></body></html>`
+	ont := ontology.Builtin("carad")
+	res, err := core.Discover(doc, core.Options{Ontology: ont})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Populate(ont, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := db.Table("CarAd_Feature")
+	if features == nil {
+		t.Fatal("no feature table")
+	}
+	if features.Len() < 6 {
+		t.Errorf("feature rows = %d, want ≥ 6", features.Len())
+	}
+	// First ad has 4 distinct features.
+	got := features.Select(func(r reldb.Row) bool { return r.Get("carad_id").Str == "1" })
+	if len(got) != 4 {
+		t.Errorf("ad 1 features = %d, want 4", len(got))
+	}
+}

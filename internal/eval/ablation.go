@@ -1,0 +1,65 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// ThresholdAblation measures how the candidate-tag cutoff (the paper's 10%
+// rule, §3) affects the compound heuristic's success rate — the accuracy
+// side of the ablation (BenchmarkAblationCandidateThreshold measures the
+// cost side).
+type ThresholdAblation struct {
+	Threshold float64
+	// SuccessRate is ORSIH's mean sc(D) at this cutoff.
+	SuccessRate float64
+	// MeanCandidates is the average candidate-set size.
+	MeanCandidates float64
+	// SeparatorLost counts documents where no correct separator survived
+	// the cutoff (too aggressive a threshold eliminates the answer).
+	SeparatorLost int
+}
+
+// AblateThreshold sweeps candidate thresholds over a document set.
+func AblateThreshold(docs []*corpus.Document, thresholds []float64) ([]ThresholdAblation, error) {
+	out := make([]ThresholdAblation, 0, len(thresholds))
+	for _, th := range thresholds {
+		row := ThresholdAblation{Threshold: th}
+		totalCands := 0
+		for _, d := range docs {
+			dr, err := Evaluate(d, core.Options{CandidateThreshold: th})
+			if err != nil {
+				return nil, err
+			}
+			row.SuccessRate += dr.Success
+			totalCands += len(dr.Compound.Candidates)
+			found := false
+			for _, c := range dr.Compound.Candidates {
+				if d.IsCorrect(c.Name) {
+					found = true
+				}
+			}
+			if !found {
+				row.SeparatorLost++
+			}
+		}
+		row.SuccessRate /= float64(len(docs))
+		row.MeanCandidates = float64(totalCands) / float64(len(docs))
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatThresholdAblation renders the sweep.
+func FormatThresholdAblation(rows []ThresholdAblation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %13s %16s %15s\n", "threshold", "ORSIH sc", "mean candidates", "separator lost")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%9.0f%% %12.1f%% %16.1f %15d\n",
+			r.Threshold*100, r.SuccessRate*100, r.MeanCandidates, r.SeparatorLost)
+	}
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func TestAblateThreshold(t *testing.T) {
+	docs := corpus.TestDocuments()
+	rows, err := AblateThreshold(docs, []float64{0.02, 0.05, 0.10, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byTh := map[float64]ThresholdAblation{}
+	for _, r := range rows {
+		byTh[r.Threshold] = r
+	}
+
+	// The paper's 10% choice must be perfect on the test corpus.
+	if r := byTh[0.10]; r.SuccessRate != 1.0 || r.SeparatorLost != 0 {
+		t.Errorf("10%% row: %+v, want perfect", r)
+	}
+	// Lower thresholds admit more candidates.
+	if byTh[0.02].MeanCandidates < byTh[0.10].MeanCandidates {
+		t.Errorf("2%% mean candidates %.1f should exceed 10%%'s %.1f",
+			byTh[0.02].MeanCandidates, byTh[0.10].MeanCandidates)
+	}
+	// An aggressive 25% cutoff eliminates correct separators on some
+	// layouts — the reason the paper picked a permissive 10%.
+	if byTh[0.25].SeparatorLost == 0 {
+		t.Log("note: 25% cutoff lost no separators on this corpus")
+	}
+	if byTh[0.25].SuccessRate > byTh[0.10].SuccessRate {
+		t.Errorf("25%% (%.2f) should not beat 10%% (%.2f)",
+			byTh[0.25].SuccessRate, byTh[0.10].SuccessRate)
+	}
+}
+
+func TestFormatThresholdAblation(t *testing.T) {
+	out := FormatThresholdAblation([]ThresholdAblation{
+		{Threshold: 0.1, SuccessRate: 1, MeanCandidates: 3.2, SeparatorLost: 0},
+	})
+	if !strings.Contains(out, "10%") || !strings.Contains(out, "100.0%") {
+		t.Errorf("output:\n%s", out)
+	}
+}

@@ -1,0 +1,115 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/certainty"
+	"repro/internal/corpus"
+	"repro/internal/paperdata"
+)
+
+// This file renders measured results side by side with the paper's
+// published numbers (internal/paperdata) — the programmatic form of
+// EXPERIMENTS.md.
+
+// FormatDistributionComparison renders a Table 2/3 analogue with the
+// published numbers inline.
+func FormatDistributionComparison(title string, measured, published []certainty.Distribution) string {
+	pub := map[string][]float64{}
+	for _, d := range published {
+		pub[d.Heuristic] = d.AtRank
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-10s %-31s %-31s\n", "Heuristic", "measured (rank 1..4)", "paper (rank 1..4)")
+	for _, d := range measured {
+		fmt.Fprintf(&b, "%-10s", d.Heuristic)
+		b.WriteString(formatRankRow(d.AtRank))
+		b.WriteString(formatRankRow(pub[d.Heuristic]))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatRankRow(at []float64) string {
+	var b strings.Builder
+	for i := 0; i < MaxRank; i++ {
+		v := 0.0
+		if i < len(at) {
+			v = at[i]
+		}
+		fmt.Fprintf(&b, " %6.1f%%", v*100)
+	}
+	b.WriteString("  ")
+	return b.String()
+}
+
+// FormatSuccessComparison renders Table 10 with the paper's column.
+func FormatSuccessComparison(measured map[string]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s\n", "Heuristic", "measured", "paper", "delta")
+	for _, h := range append(append([]string{}, certainty.AllHeuristics...), "ORSIH") {
+		m, p := measured[h], paperdata.Table10[h]
+		fmt.Fprintf(&b, "%-10s %9.1f%% %9.1f%% %+9.1f%%\n", h, m*100, p*100, (m-p)*100)
+	}
+	return b.String()
+}
+
+// publishedTestRows returns the paper's rows for a domain.
+func publishedTestRows(d corpus.Domain) []paperdata.TestRow {
+	switch d {
+	case corpus.Obituaries:
+		return paperdata.Table6
+	case corpus.CarAds:
+		return paperdata.Table7
+	case corpus.JobAds:
+		return paperdata.Table8
+	case corpus.Courses:
+		return paperdata.Table9
+	default:
+		return nil
+	}
+}
+
+// FormatTestComparison renders a Tables 6–9 analogue annotating each rank
+// with the paper's value where it differs, as "measured(paper)".
+func FormatTestComparison(title string, d corpus.Domain, rows []TestRow) string {
+	published := publishedTestRows(d)
+	pubBySite := map[string]paperdata.TestRow{}
+	for _, r := range published {
+		pubBySite[r.Site] = r
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [measured(paper) where they differ]\n", title)
+	fmt.Fprintf(&b, "%-28s %6s %6s %6s %6s %6s %6s\n", "Site", "OM", "RP", "SD", "IT", "HT", "A")
+	for _, row := range rows {
+		pub := pubBySite[row.Site]
+		fmt.Fprintf(&b, "%-28s", row.Site)
+		for _, h := range append(append([]string{}, certainty.AllHeuristics...), "A") {
+			measured := row.A
+			if h != "A" {
+				measured = row.Ranks[h]
+			}
+			if p := pub.Rank(h); p != 0 && p != measured {
+				fmt.Fprintf(&b, " %3d(%d)", measured, p)
+			} else {
+				fmt.Fprintf(&b, " %6d", measured)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatTable5Comparison renders the combination sweep with the paper's
+// published rates.
+func FormatTable5Comparison(rows []CombinationResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %10s\n", "Compound", "measured", "paper")
+	for _, r := range rows {
+		ab := r.Combination.Abbrev()
+		fmt.Fprintf(&b, "%-10s %9.2f%% %9.2f%%\n", ab, r.SuccessRate*100, paperdata.Table5[ab]*100)
+	}
+	return b.String()
+}

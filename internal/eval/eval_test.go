@@ -1,0 +1,308 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/certainty"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/heuristic"
+)
+
+// trainingResults caches the evaluated training corpus across tests.
+var trainingCache map[corpus.Domain][]*DocResult
+
+func training(t *testing.T, d corpus.Domain) []*DocResult {
+	t.Helper()
+	if trainingCache == nil {
+		trainingCache = map[corpus.Domain][]*DocResult{}
+	}
+	if rs, ok := trainingCache[d]; ok {
+		return rs
+	}
+	rs, err := EvaluateAll(corpus.TrainingDocuments(d), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainingCache[d] = rs
+	return rs
+}
+
+// TestTable2And3Shape verifies the training distributions reproduce the
+// paper's qualitative structure: IT is the strongest individual heuristic,
+// HT the weakest, and every heuristic ranks a correct separator within the
+// top four on every document.
+func TestTable2And3Shape(t *testing.T) {
+	for _, d := range []corpus.Domain{corpus.Obituaries, corpus.CarAds} {
+		results := training(t, d)
+		dists := RankingDistribution(results)
+		at1 := map[string]float64{}
+		for _, dist := range dists {
+			at1[dist.Heuristic] = dist.AtRank[0]
+			sum := 0.0
+			for _, v := range dist.AtRank {
+				sum += v
+			}
+			if sum < 0.999 {
+				t.Errorf("%s %s: ranks beyond 4 (sum %.3f) — the paper's separators were always top-4", d, dist.Heuristic, sum)
+			}
+		}
+		if at1["IT"] < at1["OM"] || at1["IT"] < at1["RP"] || at1["IT"] < at1["SD"] || at1["IT"] < at1["HT"] {
+			t.Errorf("%s: IT (%.2f) should be the strongest heuristic: %v", d, at1["IT"], at1)
+		}
+		if at1["HT"] >= at1["OM"] || at1["HT"] >= at1["IT"] {
+			t.Errorf("%s: HT (%.2f) should be the weakest heuristic: %v", d, at1["HT"], at1)
+		}
+		if at1["IT"] < 0.85 {
+			t.Errorf("%s: IT rank-1 rate %.2f below the paper's band (≥0.85)", d, at1["IT"])
+		}
+	}
+}
+
+// TestTable3ITIsPerfect: the paper's Table 3 IT row is 100% for car ads.
+func TestTable3ITIsPerfect(t *testing.T) {
+	for _, dist := range RankingDistribution(training(t, corpus.CarAds)) {
+		if dist.Heuristic == "IT" && dist.AtRank[0] != 1.0 {
+			t.Errorf("car-ads IT rank-1 = %.2f, want 1.0", dist.AtRank[0])
+		}
+	}
+}
+
+// TestTable5ORSIHIsPerfect reproduces the paper's central training result:
+// the full five-heuristic compound achieves a 100% success rate on the 100
+// training documents, and every combination containing IT scores ≥ 90%.
+func TestTable5ORSIHIsPerfect(t *testing.T) {
+	all := append(append([]*DocResult{}, training(t, corpus.Obituaries)...), training(t, corpus.CarAds)...)
+	sweep := CombinationSweep(all, certainty.PaperTable)
+	byAbbrev := map[string]float64{}
+	for _, row := range sweep {
+		byAbbrev[row.Combination.Abbrev()] = row.SuccessRate
+	}
+	if len(sweep) != 26 {
+		t.Fatalf("sweep rows = %d, want 26", len(sweep))
+	}
+	if byAbbrev["ORSIH"] != 1.0 {
+		t.Errorf("ORSIH success = %.4f, want 1.0", byAbbrev["ORSIH"])
+	}
+	for ab, rate := range byAbbrev {
+		if strings.Contains(ab, "I") && rate < 0.90 {
+			t.Errorf("combination %s with IT scored %.2f, below the paper's ≥90%% band", ab, rate)
+		}
+	}
+	// The paper's best non-IT combination tops out well below the IT ones.
+	if byAbbrev["ORSH"] > byAbbrev["ORSIH"] {
+		t.Errorf("ORSH (%.2f) should not beat ORSIH", byAbbrev["ORSH"])
+	}
+}
+
+// TestTables6Through9CompoundAlwaysFirst reproduces the paper's "A" column:
+// ORSIH ranks a correct separator first on every test site in all four
+// domains.
+func TestTables6Through9CompoundAlwaysFirst(t *testing.T) {
+	for _, d := range corpus.AllDomains {
+		rows, err := TestSetTable(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 5 {
+			t.Fatalf("%s: %d rows, want 5", d, len(rows))
+		}
+		for _, row := range rows {
+			if row.A != 1 {
+				t.Errorf("%s / %s: compound rank %d, want 1", d, row.Site, row.A)
+			}
+			for h, rank := range row.Ranks {
+				if rank < 1 || rank > 4 {
+					t.Errorf("%s / %s: %s rank %d outside the paper's observed 1–4", d, row.Site, h, rank)
+				}
+			}
+		}
+	}
+}
+
+// TestTable10 reproduces the paper's final table: on the 20 test documents
+// no individual heuristic is perfect, IT is the best individual heuristic,
+// HT the worst, and ORSIH reaches 100%.
+func TestTable10(t *testing.T) {
+	results, err := EvaluateAll(corpus.TestDocuments(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := IndividualSuccessRates(results)
+	if rates["ORSIH"] != 1.0 {
+		t.Errorf("ORSIH = %.2f, want 1.0", rates["ORSIH"])
+	}
+	for _, h := range certainty.AllHeuristics {
+		if rates[h] >= 1.0 {
+			t.Errorf("%s = 100%%; the paper's individual heuristics were all imperfect", h)
+		}
+	}
+	if rates["IT"] < rates["OM"] || rates["IT"] < rates["RP"] || rates["IT"] < rates["SD"] || rates["IT"] < rates["HT"] {
+		t.Errorf("IT should lead the individuals: %v", rates)
+	}
+	for _, h := range certainty.AllHeuristics {
+		if h != "HT" && rates["HT"] > rates[h] {
+			t.Errorf("HT should trail the individuals: %v", rates)
+		}
+	}
+}
+
+// TestCalibratedFactorsAgreeWithPipeline: calibrating certainty factors from
+// the measured training distributions and re-running the compound with them
+// must also yield a perfect training success rate (self-consistency of the
+// paper's methodology).
+func TestCalibratedFactorsAgreeWithPipeline(t *testing.T) {
+	obits := training(t, corpus.Obituaries)
+	cars := training(t, corpus.CarAds)
+	calibrated := certainty.Calibrate(append(RankingDistribution(obits), RankingDistribution(cars)...))
+	all := append(append([]*DocResult{}, obits...), cars...)
+	sweep := CombinationSweep(all, calibrated)
+	for _, row := range sweep {
+		if row.Combination.Abbrev() == "ORSIH" && row.SuccessRate < 1.0 {
+			t.Errorf("ORSIH under calibrated factors = %.4f, want 1.0", row.SuccessRate)
+		}
+	}
+}
+
+// TestLearnedSeparatorListMatchesPaperHead re-derives the IT list by the
+// paper's §4.2 methodology (count separator tags across the 100 training
+// documents) and checks it leads with the same tags as the paper's
+// published list: hr first, the table-row tags next, p among the head.
+func TestLearnedSeparatorListMatchesPaperHead(t *testing.T) {
+	var obs [][]string
+	for _, d := range []corpus.Domain{corpus.Obituaries, corpus.CarAds} {
+		for _, doc := range corpus.TrainingDocuments(d) {
+			obs = append(obs, doc.Truth)
+		}
+	}
+	list := heuristic.LearnSeparatorList(obs)
+	if len(list) == 0 || list[0] != "hr" {
+		t.Fatalf("learned list = %v, want hr first (as in the paper's list)", list)
+	}
+	pos := map[string]int{}
+	for i, tag := range list {
+		pos[tag] = i
+	}
+	for _, tag := range []string{"tr", "td", "p"} {
+		i, ok := pos[tag]
+		if !ok || i > 4 {
+			t.Errorf("tag %s at position %d of learned list %v; paper has it in the head", tag, i, list)
+		}
+	}
+}
+
+// TestDiscoveryInvariantUnderMangling is the failure-injection test: the
+// compound heuristic must still pick a correct separator on every test
+// document after its HTML is mangled (dropped optional end-tags, random
+// case, injected comments, noise whitespace) — the Appendix A
+// normalization's whole purpose.
+func TestDiscoveryInvariantUnderMangling(t *testing.T) {
+	for _, d := range corpus.TestDocuments() {
+		for seed := int64(0); seed < 2; seed++ {
+			mangled := *d
+			mangled.HTML = corpus.Mangle(d.HTML, seed)
+			dr, err := Evaluate(&mangled, core.Options{})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", d.Site.Name, seed, err)
+			}
+			if dr.Success != 1.0 {
+				t.Errorf("%s %s seed %d: compound failed on mangled HTML (sc=%.2f)\n%s",
+					d.Site.Name, d.Site.Domain, seed, dr.Success, core.Explain(dr.Compound))
+			}
+		}
+	}
+}
+
+func TestEvaluateRanksAreConsistent(t *testing.T) {
+	doc := corpus.TestSites(corpus.Obituaries)[0].Generate(0)
+	dr, err := Evaluate(doc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Success != 1.0 {
+		t.Errorf("success = %v", dr.Success)
+	}
+	if dr.CompoundRank != 1 {
+		t.Errorf("compound rank = %d", dr.CompoundRank)
+	}
+	for h, rank := range dr.HeuristicRank {
+		ranking := dr.Rankings[h]
+		best := MaxRank + 1
+		for _, truth := range doc.Truth {
+			if k := ranking.RankOf(truth); k > 0 && k < best {
+				best = k
+			}
+		}
+		if rank != best {
+			t.Errorf("%s rank %d, recomputed %d", h, rank, best)
+		}
+	}
+}
+
+// TestParallelEvaluationMatchesSequential: the worker-pool path must give
+// exactly the sequential results, in order.
+func TestParallelEvaluationMatchesSequential(t *testing.T) {
+	docs := corpus.TestDocuments()
+	seq, err := EvaluateAll(docs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		par, err := EvaluateAllParallel(docs, core.Options{}, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i].Doc != seq[i].Doc {
+				t.Errorf("workers=%d: result %d out of order", workers, i)
+			}
+			if par[i].Success != seq[i].Success || par[i].CompoundRank != seq[i].CompoundRank {
+				t.Errorf("workers=%d doc %d: results differ", workers, i)
+			}
+		}
+	}
+}
+
+func TestSuccessRateAveragesScD(t *testing.T) {
+	rs := []*DocResult{{Success: 1}, {Success: 0.5}, {Success: 0}}
+	if got := SuccessRate(rs); got != 0.5 {
+		t.Errorf("SuccessRate = %v, want 0.5", got)
+	}
+	if got := SuccessRate(nil); got != 0 {
+		t.Errorf("SuccessRate(nil) = %v", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	obits := training(t, corpus.Obituaries)
+	dists := RankingDistribution(obits)
+	out := FormatDistributions("Table 2", dists)
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "OM") || !strings.Contains(out, "%") {
+		t.Errorf("FormatDistributions output:\n%s", out)
+	}
+	ct := FormatCertaintyTable("Table 4", certainty.PaperTable)
+	if !strings.Contains(ct, "84.5%") {
+		t.Errorf("FormatCertaintyTable output:\n%s", ct)
+	}
+	sweep := CombinationSweep(obits, certainty.PaperTable)
+	cs := FormatCombinations(sweep)
+	if !strings.Contains(cs, "ORSIH") {
+		t.Errorf("FormatCombinations output:\n%s", cs)
+	}
+	rows, err := TestSetTable(corpus.Obituaries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := FormatTestTable("Table 6", rows)
+	if !strings.Contains(tt, "Alameda") {
+		t.Errorf("FormatTestTable output:\n%s", tt)
+	}
+	sr := FormatSuccessRates(map[string]float64{"OM": 0.8, "ORSIH": 1.0})
+	if !strings.Contains(sr, "ORSIH") || !strings.Contains(sr, "100.0%") {
+		t.Errorf("FormatSuccessRates output:\n%s", sr)
+	}
+}

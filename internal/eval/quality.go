@@ -1,0 +1,162 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dbgen"
+	"repro/internal/reldb"
+)
+
+// Quality measures the back half of the Figure 1 pipeline against the
+// corpus's planted ground truth, in the terms the paper's companion work
+// reports (§2: "recall ratios in the range of 90% and precision ratios near
+// 95%"):
+//
+//	Recall    — fraction of planted field values that appear, correctly
+//	            attributed, in the populated database;
+//	Precision — fraction of extracted non-null cells (over the planted
+//	            fields) whose value matches some planted fact.
+type Quality struct {
+	Planted, Recalled  int
+	Extracted, Correct int
+}
+
+// Recall returns Recalled/Planted (1 when nothing was planted).
+func (q Quality) Recall() float64 {
+	if q.Planted == 0 {
+		return 1
+	}
+	return float64(q.Recalled) / float64(q.Planted)
+}
+
+// Precision returns Correct/Extracted (1 when nothing was extracted).
+func (q Quality) Precision() float64 {
+	if q.Extracted == 0 {
+		return 1
+	}
+	return float64(q.Correct) / float64(q.Extracted)
+}
+
+// Add accumulates another measurement.
+func (q *Quality) Add(o Quality) {
+	q.Planted += o.Planted
+	q.Recalled += o.Recalled
+	q.Extracted += o.Extracted
+	q.Correct += o.Correct
+}
+
+// MeasureExtraction runs the full pipeline on the document and scores the
+// populated entity table against the document's planted facts. Matching is
+// set-based per column: a planted (field, value) is recalled if any row's
+// cell for that field contains the value (containment, not equality —
+// extraction may capture "Job #12345" where the fact says the same, or a
+// name with different surrounding punctuation).
+func MeasureExtraction(doc *corpus.Document) (Quality, error) {
+	var q Quality
+	ont := doc.Site.Domain.Ontology()
+	res, err := core.Discover(doc.HTML, core.Options{Ontology: ont})
+	if err != nil {
+		return q, fmt.Errorf("quality: %s #%d: %w", doc.Site.Name, doc.Index, err)
+	}
+	db, err := dbgen.Populate(ont, res)
+	if err != nil {
+		return q, fmt.Errorf("quality: %s #%d: %w", doc.Site.Name, doc.Index, err)
+	}
+	rows := db.Table(ont.Entity).Select(nil)
+
+	// The set of fields the corpus plants for this domain.
+	planted := map[string]bool{}
+	for _, f := range doc.Facts {
+		for field := range f {
+			planted[field] = true
+		}
+	}
+
+	// Recall: every planted value must appear in its column.
+	for _, f := range doc.Facts {
+		for field, value := range f {
+			q.Planted++
+			if columnContains(rows, field, value) {
+				q.Recalled++
+			}
+		}
+	}
+
+	// Precision: every extracted cell in a planted column must match some
+	// fact for that field.
+	values := map[string]map[string]bool{}
+	for _, f := range doc.Facts {
+		for field, value := range f {
+			if values[field] == nil {
+				values[field] = map[string]bool{}
+			}
+			values[field][value] = true
+		}
+	}
+	for _, row := range rows {
+		for field := range planted {
+			cell := row.Get(field)
+			if cell.Null || cell.Str == "" {
+				continue
+			}
+			q.Extracted++
+			if factMatches(values[field], cell.Str) {
+				q.Correct++
+			}
+		}
+	}
+	return q, nil
+}
+
+func columnContains(rows []reldb.Row, field, value string) bool {
+	for _, row := range rows {
+		cell := row.Get(field)
+		if !cell.Null && strings.Contains(cell.Str, value) || strings.Contains(value, cell.Str) && cell.Str != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func factMatches(facts map[string]bool, cell string) bool {
+	for v := range facts {
+		if strings.Contains(cell, v) || strings.Contains(v, cell) {
+			return true
+		}
+	}
+	return false
+}
+
+// MeasureDomainExtraction aggregates extraction quality across a document
+// set, keyed by domain.
+func MeasureDomainExtraction(docs []*corpus.Document) (map[corpus.Domain]Quality, error) {
+	out := map[corpus.Domain]Quality{}
+	for _, d := range docs {
+		q, err := MeasureExtraction(d)
+		if err != nil {
+			return nil, err
+		}
+		agg := out[d.Site.Domain]
+		agg.Add(q)
+		out[d.Site.Domain] = agg
+	}
+	return out, nil
+}
+
+// FormatQuality renders per-domain recall/precision like the §2 summary.
+func FormatQuality(byDomain map[corpus.Domain]Quality) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %8s %10s %9s %9s\n", "Domain", "Recall", "Precision", "Planted", "Extracted")
+	for _, d := range corpus.AllDomains {
+		q, ok := byDomain[d]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-28s %7.1f%% %9.1f%% %9d %9d\n",
+			d.Title(), q.Recall()*100, q.Precision()*100, q.Planted, q.Extracted)
+	}
+	return b.String()
+}

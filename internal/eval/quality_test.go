@@ -1,0 +1,115 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func TestExtractionQualityBands(t *testing.T) {
+	// The paper's companion work reports recall ≈ 90% and precision ≈ 95%
+	// for the surrounding pipeline. The synthetic corpus should land in the
+	// same bands per domain.
+	byDomain, err := MeasureDomainExtraction(corpus.TestDocuments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range corpus.AllDomains {
+		q, ok := byDomain[d]
+		if !ok {
+			t.Fatalf("no measurement for %s", d)
+		}
+		if q.Planted == 0 {
+			t.Fatalf("%s: nothing planted", d)
+		}
+		if r := q.Recall(); r < 0.80 {
+			t.Errorf("%s recall = %.1f%% (recalled %d/%d), below the paper's ~90%% band",
+				d, r*100, q.Recalled, q.Planted)
+		}
+		if p := q.Precision(); p < 0.85 {
+			t.Errorf("%s precision = %.1f%% (correct %d/%d), below the paper's ~95%% band",
+				d, p*100, q.Correct, q.Extracted)
+		}
+	}
+}
+
+// TestNoisyExtractionQualityBands measures the hand-authoring-noise corpus:
+// recall lands in the paper's reported regime (≈90%, with one weaker
+// domain, as the paper itself reports for obituary names) while boundary
+// discovery itself is unaffected by content noise.
+func TestNoisyExtractionQualityBands(t *testing.T) {
+	docs := corpus.NoisyTestDocuments()
+	byDomain, err := MeasureDomainExtraction(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range corpus.AllDomains {
+		q := byDomain[d]
+		if r := q.Recall(); r < 0.70 || r >= 1.0 {
+			t.Errorf("%s noisy recall = %.1f%% — expected the paper's imperfect regime [70%%,100%%)", d, r*100)
+		}
+		if p := q.Precision(); p < 0.80 {
+			t.Errorf("%s noisy precision = %.1f%%, below band", d, p*100)
+		}
+	}
+	// Structure is untouched by content noise: ORSIH stays perfect.
+	results, err := EvaluateAll(docs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr := SuccessRate(results); sr != 1.0 {
+		t.Errorf("ORSIH on noisy corpus = %.2f, want 1.0", sr)
+	}
+}
+
+func TestQualityArithmetic(t *testing.T) {
+	q := Quality{Planted: 10, Recalled: 9, Extracted: 8, Correct: 8}
+	if q.Recall() != 0.9 {
+		t.Errorf("recall = %v", q.Recall())
+	}
+	if q.Precision() != 1.0 {
+		t.Errorf("precision = %v", q.Precision())
+	}
+	var zero Quality
+	if zero.Recall() != 1 || zero.Precision() != 1 {
+		t.Error("empty measurements should read as perfect")
+	}
+	q.Add(Quality{Planted: 10, Recalled: 1, Extracted: 2, Correct: 0})
+	if q.Planted != 20 || q.Recalled != 10 || q.Extracted != 10 || q.Correct != 8 {
+		t.Errorf("after Add: %+v", q)
+	}
+}
+
+func TestMeasureExtractionPerfectOnCleanDoc(t *testing.T) {
+	// A clean wrapped-layout document with no noise knobs should extract
+	// essentially perfectly.
+	site := &corpus.Site{Name: "clean", Domain: corpus.CarAds, Profile: corpus.Profile{
+		Container: []string{"table"},
+		Layout:    corpus.Wrapped,
+		Separator: "tr",
+		Records:   [2]int{10, 10},
+		BoldRuns:  [2]int{1, 2},
+		BaseSize:  200,
+	}}
+	doc := site.Generate(0)
+	q, err := MeasureExtraction(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Recall() < 0.95 {
+		t.Errorf("clean-doc recall = %.1f%% (%d/%d)", q.Recall()*100, q.Recalled, q.Planted)
+	}
+	if q.Precision() < 0.95 {
+		t.Errorf("clean-doc precision = %.1f%% (%d/%d)", q.Precision()*100, q.Correct, q.Extracted)
+	}
+}
+
+func TestFormatQuality(t *testing.T) {
+	out := FormatQuality(map[corpus.Domain]Quality{
+		corpus.Obituaries: {Planted: 10, Recalled: 9, Extracted: 10, Correct: 10},
+	})
+	if out == "" || len(out) < 40 {
+		t.Errorf("format output too small: %q", out)
+	}
+}

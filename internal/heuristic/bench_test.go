@@ -1,0 +1,54 @@
+package heuristic
+
+import (
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/tagtree"
+)
+
+// benchContext builds a shared context over a mid-sized page once.
+func benchContext(b *testing.B) *Context {
+	b.Helper()
+	doc := buildDoc(randomRecords(5, 40))
+	return NewContext(tagtree.Parse(doc), tagtree.DefaultCandidateThreshold, ontology.Builtin("obituary"))
+}
+
+// BenchmarkHeuristics measures each heuristic's marginal ranking cost over
+// an already-built context — the per-heuristic slice of the paper's O(n)
+// budget (context construction, which includes the OM recognition pass, is
+// measured separately below).
+func BenchmarkHeuristics(b *testing.B) {
+	ctx := benchContext(b)
+	for _, h := range All() {
+		b.Run(h.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ok := h.Rank(ctx); !ok {
+					b.Fatalf("%s declined", h.Name())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNewContext measures context construction with and without the
+// ontology — the difference is the Data-Record-Table recognition cost the
+// paper's O(d) argument amortizes away.
+func BenchmarkNewContext(b *testing.B) {
+	doc := buildDoc(randomRecords(5, 40))
+	tree := tagtree.Parse(doc)
+	b.Run("structural", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			NewContext(tree, tagtree.DefaultCandidateThreshold, nil)
+		}
+	})
+	b.Run("with-ontology", func(b *testing.B) {
+		ont := ontology.Builtin("obituary")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			NewContext(tree, tagtree.DefaultCandidateThreshold, ont)
+		}
+	})
+}

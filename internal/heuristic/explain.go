@@ -1,0 +1,44 @@
+package heuristic
+
+import "repro/internal/recognizer"
+
+// This file exposes each heuristic's intermediate evidence for debugging,
+// UI explanations, and tests — the quantities the paper discusses when
+// walking through its Figure 2 example.
+
+// Pair is an ordered adjacency of two candidate start-tags (RP's unit of
+// evidence): First occurs immediately before Second with no intervening
+// plain text.
+type Pair struct {
+	First, Second string
+}
+
+// RPPairs returns RP's adjacency counts for the document: how many times
+// each ordered candidate pair occurs at a potential boundary. For the
+// paper's Figure 2, RPPairs yields {hr b}:2 and {br hr}:2.
+func RPPairs(ctx *Context) map[Pair]int {
+	raw := adjacentPairs(ctx)
+	out := make(map[Pair]int, len(raw))
+	for p, n := range raw {
+		out[Pair{First: p.a, Second: p.b}] = n
+	}
+	return out
+}
+
+// SDIntervals returns, per candidate tag, the plain-text character counts
+// between its consecutive occurrences — the samples whose standard
+// deviation SD ranks by.
+func SDIntervals(ctx *Context) map[string][]float64 {
+	return intervalLengths(ctx)
+}
+
+// OMEstimate returns the record-count estimate OM ranks against (the mean
+// indicator count of the ontology's record-identifying fields). ok is false
+// when OM would decline (no ontology/table, or fewer than three
+// record-identifying fields).
+func OMEstimate(ctx *Context) (estimate float64, ok bool) {
+	if ctx.Ontology == nil || ctx.Table == nil {
+		return 0, false
+	}
+	return recognizer.EstimateRecordCount(ctx.Ontology, ctx.Table)
+}

@@ -1,0 +1,171 @@
+// Package heuristic implements the paper's five independent record-boundary
+// heuristics (Section 4):
+//
+//	HT — highest-count tags
+//	IT — identifiable "separator" tags
+//	SD — standard deviation of inter-tag text size
+//	RP — repeating-tag pattern
+//	OM — ontology matching
+//
+// Each heuristic ranks the candidate separator tags of a document's
+// highest-fan-out subtree; a heuristic may also decline to answer (RP with
+// no adjacent pairs, OM without enough record-identifying fields). Rankings
+// use competition ranking: tags with equal scores share the better rank.
+package heuristic
+
+import (
+	"sort"
+
+	"repro/internal/ontology"
+	"repro/internal/recognizer"
+	"repro/internal/tagtree"
+)
+
+// Context carries everything a heuristic may consult about one document.
+// Build it once with NewContext and share it across heuristics — this is
+// what keeps the overall process linear: the tag tree, candidate counts, and
+// Data-Record Table are each computed in one pass.
+type Context struct {
+	// Tree is the document's tag tree.
+	Tree *tagtree.Tree
+	// Subtree is the highest-fan-out subtree's root.
+	Subtree *tagtree.Node
+	// Candidates are the candidate separator tags with their appearance
+	// counts, sorted by descending count.
+	Candidates []tagtree.Candidate
+	// Ontology is the application ontology; nil disables OM.
+	Ontology *ontology.Ontology
+	// Table is the Data-Record Table over the subtree's plain text; nil
+	// unless an ontology was supplied.
+	Table *recognizer.Table
+}
+
+// NewContext parses nothing itself; it derives the heuristic context from an
+// already-built tree. threshold is the candidate-tag cutoff
+// (tagtree.DefaultCandidateThreshold for the paper's 10% rule). ont may be
+// nil, in which case the OM heuristic will decline to answer.
+func NewContext(tree *tagtree.Tree, threshold float64, ont *ontology.Ontology) *Context {
+	sub := tree.HighestFanOut()
+	ctx := &Context{
+		Tree:       tree,
+		Subtree:    sub,
+		Candidates: tagtree.Candidates(sub, threshold),
+		Ontology:   ont,
+	}
+	if ont != nil {
+		ctx.Table = recognizer.Recognize(ont, tree, sub)
+	}
+	return ctx
+}
+
+// CandidateCount returns the appearance count of the named candidate tag,
+// or 0 if the tag is not a candidate.
+func (c *Context) CandidateCount(name string) int {
+	for _, cand := range c.Candidates {
+		if cand.Name == name {
+			return cand.Count
+		}
+	}
+	return 0
+}
+
+// IsCandidate reports whether name is one of the candidate tags.
+func (c *Context) IsCandidate(name string) bool {
+	return c.CandidateCount(name) > 0
+}
+
+// Ranked is one entry of a heuristic's answer: a candidate tag, its 1-based
+// competition rank, and the heuristic's raw score (meaning varies by
+// heuristic; exposed for explainability and tests).
+type Ranked struct {
+	Tag   string
+	Rank  int
+	Score float64
+}
+
+// Ranking is a heuristic's ordered answer, best first.
+type Ranking []Ranked
+
+// RankOf returns the 1-based rank of the tag, or 0 if the ranking does not
+// include it.
+func (r Ranking) RankOf(tag string) int {
+	for _, e := range r {
+		if e.Tag == tag {
+			return e.Rank
+		}
+	}
+	return 0
+}
+
+// Tags returns the ranked tag names, best first.
+func (r Ranking) Tags() []string {
+	out := make([]string, len(r))
+	for i, e := range r {
+		out[i] = e.Tag
+	}
+	return out
+}
+
+// ToMap converts the ranking to tag → rank form for certainty combination.
+func (r Ranking) ToMap() map[string]int {
+	out := make(map[string]int, len(r))
+	for _, e := range r {
+		out[e.Tag] = e.Rank
+	}
+	return out
+}
+
+// Heuristic is one of the paper's five individual heuristics.
+type Heuristic interface {
+	// Name returns the paper's two-letter abbreviation (OM, RP, SD, IT, HT).
+	Name() string
+	// Rank orders the candidate tags best-first. ok is false when the
+	// heuristic cannot supply an answer for this document.
+	Rank(ctx *Context) (r Ranking, ok bool)
+}
+
+// All returns the five heuristics in the paper's ORSIH order.
+func All() []Heuristic {
+	return []Heuristic{OM{}, RP{}, SD{}, IT{}, HT{}}
+}
+
+// ByName returns the named heuristic (OM, RP, SD, IT, HT), or nil.
+func ByName(name string) Heuristic {
+	for _, h := range All() {
+		if h.Name() == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// rankByScore sorts scored tags ascending (lower score is better when
+// ascending is true, higher when false) and assigns competition ranks: tags
+// with equal scores share a rank and the next distinct score skips the
+// intervening positions (1, 2, 2, 4). Score ties are ordered by tag name for
+// determinism.
+func rankByScore(scores map[string]float64, ascending bool) Ranking {
+	tags := make([]string, 0, len(scores))
+	for t := range scores {
+		tags = append(tags, t)
+	}
+	sort.Slice(tags, func(i, j int) bool {
+		si, sj := scores[tags[i]], scores[tags[j]]
+		if si != sj {
+			if ascending {
+				return si < sj
+			}
+			return si > sj
+		}
+		return tags[i] < tags[j]
+	})
+	out := make(Ranking, len(tags))
+	for i, t := range tags {
+		rank := i + 1
+		if i > 0 && scores[t] == scores[tags[i-1]] {
+			rank = out[i-1].Rank
+		}
+		out[i] = Ranked{Tag: t, Rank: rank, Score: scores[t]}
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package heuristic
+
+import "sort"
+
+// LearnSeparatorList reproduces how the paper's authors built the IT
+// heuristic's list (§4.2): "By looking at these documents and keeping track
+// of separator tags and how often authors use these tags to separate
+// records, we can create an ordered list of the most commonly used tags
+// that separate records of interest in Web documents."
+//
+// Each observation is one document's set of correct separator tags; the
+// result orders tags by how many documents used them as a separator, most
+// common first (ties broken alphabetically for determinism). Feeding the
+// learned list to IT{List: ...} closes the loop: the heuristic's prior can
+// be re-derived from labelled data rather than copied from the paper.
+func LearnSeparatorList(observations [][]string) []string {
+	counts := map[string]int{}
+	for _, seps := range observations {
+		seen := map[string]bool{}
+		for _, tag := range seps {
+			if tag == "" || seen[tag] {
+				continue
+			}
+			seen[tag] = true
+			counts[tag]++
+		}
+	}
+	out := make([]string, 0, len(counts))
+	for tag := range counts {
+		out = append(out, tag)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if counts[out[i]] != counts[out[j]] {
+			return counts[out[i]] > counts[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

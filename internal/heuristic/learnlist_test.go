@@ -1,0 +1,58 @@
+package heuristic
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/tagtree"
+)
+
+func parseFor(t *testing.T, doc string) *tagtree.Tree {
+	t.Helper()
+	return tagtree.Parse(doc)
+}
+
+func TestLearnSeparatorListOrdersByFrequency(t *testing.T) {
+	obs := [][]string{
+		{"hr"}, {"hr"}, {"hr"},
+		{"tr", "td"}, {"tr", "td"},
+		{"p"},
+	}
+	got := LearnSeparatorList(obs)
+	want := []string{"hr", "td", "tr", "p"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("learned list = %v, want %v", got, want)
+	}
+}
+
+func TestLearnSeparatorListDedupsWithinDocument(t *testing.T) {
+	// A document listing the same tag twice counts once.
+	got := LearnSeparatorList([][]string{{"hr", "hr"}, {"p"}, {"p"}})
+	if got[0] != "p" {
+		t.Errorf("list = %v, want p first", got)
+	}
+}
+
+func TestLearnSeparatorListEmpty(t *testing.T) {
+	if got := LearnSeparatorList(nil); len(got) != 0 {
+		t.Errorf("list = %v, want empty", got)
+	}
+	if got := LearnSeparatorList([][]string{{""}}); len(got) != 0 {
+		t.Errorf("empty tags should be ignored: %v", got)
+	}
+}
+
+func TestLearnedListDrivesIT(t *testing.T) {
+	// A vocabulary IT has never seen: learn the list from labelled
+	// observations, then rank with it.
+	list := LearnSeparatorList([][]string{{"entry"}, {"entry"}, {"item"}})
+	doc := "<feed><entry>a b</entry><entry>c d</entry><item>e</item><item>f</item></feed>"
+	ctx := NewContext(parseFor(t, doc), 0, nil)
+	r, ok := IT{List: list}.Rank(ctx)
+	if !ok {
+		t.Fatal("IT declined")
+	}
+	if r.RankOf("entry") != 1 || r.RankOf("item") != 2 {
+		t.Errorf("ranking = %+v", r)
+	}
+}

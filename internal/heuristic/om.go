@@ -1,0 +1,43 @@
+package heuristic
+
+import (
+	"math"
+
+	"repro/internal/recognizer"
+)
+
+// OM is the ontology-matching heuristic (§4.5): the only heuristic that
+// considers record *content*. Fields in one-to-one correspondence with (or
+// functional on) the entity of interest appear once per record; averaging
+// the occurrence counts of a few such record-identifying fields estimates
+// the number of records, and candidates are ranked by how close their own
+// appearance count comes to that estimate.
+//
+// OM reads its counts from the Data-Record Table, which the larger
+// extraction process of Figure 1 has already computed — this is the basis of
+// the paper's argument that OM contributes O(d) to the overall process
+// rather than a fresh regular-expression pass.
+type OM struct{}
+
+// Name returns "OM".
+func (OM) Name() string { return "OM" }
+
+// Rank estimates the record count from the ontology's record-identifying
+// fields and ranks candidates by |count(tag) − estimate| ascending. ok is
+// false when no ontology or Data-Record Table is available, or when the
+// ontology has fewer than three record-identifying fields (§4.5's lower
+// bound).
+func (OM) Rank(ctx *Context) (Ranking, bool) {
+	if ctx.Ontology == nil || ctx.Table == nil || len(ctx.Candidates) == 0 {
+		return nil, false
+	}
+	estimate, ok := recognizer.EstimateRecordCount(ctx.Ontology, ctx.Table)
+	if !ok {
+		return nil, false
+	}
+	scores := make(map[string]float64, len(ctx.Candidates))
+	for _, c := range ctx.Candidates {
+		scores[c.Name] = math.Abs(float64(c.Count) - estimate)
+	}
+	return rankByScore(scores, true), true
+}

@@ -1,0 +1,214 @@
+package heuristic
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/tagtree"
+)
+
+// buildDoc renders records (given as inner-HTML fragments) into an
+// hr-delimited page.
+func buildDoc(records []string) string {
+	var b strings.Builder
+	b.WriteString("<html><body><div>\n")
+	for _, rec := range records {
+		b.WriteString("<hr>")
+		b.WriteString(rec)
+		b.WriteByte('\n')
+	}
+	b.WriteString("<hr></div></body></html>")
+	return b.String()
+}
+
+// randomRecords produces n obituary-ish fragments from a seeded source.
+func randomRecords(seed int64, n int) []string {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		var b strings.Builder
+		fmt.Fprintf(&b, "<b>Person %c. Number%d</b> died on March %d, 1998. ",
+			'A'+rune(r.Intn(26)), i, 1+r.Intn(28))
+		for w := 0; w < 5+r.Intn(20); w++ {
+			b.WriteString("word ")
+		}
+		if r.Intn(2) == 0 {
+			b.WriteString("<br> ")
+		}
+		// Vary the bold count per record: a tag appearing exactly once per
+		// record is indistinguishable from the separator (see sites.go).
+		if r.Intn(2) == 0 {
+			b.WriteString("<b>MEMORIAL CHAPEL</b>. ")
+		}
+		b.WriteString("Funeral services will be held. Interment will follow. ")
+		out[i] = b.String()
+	}
+	return out
+}
+
+// TestHeuristicsDeterministic: ranking the same document twice gives
+// identical results for every heuristic.
+func TestHeuristicsDeterministic(t *testing.T) {
+	doc := buildDoc(randomRecords(42, 15))
+	for _, h := range All() {
+		ctx1 := NewContext(tagtree.Parse(doc), tagtree.DefaultCandidateThreshold, ontology.Builtin("obituary"))
+		ctx2 := NewContext(tagtree.Parse(doc), tagtree.DefaultCandidateThreshold, ontology.Builtin("obituary"))
+		r1, ok1 := h.Rank(ctx1)
+		r2, ok2 := h.Rank(ctx2)
+		if ok1 != ok2 || !reflect.DeepEqual(r1, r2) {
+			t.Errorf("%s not deterministic:\n %+v\n %+v", h.Name(), r1, r2)
+		}
+	}
+}
+
+// TestRecordPermutationInvariance: HT, IT, and OM depend only on tag counts
+// and content counts, so permuting record order must not change their
+// rankings. (SD and RP observe sequences, so they are legitimately
+// order-sensitive and excluded.)
+func TestRecordPermutationInvariance(t *testing.T) {
+	records := randomRecords(7, 12)
+	shuffled := append([]string(nil), records...)
+	rand.New(rand.NewSource(99)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	ont := ontology.Builtin("obituary")
+	ctxA := NewContext(tagtree.Parse(buildDoc(records)), tagtree.DefaultCandidateThreshold, ont)
+	ctxB := NewContext(tagtree.Parse(buildDoc(shuffled)), tagtree.DefaultCandidateThreshold, ont)
+	for _, h := range []Heuristic{HT{}, IT{}, OM{}} {
+		rA, okA := h.Rank(ctxA)
+		rB, okB := h.Rank(ctxB)
+		if okA != okB || !reflect.DeepEqual(rA, rB) {
+			t.Errorf("%s changed under record permutation:\n %+v\n %+v", h.Name(), rA, rB)
+		}
+	}
+}
+
+// TestHTScoreIsExactlyTheCount cross-checks HT against raw tag counts.
+func TestHTScoreIsExactlyTheCount(t *testing.T) {
+	doc := buildDoc(randomRecords(3, 10))
+	tree := tagtree.Parse(doc)
+	ctx := NewContext(tree, tagtree.DefaultCandidateThreshold, nil)
+	counts := tagtree.TagCounts(ctx.Subtree)
+	r, ok := HT{}.Rank(ctx)
+	if !ok {
+		t.Fatal("HT declined")
+	}
+	for _, e := range r {
+		if int(e.Score) != counts[e.Tag] {
+			t.Errorf("HT score for %s = %v, tag count = %d", e.Tag, e.Score, counts[e.Tag])
+		}
+	}
+}
+
+// TestSDIntervalsSumToTotalText: for a tag occurring at positions
+// p1..pk, the intervals partition the text between p1 and pk.
+func TestSDIntervalsSumToTotalText(t *testing.T) {
+	doc := "<div><sep>aaaa<x>bbbb<sep>cc<sep>dddddd<sep></div>"
+	ctx := NewContext(tagtree.Parse(doc), 0, nil)
+	intervals := SDIntervals(ctx)
+	sum := 0.0
+	for _, iv := range intervals["sep"] {
+		sum += iv
+	}
+	// Text between first and last sep: "aaaa"+"bbbb"+"cc"+"dddddd" = 16.
+	if sum != 16 {
+		t.Errorf("sep interval sum = %v, want 16 (%v)", sum, intervals["sep"])
+	}
+	if len(intervals["sep"]) != 3 {
+		t.Errorf("sep intervals = %d, want 3", len(intervals["sep"]))
+	}
+}
+
+// TestRPPairsExplainAPI: the exported pair counts match the paper's Figure 2
+// numbers.
+func TestRPPairsExplainAPI(t *testing.T) {
+	ctx := figure2Context(t)
+	pairs := RPPairs(ctx)
+	if pairs[Pair{"hr", "b"}] != 2 || pairs[Pair{"br", "hr"}] != 2 {
+		t.Errorf("pairs = %v", pairs)
+	}
+}
+
+// TestOMEstimateExplainAPI: the exported estimate matches Figure 2's three
+// records.
+func TestOMEstimateExplainAPI(t *testing.T) {
+	ctx := figure2Context(t)
+	est, ok := OMEstimate(ctx)
+	if !ok || est != 3.0 {
+		t.Errorf("estimate = %v ok=%v, want 3.0", est, ok)
+	}
+	bare := NewContext(ctx.Tree, tagtree.DefaultCandidateThreshold, nil)
+	if _, ok := OMEstimate(bare); ok {
+		t.Error("estimate should be unavailable without an ontology")
+	}
+}
+
+// TestMoreRecordsImproveSeparatorCertainty: with more records, the compound
+// result for the separator should not get worse — the evidence only
+// accumulates. (Checked via the individual heuristics still ranking hr
+// first at several scales.)
+func TestSeparatorStableAcrossScales(t *testing.T) {
+	ont := ontology.Builtin("obituary")
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		doc := buildDoc(randomRecords(11, n))
+		ctx := NewContext(tagtree.Parse(doc), tagtree.DefaultCandidateThreshold, ont)
+		for _, h := range []Heuristic{OM{}, IT{}, SD{}} {
+			r, ok := h.Rank(ctx)
+			if !ok {
+				t.Fatalf("n=%d: %s declined", n, h.Name())
+			}
+			if r.RankOf("hr") != 1 {
+				t.Errorf("n=%d: %s ranked hr at %d: %+v", n, h.Name(), r.RankOf("hr"), r)
+			}
+		}
+	}
+}
+
+// TestRankingContract: every heuristic's answer over real corpus documents
+// obeys the ranking contract — ranks start at 1, are competition-assigned
+// (equal scores share a rank, the next distinct score skips positions), and
+// every ranked tag is a candidate.
+func TestRankingContract(t *testing.T) {
+	docs := []string{
+		buildDoc(randomRecords(1, 10)),
+		buildDoc(randomRecords(2, 25)),
+	}
+	for _, doc := range docs {
+		ctx := NewContext(tagtree.Parse(doc), tagtree.DefaultCandidateThreshold, ontology.Builtin("obituary"))
+		candidates := map[string]bool{}
+		for _, c := range ctx.Candidates {
+			candidates[c.Name] = true
+		}
+		for _, h := range All() {
+			r, ok := h.Rank(ctx)
+			if !ok {
+				continue
+			}
+			if len(r) == 0 {
+				t.Fatalf("%s returned ok with an empty ranking", h.Name())
+			}
+			if r[0].Rank != 1 {
+				t.Errorf("%s first rank = %d, want 1", h.Name(), r[0].Rank)
+			}
+			for i := 1; i < len(r); i++ {
+				prev, cur := r[i-1], r[i]
+				switch {
+				case cur.Score == prev.Score && cur.Rank != prev.Rank:
+					t.Errorf("%s: equal scores ranked %d and %d", h.Name(), prev.Rank, cur.Rank)
+				case cur.Score != prev.Score && cur.Rank != i+1:
+					t.Errorf("%s: rank %d at position %d (competition ranking expects %d)",
+						h.Name(), cur.Rank, i, i+1)
+				}
+			}
+			for _, e := range r {
+				if !candidates[e.Tag] {
+					t.Errorf("%s ranked non-candidate %q", h.Name(), e.Tag)
+				}
+			}
+		}
+	}
+}

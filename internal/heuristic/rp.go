@@ -1,0 +1,105 @@
+package heuristic
+
+import (
+	"math"
+
+	"repro/internal/tagtree"
+)
+
+// RP is the repeating-tag-pattern heuristic (§4.4): record boundaries often
+// show consistent patterns of two or more adjacent tags (an <hr> immediately
+// followed by a <b>, a <br> immediately before an <hr>). For each ordered
+// pair of candidate tags <a><b> occurring with no intervening plain text, if
+// <a> is the separator then the pair count should be close to the count of
+// <a> alone — so tags are scored by the smallest absolute difference between
+// any of their pair counts and their own count.
+type RP struct {
+	// PairFloor is the fraction of the lowest-count candidate's count below
+	// which a pair is ignored; 0 means the paper's default of 10%.
+	PairFloor float64
+}
+
+// Name returns "RP".
+func (RP) Name() string { return "RP" }
+
+// pair is an ordered adjacency of two candidate start-tags.
+type pair struct{ a, b string }
+
+// Rank counts adjacent candidate-tag pairs in the subtree's event stream,
+// keeps pairs whose count exceeds the floor (10% of the lowest-count
+// candidate), scores each tag of each kept pair by |count(pair) −
+// count(tag)| keeping the best (lowest) score per tag, and ranks ascending.
+// ok is false when no pair survives — the paper notes the list may be empty,
+// in which case RP "simply does not supply an answer".
+func (h RP) Rank(ctx *Context) (Ranking, bool) {
+	if len(ctx.Candidates) == 0 {
+		return nil, false
+	}
+	floor := h.PairFloor
+	if floor == 0 {
+		floor = 0.10
+	}
+
+	pairs := adjacentPairs(ctx)
+	if len(pairs) == 0 {
+		return nil, false
+	}
+
+	lowest := ctx.Candidates[len(ctx.Candidates)-1].Count // candidates sorted by count desc
+	cutoff := floor * float64(lowest)
+
+	scores := make(map[string]float64)
+	for p, n := range pairs {
+		if float64(n) <= cutoff {
+			continue
+		}
+		for _, tag := range []string{p.a, p.b} {
+			d := math.Abs(float64(n) - float64(ctx.CandidateCount(tag)))
+			if best, ok := scores[tag]; !ok || d < best {
+				scores[tag] = d
+			}
+		}
+	}
+	if len(scores) == 0 {
+		return nil, false
+	}
+	return rankByScore(scores, true), true
+}
+
+// adjacentPairs scans the subtree's event stream and counts ordered pairs of
+// candidate start-tags with no non-whitespace plain text between them.
+// Intervening end-tags and whitespace do not break adjacency — the paper's
+// own example pairs, <hr><b> and <br><hr> in Figure 2, span newlines and a
+// </b> respectively.
+func adjacentPairs(ctx *Context) map[pair]int {
+	candidate := make(map[string]bool, len(ctx.Candidates))
+	for _, c := range ctx.Candidates {
+		candidate[c.Name] = true
+	}
+	pairs := make(map[pair]int)
+	prev := "" // last candidate start-tag not yet separated by text
+	for _, ev := range ctx.Tree.SubtreeEvents(ctx.Subtree) {
+		switch ev.Kind {
+		case tagtree.EventText:
+			if tagtree.CollapseSpace(ev.Text) != "" {
+				prev = ""
+			}
+		case tagtree.EventStart:
+			name := ev.Node.Name
+			if ev.Node == ctx.Subtree {
+				continue
+			}
+			if !candidate[name] {
+				// A non-candidate tag (e.g. an irrelevant h1) interrupts
+				// adjacency between candidates.
+				prev = ""
+				continue
+			}
+			if prev != "" {
+				pairs[pair{prev, name}]++
+			}
+			prev = name
+		}
+	}
+	return pairs
+}

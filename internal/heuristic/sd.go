@@ -1,0 +1,92 @@
+package heuristic
+
+import (
+	"math"
+
+	"repro/internal/tagtree"
+)
+
+// SD is the standard-deviation heuristic (§4.3): multiple records about the
+// same kind of entity tend to be about the same size, so the candidate tag
+// whose consecutive occurrences are separated by the most uniform amount of
+// plain text (smallest standard deviation of the inter-occurrence character
+// counts) tends to be the separator.
+type SD struct{}
+
+// Name returns "SD".
+func (SD) Name() string { return "SD" }
+
+// Rank computes, for each candidate, the standard deviation of the plain-
+// text character counts between its consecutive occurrences in the highest-
+// fan-out subtree, and ranks ascending. Text lengths are measured on
+// whitespace-collapsed text ("number of characters" in the paper). A
+// candidate with fewer than three occurrences has fewer than two intervals
+// — no spread to measure — and is ranked after all measurable candidates.
+// SD always answers when candidates exist.
+func (SD) Rank(ctx *Context) (Ranking, bool) {
+	if len(ctx.Candidates) == 0 {
+		return nil, false
+	}
+	intervals := intervalLengths(ctx)
+	scores := make(map[string]float64, len(ctx.Candidates))
+	for _, c := range ctx.Candidates {
+		iv := intervals[c.Name]
+		if len(iv) < 2 {
+			scores[c.Name] = math.Inf(1)
+			continue
+		}
+		scores[c.Name] = stddev(iv)
+	}
+	return rankByScore(scores, true), true
+}
+
+// intervalLengths scans the subtree's event stream once and accumulates, for
+// every candidate tag, the plain-text lengths between its consecutive
+// occurrences.
+func intervalLengths(ctx *Context) map[string][]float64 {
+	candidate := make(map[string]bool, len(ctx.Candidates))
+	for _, c := range ctx.Candidates {
+		candidate[c.Name] = true
+	}
+	// running[tag] is the number of characters seen since the tag's last
+	// occurrence; present only after its first occurrence.
+	running := make(map[string]int, len(candidate))
+	out := make(map[string][]float64, len(candidate))
+	for _, ev := range ctx.Tree.SubtreeEvents(ctx.Subtree) {
+		switch ev.Kind {
+		case tagtree.EventText:
+			n := len(tagtree.CollapseSpace(ev.Text))
+			if n == 0 {
+				continue
+			}
+			for tag := range running {
+				running[tag] += n
+			}
+		case tagtree.EventStart:
+			name := ev.Node.Name
+			if ev.Node == ctx.Subtree || !candidate[name] {
+				continue
+			}
+			if _, seen := running[name]; seen {
+				out[name] = append(out[name], float64(running[name]))
+			}
+			running[name] = 0
+		}
+	}
+	return out
+}
+
+// stddev returns the population standard deviation.
+func stddev(xs []float64) float64 {
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	variance := 0.0
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	return math.Sqrt(variance / float64(len(xs)))
+}

@@ -1,0 +1,147 @@
+package htmlparse
+
+import (
+	"strconv"
+	"strings"
+)
+
+// namedEntities maps HTML entity names (without & and ;) to their replacement
+// text. The set covers the entities that occur in practice in the kinds of
+// documents the paper processes: classifieds, obituaries, and course listings
+// authored in the HTML 3.2/4.0 era, plus the common Latin-1 accents.
+var namedEntities = map[string]string{
+	"amp": "&", "lt": "<", "gt": ">", "quot": `"`, "apos": "'",
+	"nbsp": " ", "copy": "©", "reg": "®", "trade": "™",
+	"deg": "°", "plusmn": "±", "middot": "·", "para": "¶",
+	"sect": "§", "cent": "¢", "pound": "£", "yen": "¥",
+	"euro": "€", "curren": "¤", "frac12": "½",
+	"frac14": "¼", "frac34": "¾", "sup1": "¹",
+	"sup2": "²", "sup3": "³", "micro": "µ", "times": "×",
+	"divide": "÷", "laquo": "«", "raquo": "»",
+	"iexcl": "¡", "iquest": "¿", "szlig": "ß",
+	"agrave": "à", "aacute": "á", "acirc": "â",
+	"atilde": "ã", "auml": "ä", "aring": "å",
+	"aelig": "æ", "ccedil": "ç", "egrave": "è",
+	"eacute": "é", "ecirc": "ê", "euml": "ë",
+	"igrave": "ì", "iacute": "í", "icirc": "î",
+	"iuml": "ï", "ntilde": "ñ", "ograve": "ò",
+	"oacute": "ó", "ocirc": "ô", "otilde": "õ",
+	"ouml": "ö", "oslash": "ø", "ugrave": "ù",
+	"uacute": "ú", "ucirc": "û", "uuml": "ü",
+	"yacute": "ý", "yuml": "ÿ",
+	"Agrave": "À", "Aacute": "Á", "Acirc": "Â",
+	"Atilde": "Ã", "Auml": "Ä", "Aring": "Å",
+	"AElig": "Æ", "Ccedil": "Ç", "Egrave": "È",
+	"Eacute": "É", "Ecirc": "Ê", "Euml": "Ë",
+	"Ntilde": "Ñ", "Ograve": "Ò", "Oacute": "Ó",
+	"Ouml": "Ö", "Oslash": "Ø", "Ugrave": "Ù",
+	"Uacute": "Ú", "Uuml": "Ü",
+	"mdash": "—", "ndash": "–", "hellip": "…",
+	"lsquo": "‘", "rsquo": "’", "ldquo": "“",
+	"rdquo": "”", "bull": "•", "dagger": "†",
+	"Dagger": "‡", "permil": "‰", "prime": "′",
+	"Prime": "″", "lsaquo": "‹", "rsaquo": "›",
+	"oline": "‾", "frasl": "⁄", "minus": "−",
+	"lowast": "∗", "sdot": "⋅", "ensp": " ",
+	"emsp": " ", "thinsp": " ", "shy": "­",
+}
+
+// DecodeEntities replaces HTML character references (&amp;, &#65;, &#x41;)
+// in s with their character values. Unknown or malformed references are left
+// verbatim, matching browser leniency.
+func DecodeEntities(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	b.WriteString(s[:amp])
+	i := amp
+	for i < len(s) {
+		c := s[i]
+		if c != '&' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		rep, consumed := decodeOneEntity(s[i:])
+		if consumed == 0 {
+			b.WriteByte('&')
+			i++
+			continue
+		}
+		b.WriteString(rep)
+		i += consumed
+	}
+	return b.String()
+}
+
+// decodeOneEntity decodes the entity at the start of s (which begins with
+// '&'). It returns the replacement text and the number of input bytes
+// consumed; consumed == 0 means no valid entity.
+func decodeOneEntity(s string) (string, int) {
+	if len(s) < 3 {
+		return "", 0
+	}
+	if s[1] == '#' {
+		return decodeNumericEntity(s)
+	}
+	// Named entity: scan alphanumerics, up to a sane bound.
+	end := 1
+	for end < len(s) && end < 32 && isAlnum(s[end]) {
+		end++
+	}
+	if end == 1 {
+		return "", 0
+	}
+	name := s[1:end]
+	rep, ok := namedEntities[name]
+	if !ok {
+		// Try case-insensitive fallback for sloppy authoring (&NBSP;).
+		rep, ok = namedEntities[strings.ToLower(name)]
+	}
+	if !ok {
+		return "", 0
+	}
+	if end < len(s) && s[end] == ';' {
+		end++
+	}
+	return rep, end
+}
+
+// decodeNumericEntity handles &#123; and &#x1F; forms.
+func decodeNumericEntity(s string) (string, int) {
+	i := 2
+	base := 10
+	if i < len(s) && (s[i] == 'x' || s[i] == 'X') {
+		base = 16
+		i++
+	}
+	start := i
+	for i < len(s) && i-start < 8 && isDigitBase(s[i], base) {
+		i++
+	}
+	if i == start {
+		return "", 0
+	}
+	n, err := strconv.ParseInt(s[start:i], base, 32)
+	if err != nil || n <= 0 || n > 0x10FFFF {
+		return "", 0
+	}
+	if i < len(s) && s[i] == ';' {
+		i++
+	}
+	return string(rune(n)), i
+}
+
+func isAlnum(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}
+
+func isDigitBase(b byte, base int) bool {
+	if base == 10 {
+		return b >= '0' && b <= '9'
+	}
+	return b >= '0' && b <= '9' || b >= 'a' && b <= 'f' || b >= 'A' && b <= 'F'
+}

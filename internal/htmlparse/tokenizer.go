@@ -1,0 +1,269 @@
+package htmlparse
+
+import (
+	"strings"
+)
+
+// Tokenizer scans an HTML document into a stream of Tokens. Create one with
+// NewTokenizer and call Next until it returns ok == false.
+type Tokenizer struct {
+	input string
+	pos   int
+	// rawEnd, when non-empty, is the element name whose raw-text content we
+	// are inside (script, style, ...); the next token is everything up to
+	// its end-tag.
+	rawEnd string
+}
+
+// NewTokenizer returns a Tokenizer over the given document.
+func NewTokenizer(input string) *Tokenizer {
+	return &Tokenizer{input: input}
+}
+
+// Tokenize scans the whole document and returns its tokens.
+func Tokenize(input string) []Token {
+	tz := NewTokenizer(input)
+	var out []Token
+	for {
+		tok, ok := tz.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+// Next returns the next token. ok is false at end of input.
+func (z *Tokenizer) Next() (tok Token, ok bool) {
+	if z.pos >= len(z.input) {
+		return Token{}, false
+	}
+	if z.rawEnd != "" {
+		return z.scanRawText(), true
+	}
+	if z.input[z.pos] == '<' {
+		if t, ok := z.scanMarkup(); ok {
+			return t, true
+		}
+		// A lone '<' that does not begin real markup is character data.
+		return z.scanText(), true
+	}
+	return z.scanText(), true
+}
+
+// scanText consumes character data up to the next plausible markup start.
+func (z *Tokenizer) scanText() Token {
+	start := z.pos
+	i := z.pos
+	// The first byte may be a non-markup '<'; always consume at least one.
+	i++
+	for i < len(z.input) {
+		if z.input[i] == '<' && looksLikeMarkup(z.input[i:]) {
+			break
+		}
+		i++
+	}
+	raw := z.input[start:i]
+	z.pos = i
+	return Token{Type: Text, Data: DecodeEntities(raw), Pos: start, End: i}
+}
+
+// looksLikeMarkup reports whether s (beginning with '<') plausibly starts a
+// tag, comment, or declaration, as opposed to a bare less-than in text.
+func looksLikeMarkup(s string) bool {
+	if len(s) < 2 {
+		return false
+	}
+	c := s[1]
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		return true
+	case c == '/' || c == '!' || c == '?':
+		return true
+	}
+	return false
+}
+
+// scanMarkup consumes a tag, comment, or declaration starting at '<'.
+// ok is false when the construct is not actually markup.
+func (z *Tokenizer) scanMarkup() (Token, bool) {
+	s := z.input
+	start := z.pos
+	if !looksLikeMarkup(s[start:]) {
+		return Token{}, false
+	}
+	switch s[start+1] {
+	case '!':
+		return z.scanDeclaration(), true
+	case '?':
+		// Processing instruction / bogus comment: skip to '>'. An
+		// unterminated PI at EOF has no '>' to strip, hence the clamp.
+		end := indexFrom(s, start, '>')
+		z.pos = end
+		return Token{Type: Comment, Data: s[start+2 : max(start+2, end-1)], Pos: start, End: end}, true
+	case '/':
+		return z.scanEndTag(), true
+	default:
+		return z.scanStartTag(), true
+	}
+}
+
+// indexFrom returns the index just past the first occurrence of b at or
+// after from, or len(s) if absent.
+func indexFrom(s string, from int, b byte) int {
+	if i := strings.IndexByte(s[from:], b); i >= 0 {
+		return from + i + 1
+	}
+	return len(s)
+}
+
+// scanDeclaration consumes <!-- comments --> and <!DOCTYPE ...> style
+// declarations. Comments respect the full "-->" terminator.
+func (z *Tokenizer) scanDeclaration() Token {
+	s := z.input
+	start := z.pos
+	if strings.HasPrefix(s[start:], "<!--") {
+		end := strings.Index(s[start+4:], "-->")
+		if end < 0 {
+			z.pos = len(s)
+			return Token{Type: Comment, Data: s[start+4:], Pos: start, End: len(s)}
+		}
+		stop := start + 4 + end + 3
+		z.pos = stop
+		return Token{Type: Comment, Data: s[start+4 : stop-3], Pos: start, End: stop}
+	}
+	end := indexFrom(s, start, '>')
+	z.pos = end
+	body := s[start+2 : max(start+2, end-1)]
+	typ := Comment
+	if len(body) >= 7 && strings.EqualFold(body[:7], "doctype") {
+		typ = Doctype
+	}
+	return Token{Type: typ, Data: body, Pos: start, End: end}
+}
+
+// scanEndTag consumes </name ...>.
+func (z *Tokenizer) scanEndTag() Token {
+	s := z.input
+	start := z.pos
+	i := start + 2
+	nameStart := i
+	for i < len(s) && isNameByte(s[i]) {
+		i++
+	}
+	name := strings.ToLower(s[nameStart:i])
+	end := indexFrom(s, i, '>')
+	z.pos = end
+	return Token{Type: EndTag, Name: name, Pos: start, End: end}
+}
+
+// scanStartTag consumes <name attr=value ...> including attributes.
+func (z *Tokenizer) scanStartTag() Token {
+	s := z.input
+	start := z.pos
+	i := start + 1
+	nameStart := i
+	for i < len(s) && isNameByte(s[i]) {
+		i++
+	}
+	name := strings.ToLower(s[nameStart:i])
+	tok := Token{Type: StartTag, Name: name, Pos: start}
+
+	for i < len(s) && s[i] != '>' {
+		// Skip whitespace between attributes.
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		if i >= len(s) || s[i] == '>' {
+			break
+		}
+		if s[i] == '/' {
+			i++
+			if i < len(s) && s[i] == '>' {
+				tok.SelfClosing = true
+			}
+			continue
+		}
+		// Attribute name.
+		keyStart := i
+		for i < len(s) && !isSpace(s[i]) && s[i] != '=' && s[i] != '>' && s[i] != '/' {
+			i++
+		}
+		key := strings.ToLower(s[keyStart:i])
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		var val string
+		if i < len(s) && s[i] == '=' {
+			i++
+			for i < len(s) && isSpace(s[i]) {
+				i++
+			}
+			if i < len(s) && (s[i] == '"' || s[i] == '\'') {
+				quote := s[i]
+				i++
+				valStart := i
+				for i < len(s) && s[i] != quote {
+					i++
+				}
+				val = s[valStart:i]
+				if i < len(s) {
+					i++ // consume closing quote
+				}
+			} else {
+				valStart := i
+				for i < len(s) && !isSpace(s[i]) && s[i] != '>' {
+					i++
+				}
+				val = s[valStart:i]
+			}
+		}
+		if key != "" {
+			tok.Attrs = append(tok.Attrs, Attr{Key: key, Value: DecodeEntities(val)})
+		}
+	}
+	if i < len(s) {
+		i++ // consume '>'
+	}
+	tok.End = i
+	z.pos = i
+	if IsRawText(name) && !tok.SelfClosing {
+		z.rawEnd = name
+	}
+	return tok
+}
+
+// scanRawText consumes raw-text content up to the matching end-tag of the
+// raw-text element we are inside (script, style, ...). The end-tag itself is
+// left for the next call.
+func (z *Tokenizer) scanRawText() Token {
+	s := z.input
+	start := z.pos
+	needle := "</" + z.rawEnd
+	low := strings.ToLower(s[start:])
+	idx := strings.Index(low, needle)
+	var end int
+	if idx < 0 {
+		end = len(s)
+	} else {
+		end = start + idx
+	}
+	z.pos = end
+	z.rawEnd = ""
+	// Raw text is not entity-decoded (scripts may contain '&&').
+	return Token{Type: Text, Data: s[start:end], Pos: start, End: end}
+}
+
+func isNameByte(b byte) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9':
+		return true
+	case b == '-' || b == '_' || b == ':' || b == '.':
+		return true
+	}
+	return false
+}
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\f'
+}

@@ -1,0 +1,115 @@
+package htmlparse
+
+import "strings"
+
+// TokenizeXML scans an XML document into tokens. It differs from the HTML
+// tokenizer in the ways the paper's footnote 1 ("most of this work should
+// carry over directly to other document type definitions, such as XML")
+// requires:
+//
+//   - element names keep their case (XML is case-sensitive); attribute
+//     keys are still normalized to lowercase,
+//   - there are no void elements or raw-text elements — emptiness comes
+//     only from explicit self-closing tags (<item/>),
+//   - CDATA sections become text tokens,
+//   - processing instructions (<?xml ...?>) become comments.
+//
+// The tokenizer remains tolerant: malformed constructs degrade to text
+// rather than failing, so the record-boundary pipeline can run over
+// imperfect feeds.
+func TokenizeXML(input string) []Token {
+	z := &xmlTokenizer{input: input}
+	var out []Token
+	for {
+		tok, ok := z.next()
+		if !ok {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+type xmlTokenizer struct {
+	input string
+	pos   int
+}
+
+func (z *xmlTokenizer) next() (Token, bool) {
+	if z.pos >= len(z.input) {
+		return Token{}, false
+	}
+	s := z.input
+	if s[z.pos] == '<' && looksLikeMarkup(s[z.pos:]) {
+		if strings.HasPrefix(s[z.pos:], "<![CDATA[") {
+			return z.scanCDATA(), true
+		}
+		return z.scanMarkup(), true
+	}
+	return z.scanText(), true
+}
+
+func (z *xmlTokenizer) scanText() Token {
+	start := z.pos
+	i := start + 1
+	for i < len(z.input) {
+		if z.input[i] == '<' && looksLikeMarkup(z.input[i:]) {
+			break
+		}
+		i++
+	}
+	z.pos = i
+	return Token{Type: Text, Data: DecodeEntities(z.input[start:i]), Pos: start, End: i}
+}
+
+func (z *xmlTokenizer) scanCDATA() Token {
+	start := z.pos
+	body := start + len("<![CDATA[")
+	end := strings.Index(z.input[body:], "]]>")
+	if end < 0 {
+		z.pos = len(z.input)
+		return Token{Type: Text, Data: z.input[body:], Pos: start, End: len(z.input)}
+	}
+	stop := body + end + 3
+	z.pos = stop
+	// CDATA content is literal: no entity decoding.
+	return Token{Type: Text, Data: z.input[body : body+end], Pos: start, End: stop}
+}
+
+func (z *xmlTokenizer) scanMarkup() Token {
+	s := z.input
+	start := z.pos
+	switch s[start+1] {
+	case '!':
+		// Comments and declarations: reuse the HTML scanner's logic.
+		h := &Tokenizer{input: s, pos: start}
+		tok := h.scanDeclaration()
+		z.pos = h.pos
+		return tok
+	case '?':
+		end := indexFrom(s, start, '>')
+		z.pos = end
+		return Token{Type: Comment, Data: s[start+2 : max(start+2, end-1)], Pos: start, End: end}
+	case '/':
+		i := start + 2
+		nameStart := i
+		for i < len(s) && isNameByte(s[i]) {
+			i++
+		}
+		name := s[nameStart:i] // case preserved
+		end := indexFrom(s, i, '>')
+		z.pos = end
+		return Token{Type: EndTag, Name: name, Pos: start, End: end}
+	default:
+		// Start tag: reuse the HTML attribute scanner, then restore case.
+		h := &Tokenizer{input: s, pos: start}
+		tok := h.scanStartTag()
+		z.pos = h.pos
+		nameEnd := start + 1
+		for nameEnd < len(s) && isNameByte(s[nameEnd]) {
+			nameEnd++
+		}
+		tok.Name = s[start+1 : nameEnd]
+		h.rawEnd = "" // XML has no raw-text elements
+		return tok
+	}
+}

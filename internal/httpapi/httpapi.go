@@ -1,0 +1,290 @@
+// Package httpapi exposes the record-boundary pipeline as a JSON HTTP
+// service: boundary discovery, record splitting, full extraction, and
+// document classification. It is the deployment surface a crawler fleet
+// would call; cmd/serve wires it to a listener.
+//
+// Endpoints (all POST bodies and responses are JSON):
+//
+//	POST /v1/discover  {html|xml, ontology?}     → separator, scores, rankings
+//	POST /v1/records   {html, ontology?}          → cleaned record chunks
+//	POST /v1/extract   {html, ontology}           → populated database
+//	POST /v1/classify  {html, ontology}           → document kind + evidence
+//	POST /v1/wrapper/learn  {samples, ontology?}  → reusable site wrapper
+//	POST /v1/wrapper/apply  {wrapper, html}       → records (409 on drift)
+//	GET  /v1/ontologies                           → built-in ontology names
+//	GET  /healthz                                 → ok
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/certainty"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/dbgen"
+	"repro/internal/ontology"
+)
+
+// MaxBodyBytes bounds request bodies; 1998-era pages were tens of
+// kilobytes, and even generous modern listings fit far below this.
+const MaxBodyBytes = 8 << 20
+
+// NewServeMux returns the service's routing table.
+func NewServeMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/discover", handleDiscover)
+	mux.HandleFunc("POST /v1/records", handleRecords)
+	mux.HandleFunc("POST /v1/extract", handleExtract)
+	mux.HandleFunc("POST /v1/classify", handleClassify)
+	mux.HandleFunc("GET /v1/ontologies", handleOntologies)
+	registerWrapperRoutes(mux)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// request is the shared request envelope.
+type request struct {
+	// HTML is the document to process; XML is its XML-mode alternative
+	// (exactly one must be set for discover; records/extract/classify are
+	// HTML-only).
+	HTML string `json:"html,omitempty"`
+	XML  string `json:"xml,omitempty"`
+	// Ontology is a built-in name ("obituary", "carad", "jobad", "course")
+	// or full DSL source (detected by the presence of a newline).
+	Ontology string `json:"ontology,omitempty"`
+	// SeparatorList optionally overrides IT's identifiable-separator list.
+	SeparatorList []string `json:"separator_list,omitempty"`
+}
+
+// errorBody is the uniform error response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // headers already sent; nothing useful to do on error
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// decode parses the request envelope with a body limit.
+func decode(w http.ResponseWriter, r *http.Request) (*request, bool) {
+	var req request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return nil, false
+	}
+	return &req, true
+}
+
+// resolveOntology turns the envelope's ontology field into a parsed
+// ontology; empty means nil (OM declines).
+func (req *request) resolveOntology() (*ontology.Ontology, error) {
+	if req.Ontology == "" {
+		return nil, nil
+	}
+	if ont := ontology.Builtin(req.Ontology); ont != nil {
+		return ont, nil
+	}
+	ont, err := ontology.Parse(req.Ontology)
+	if err != nil {
+		return nil, fmt.Errorf("ontology is neither built-in (%v) nor valid DSL: %w",
+			ontology.BuiltinNames(), err)
+	}
+	return ont, nil
+}
+
+// discoverResponse mirrors core.Result in wire-friendly form.
+type discoverResponse struct {
+	Separator  string               `json:"separator"`
+	TopTags    []string             `json:"top_tags"`
+	Scores     []scoreBody          `json:"scores"`
+	Rankings   map[string][]rankRow `json:"rankings"`
+	Candidates []candidateBody      `json:"candidates"`
+	Subtree    string               `json:"subtree"`
+}
+
+type scoreBody struct {
+	Tag string  `json:"tag"`
+	CF  float64 `json:"cf"`
+}
+
+type rankRow struct {
+	Tag  string `json:"tag"`
+	Rank int    `json:"rank"`
+}
+
+type candidateBody struct {
+	Tag   string `json:"tag"`
+	Count int    `json:"count"`
+}
+
+func toDiscoverResponse(res *core.Result) *discoverResponse {
+	out := &discoverResponse{
+		Separator: res.Separator,
+		TopTags:   res.TopTags,
+		Subtree:   res.Subtree.Name,
+		Rankings:  map[string][]rankRow{},
+	}
+	for _, s := range res.Scores {
+		out.Scores = append(out.Scores, scoreBody{Tag: s.Tag, CF: s.CF})
+	}
+	for name, ranking := range res.Rankings {
+		rows := make([]rankRow, 0, len(ranking))
+		for _, e := range ranking {
+			rows = append(rows, rankRow{Tag: e.Tag, Rank: e.Rank})
+		}
+		out.Rankings[name] = rows
+	}
+	for _, c := range res.Candidates {
+		out.Candidates = append(out.Candidates, candidateBody{Tag: c.Name, Count: c.Count})
+	}
+	return out
+}
+
+func handleDiscover(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode(w, r)
+	if !ok {
+		return
+	}
+	if (req.HTML == "") == (req.XML == "") {
+		writeErr(w, http.StatusBadRequest, errors.New("exactly one of html or xml is required"))
+		return
+	}
+	ont, err := req.resolveOntology()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := core.Options{Ontology: ont, SeparatorList: req.SeparatorList}
+	var res *core.Result
+	if req.HTML != "" {
+		res, err = core.Discover(req.HTML, opts)
+	} else {
+		res, err = core.DiscoverXML(req.XML, opts)
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toDiscoverResponse(res))
+}
+
+// recordBody is one split record on the wire.
+type recordBody struct {
+	Text  string `json:"text"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+}
+
+func handleRecords(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode(w, r)
+	if !ok {
+		return
+	}
+	if req.HTML == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("html is required"))
+		return
+	}
+	ont, err := req.resolveOntology()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := core.Discover(req.HTML, core.Options{Ontology: ont, SeparatorList: req.SeparatorList})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	var records []recordBody
+	for _, rec := range core.Split(req.HTML, res) {
+		records = append(records, recordBody{Text: rec.Text, Start: rec.Start, End: rec.End})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"separator": res.Separator,
+		"records":   records,
+	})
+}
+
+func handleExtract(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode(w, r)
+	if !ok {
+		return
+	}
+	if req.HTML == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("html is required"))
+		return
+	}
+	if req.Ontology == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("ontology is required for extraction"))
+		return
+	}
+	ont, err := req.resolveOntology()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := core.Discover(req.HTML, core.Options{Ontology: ont})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	db, err := dbgen.Populate(ont, res)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"separator": res.Separator,
+		"database":  db,
+	})
+}
+
+func handleClassify(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode(w, r)
+	if !ok {
+		return
+	}
+	if req.HTML == "" || req.Ontology == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("html and ontology are required"))
+		return
+	}
+	ont, err := req.resolveOntology()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := classify.Classify(req.HTML, ont)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"kind":         res.Kind.String(),
+		"estimate":     res.Estimate,
+		"field_counts": res.FieldCounts,
+		"fan_out":      res.FanOut,
+		"candidates":   res.Candidates,
+	})
+}
+
+func handleOntologies(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"builtin":    ontology.BuiltinNames(),
+		"heuristics": certainty.AllHeuristics,
+	})
+}

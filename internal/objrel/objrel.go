@@ -1,0 +1,218 @@
+// Package objrel is the "Record-Level Objects, Relationships, and
+// Constraints" box of the paper's Figure 1: the typed intermediate
+// representation between recognition (the Data-Record Table) and database
+// population. Each record becomes an entity instance whose attribute
+// bindings carry provenance — whether a value was anchored by a keyword,
+// taken positionally, or only evidenced by a keyword — and the ontology's
+// cardinality constraints are checked per record, producing violations
+// instead of silent mispopulation.
+package objrel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ontology"
+)
+
+// Provenance records how a binding's value was established.
+type Provenance int
+
+// Provenance values.
+const (
+	// KeywordAnchored: a keyword match anchored a nearby constant ("died
+	// on" → the following date). The strongest evidence.
+	KeywordAnchored Provenance = iota
+	// Positional: the first unclaimed constant of the object set was taken
+	// without a keyword anchor.
+	Positional
+	// KeywordOnly: a keyword proved the field's presence but no constant
+	// was found; the binding's value is the keyword text itself.
+	KeywordOnly
+)
+
+// String names the provenance.
+func (p Provenance) String() string {
+	switch p {
+	case KeywordAnchored:
+		return "keyword-anchored"
+	case Positional:
+		return "positional"
+	case KeywordOnly:
+		return "keyword-only"
+	default:
+		return fmt.Sprintf("Provenance(%d)", int(p))
+	}
+}
+
+// Binding is one attribute value of an entity instance.
+type Binding struct {
+	// ObjectSet names the bound object set.
+	ObjectSet string
+	// Value is the bound constant (or keyword text for KeywordOnly).
+	Value string
+	// Pos is the document offset of the evidence.
+	Pos        int
+	Provenance Provenance
+}
+
+// Violation is a cardinality-constraint breach detected while building a
+// record instance.
+type Violation struct {
+	// ObjectSet names the violated set.
+	ObjectSet string
+	// Constraint describes the breached rule.
+	Constraint string
+}
+
+// String renders the violation.
+func (v Violation) String() string { return v.ObjectSet + ": " + v.Constraint }
+
+// RecordInstance is one entity instance: the object-level view of a record.
+type RecordInstance struct {
+	// ID is the 1-based record ordinal within the document.
+	ID int
+	// Span is the record's byte range in the source document.
+	SpanStart, SpanEnd int
+	// Single holds single-valued bindings by object set (one-to-one and
+	// functional sets).
+	Single map[string]Binding
+	// Many holds the multi-valued bindings by object set, in document
+	// order, deduplicated by value.
+	Many map[string][]Binding
+	// Violations lists cardinality breaches (e.g. a one-to-one field with
+	// no value after correlation).
+	Violations []Violation
+}
+
+// Value returns the single-valued binding's value, with ok reporting
+// presence.
+func (r *RecordInstance) Value(objectSet string) (string, bool) {
+	b, ok := r.Single[objectSet]
+	return b.Value, ok
+}
+
+// RelationshipInstance links the entity instance to one of its bound values
+// under a declared relationship set.
+type RelationshipInstance struct {
+	// Name is the relationship set's name from the ontology.
+	Name string
+	// RecordID is the entity instance.
+	RecordID int
+	// ObjectSet and Value are the related object instance.
+	ObjectSet string
+	Value     string
+}
+
+// Instance is the model instance for one document.
+type Instance struct {
+	// Entity names the entity of interest.
+	Entity string
+	// Records are the accepted entity instances, in document order.
+	Records []*RecordInstance
+	// Relationships are the instantiated declared relationship sets.
+	Relationships []RelationshipInstance
+	// Rejected counts chunks that did not qualify as records (headers,
+	// footers, separator-adjacent noise).
+	Rejected int
+}
+
+// Instantiate derives relationship instances for a record from the
+// ontology's declared relationship sets: for each declaration Entity↔Set
+// (in either direction) with a binding present, one instance is emitted.
+func (inst *Instance) instantiateRelationships(ont *ontology.Ontology, rec *RecordInstance) {
+	for _, rel := range ont.Relationships {
+		var set string
+		switch {
+		case rel.From == ont.Entity:
+			set = rel.To
+		case rel.To == ont.Entity:
+			set = rel.From
+		default:
+			continue
+		}
+		if b, ok := rec.Single[set]; ok {
+			inst.Relationships = append(inst.Relationships, RelationshipInstance{
+				Name: rel.Name, RecordID: rec.ID, ObjectSet: set, Value: b.Value,
+			})
+			continue
+		}
+		for _, b := range rec.Many[set] {
+			inst.Relationships = append(inst.Relationships, RelationshipInstance{
+				Name: rel.Name, RecordID: rec.ID, ObjectSet: set, Value: b.Value,
+			})
+		}
+	}
+}
+
+// AddRecord appends a record instance, checks its constraints against the
+// ontology, and instantiates its relationships. It assigns the record's ID.
+func (inst *Instance) AddRecord(ont *ontology.Ontology, rec *RecordInstance) {
+	rec.ID = len(inst.Records) + 1
+	for _, set := range ont.ObjectSets {
+		if set.Cardinality == ontology.OneToOne {
+			if _, ok := rec.Single[set.Name]; !ok {
+				rec.Violations = append(rec.Violations, Violation{
+					ObjectSet:  set.Name,
+					Constraint: "one-to-one field has no value in this record",
+				})
+			}
+		}
+	}
+	inst.Records = append(inst.Records, rec)
+	inst.instantiateRelationships(ont, rec)
+}
+
+// Summary renders a compact description for logs.
+func (inst *Instance) Summary() string {
+	violations := 0
+	for _, r := range inst.Records {
+		violations += len(r.Violations)
+	}
+	return fmt.Sprintf("%s: %d records, %d relationship instances, %d violations, %d chunks rejected",
+		inst.Entity, len(inst.Records), len(inst.Relationships), violations, inst.Rejected)
+}
+
+// ProvenanceCounts tallies single-valued bindings by provenance across the
+// instance — the evidence-quality profile of an extraction.
+func (inst *Instance) ProvenanceCounts() map[Provenance]int {
+	out := map[Provenance]int{}
+	for _, r := range inst.Records {
+		for _, b := range r.Single {
+			out[b.Provenance]++
+		}
+	}
+	return out
+}
+
+// Describe renders the instance in a readable multi-line form (records,
+// bindings with provenance, violations).
+func (inst *Instance) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", inst.Summary())
+	for _, r := range inst.Records {
+		fmt.Fprintf(&b, "record %d [%d:%d]\n", r.ID, r.SpanStart, r.SpanEnd)
+		for _, set := range orderedKeys(r.Single) {
+			bind := r.Single[set]
+			fmt.Fprintf(&b, "  %-18s %-16s %q\n", set, "("+bind.Provenance.String()+")", bind.Value)
+		}
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  ! %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+func orderedKeys(m map[string]Binding) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Insertion order is not tracked; sort for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package objrel_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dbgen"
+	"repro/internal/objrel"
+	"repro/internal/ontology"
+	"repro/internal/paperdoc"
+	"repro/internal/recognizer"
+)
+
+// figure2Instance builds the model instance for the paper's Figure 2 page.
+func figure2Instance(t *testing.T) *objrel.Instance {
+	t.Helper()
+	ont := ontology.Builtin("obituary")
+	res, err := core.Discover(paperdoc.Figure2, core.Options{Ontology: ont})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := recognizer.Recognize(ont, res.Tree, res.Subtree)
+	return dbgen.Correlate(ont, res, table)
+}
+
+func TestCorrelateFigure2Records(t *testing.T) {
+	inst := figure2Instance(t)
+	if inst.Entity != "Obituary" {
+		t.Errorf("entity = %s", inst.Entity)
+	}
+	if len(inst.Records) != 3 {
+		t.Fatalf("records = %d, want 3\n%s", len(inst.Records), inst.Describe())
+	}
+	if inst.Rejected < 1 {
+		t.Errorf("rejected = %d; the header chunk should be rejected", inst.Rejected)
+	}
+	names := []string{"Lemar K. Adamson", "Brian Fielding Frost", "Leonard Kenneth Gunther"}
+	for i, rec := range inst.Records {
+		if rec.ID != i+1 {
+			t.Errorf("record %d has ID %d", i, rec.ID)
+		}
+		if got, _ := rec.Value("DeceasedName"); got != names[i] {
+			t.Errorf("record %d name = %q, want %q", i+1, got, names[i])
+		}
+		if rec.SpanStart >= rec.SpanEnd {
+			t.Errorf("record %d bad span [%d,%d)", i+1, rec.SpanStart, rec.SpanEnd)
+		}
+	}
+}
+
+func TestProvenanceOnFigure2(t *testing.T) {
+	inst := figure2Instance(t)
+	rec := inst.Records[0]
+	// DeathDate is keyword-anchored ("died on" → the date); DeceasedName is
+	// positional (value pattern only).
+	if b := rec.Single["DeathDate"]; b.Provenance != objrel.KeywordAnchored {
+		t.Errorf("DeathDate provenance = %v, want keyword-anchored", b.Provenance)
+	}
+	if b := rec.Single["DeceasedName"]; b.Provenance != objrel.Positional {
+		t.Errorf("DeceasedName provenance = %v, want positional", b.Provenance)
+	}
+	// Interment has keywords only: its binding is the keyword evidence.
+	if b, ok := rec.Single["Interment"]; !ok || b.Provenance != objrel.KeywordOnly {
+		t.Errorf("Interment binding = %+v ok=%v, want keyword-only", b, ok)
+	}
+	counts := inst.ProvenanceCounts()
+	if counts[objrel.KeywordAnchored] == 0 || counts[objrel.Positional] == 0 || counts[objrel.KeywordOnly] == 0 {
+		t.Errorf("provenance counts = %v; all three kinds expected on Figure 2", counts)
+	}
+}
+
+func TestRelationshipInstances(t *testing.T) {
+	inst := figure2Instance(t)
+	// The obituary ontology declares Dies/Honors/RestsAt between Obituary
+	// and DeathDate/FuneralService/Interment: 3 per record.
+	if len(inst.Relationships) != 9 {
+		t.Fatalf("relationship instances = %d, want 9:\n%+v", len(inst.Relationships), inst.Relationships)
+	}
+	byName := map[string]int{}
+	for _, ri := range inst.Relationships {
+		byName[ri.Name]++
+		if ri.RecordID < 1 || ri.RecordID > 3 {
+			t.Errorf("relationship %s has bad record id %d", ri.Name, ri.RecordID)
+		}
+	}
+	for _, name := range []string{"Dies", "Honors", "RestsAt"} {
+		if byName[name] != 3 {
+			t.Errorf("%s instances = %d, want 3", name, byName[name])
+		}
+	}
+}
+
+func TestViolationsDetected(t *testing.T) {
+	// A record missing a one-to-one field (here: no phone in the second
+	// ad) is accepted — it fills 3 of 4 one-to-one sets — but carries a
+	// violation.
+	doc := `<html><body><div>
+<hr><b>1994 Ford Taurus</b>, red. Asking $4,500. Call (801) 555-1234.
+<hr><b>1991 Honda Civic</b>, blue. Asking $2,900. See dealer for details.
+<hr></div></body></html>`
+	ont := ontology.Builtin("carad")
+	res, err := core.Discover(doc, core.Options{Ontology: ont})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := dbgen.Correlate(ont, res, recognizer.Recognize(ont, res.Tree, res.Subtree))
+	if len(inst.Records) != 2 {
+		t.Fatalf("records = %d\n%s", len(inst.Records), inst.Describe())
+	}
+	if len(inst.Records[0].Violations) != 0 {
+		t.Errorf("record 1 violations = %v, want none", inst.Records[0].Violations)
+	}
+	var phoneViolation bool
+	for _, v := range inst.Records[1].Violations {
+		if v.ObjectSet == "Phone" {
+			phoneViolation = true
+		}
+	}
+	if !phoneViolation {
+		t.Errorf("record 2 should report the missing Phone: %v", inst.Records[1].Violations)
+	}
+}
+
+func TestPopulateInstanceMatchesDirectPopulate(t *testing.T) {
+	ont := ontology.Builtin("obituary")
+	res, err := core.Discover(paperdoc.Figure2, core.Options{Ontology: ont})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := dbgen.Populate(ont, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := figure2Instance(t)
+	staged, err := dbgen.PopulateInstance(ont, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Summary() != staged.Summary() {
+		t.Errorf("summaries differ: %s vs %s", direct.Summary(), staged.Summary())
+	}
+}
+
+func TestDescribeAndSummary(t *testing.T) {
+	inst := figure2Instance(t)
+	s := inst.Summary()
+	if !strings.Contains(s, "3 records") || !strings.Contains(s, "9 relationship instances") {
+		t.Errorf("summary = %q", s)
+	}
+	d := inst.Describe()
+	for _, want := range []string{"record 1", "DeathDate", "keyword-anchored", "Lemar K. Adamson"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("describe missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestProvenanceString(t *testing.T) {
+	if objrel.KeywordAnchored.String() != "keyword-anchored" ||
+		objrel.Positional.String() != "positional" ||
+		objrel.KeywordOnly.String() != "keyword-only" {
+		t.Error("provenance names wrong")
+	}
+	if !strings.Contains(objrel.Provenance(9).String(), "9") {
+		t.Error("unknown provenance should show its number")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := objrel.Violation{ObjectSet: "Phone", Constraint: "missing"}
+	if v.String() != "Phone: missing" {
+		t.Errorf("violation = %q", v.String())
+	}
+}

@@ -1,0 +1,76 @@
+package ontology
+
+import "strings"
+
+// ColumnSpec is one column of a generated table.
+type ColumnSpec struct {
+	Name string
+	// Type is the data-frame type of the backing object set ("date",
+	// "name", ...), or "text" when the frame declares none.
+	Type string
+	// Nullable is true for functional (at-most-one) object sets; a
+	// one-to-one set's column is expected in every record.
+	Nullable bool
+}
+
+// TableSpec is one table of the generated database scheme.
+type TableSpec struct {
+	Name    string
+	Columns []ColumnSpec
+	// Key lists the primary-key columns.
+	Key []string
+}
+
+// Scheme is the database description generated from an ontology (the
+// "Database Description" box of Figure 1): one entity table whose columns
+// are the single-valued object sets, plus one two-column table per
+// many-valued object set.
+type Scheme struct {
+	Entity TableSpec
+	// ManyTables holds one table per many-valued object set, in
+	// declaration order.
+	ManyTables []TableSpec
+}
+
+// Tables returns all tables of the scheme, entity table first.
+func (s *Scheme) Tables() []TableSpec {
+	out := make([]TableSpec, 0, 1+len(s.ManyTables))
+	out = append(out, s.Entity)
+	return append(out, s.ManyTables...)
+}
+
+// idColumn names the surrogate key column of the entity table.
+func idColumn(entity string) string { return strings.ToLower(entity) + "_id" }
+
+// Scheme generates the database scheme for the ontology.
+func (o *Ontology) Scheme() *Scheme {
+	id := idColumn(o.Entity)
+	entity := TableSpec{
+		Name:    o.Entity,
+		Columns: []ColumnSpec{{Name: id, Type: "int"}},
+		Key:     []string{id},
+	}
+	var many []TableSpec
+	for _, s := range o.ObjectSets {
+		typ := s.Frame.Type
+		if typ == "" {
+			typ = "text"
+		}
+		switch s.Cardinality {
+		case OneToOne:
+			entity.Columns = append(entity.Columns, ColumnSpec{Name: s.Name, Type: typ})
+		case Functional:
+			entity.Columns = append(entity.Columns, ColumnSpec{Name: s.Name, Type: typ, Nullable: true})
+		case Many:
+			many = append(many, TableSpec{
+				Name: o.Entity + "_" + s.Name,
+				Columns: []ColumnSpec{
+					{Name: id, Type: "int"},
+					{Name: s.Name, Type: typ},
+				},
+				Key: []string{id, s.Name},
+			})
+		}
+	}
+	return &Scheme{Entity: entity, ManyTables: many}
+}

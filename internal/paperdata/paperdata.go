@@ -1,0 +1,119 @@
+// Package paperdata records the numbers the paper publishes in its
+// evaluation tables, as data. The experiment harness renders measured
+// results side by side with these (cmd/experiments -compare), and tests
+// cross-check derivations against them (e.g. Tables 2+3 averaging to the
+// published Table 4 exactly).
+package paperdata
+
+import "repro/internal/certainty"
+
+// Table2 is the paper's Table 2: per-heuristic ranking distribution on the
+// 50 obituary training documents (fraction ranked 1st..4th).
+var Table2 = []certainty.Distribution{
+	{Heuristic: certainty.OM, AtRank: []float64{0.83, 0.17, 0.00, 0.00}},
+	{Heuristic: certainty.RP, AtRank: []float64{0.83, 0.07, 0.10, 0.00}},
+	{Heuristic: certainty.SD, AtRank: []float64{0.59, 0.27, 0.14, 0.00}},
+	{Heuristic: certainty.IT, AtRank: []float64{0.92, 0.08, 0.00, 0.00}},
+	{Heuristic: certainty.HT, AtRank: []float64{0.58, 0.23, 0.17, 0.02}},
+}
+
+// Table3 is the paper's Table 3: the car-advertisement training
+// distribution.
+var Table3 = []certainty.Distribution{
+	{Heuristic: certainty.OM, AtRank: []float64{0.86, 0.08, 0.04, 0.02}},
+	{Heuristic: certainty.RP, AtRank: []float64{0.72, 0.18, 0.08, 0.02}},
+	{Heuristic: certainty.SD, AtRank: []float64{0.72, 0.18, 0.10, 0.00}},
+	{Heuristic: certainty.IT, AtRank: []float64{1.00, 0.00, 0.00, 0.00}},
+	{Heuristic: certainty.HT, AtRank: []float64{0.40, 0.42, 0.16, 0.02}},
+}
+
+// Table5 is the paper's Table 5: success rates of all 26 compound
+// heuristics on the 100 training documents, by canonical abbreviation.
+var Table5 = map[string]float64{
+	"OR": 0.8583, "OS": 0.8800, "OI": 0.9500, "OH": 0.7900,
+	"RS": 0.7950, "RI": 0.9500, "RH": 0.7633, "SI": 0.9500,
+	"SH": 0.6950, "IH": 0.9500,
+	"ORS": 0.8150, "ORI": 0.9333, "ORH": 0.8483, "OSI": 0.9500,
+	"OSH": 0.8750, "OIH": 0.9500, "RSI": 0.9500, "RSH": 0.8550,
+	"RIH": 0.9500, "SIH": 0.9500,
+	"ORSI": 1.0000, "ORSH": 0.8250, "ORIH": 1.0000, "OSIH": 0.9500,
+	"RSIH": 1.0000, "ORSIH": 1.0000,
+}
+
+// TestRow is one published row of Tables 6–9: the rank each heuristic gave
+// a correct separator on one test site, plus the compound ("A") rank.
+type TestRow struct {
+	Site string
+	OM   int
+	RP   int
+	SD   int
+	IT   int
+	HT   int
+	A    int
+}
+
+// Rank returns the row's rank for the named heuristic (or A).
+func (r TestRow) Rank(h string) int {
+	switch h {
+	case certainty.OM:
+		return r.OM
+	case certainty.RP:
+		return r.RP
+	case certainty.SD:
+		return r.SD
+	case certainty.IT:
+		return r.IT
+	case certainty.HT:
+		return r.HT
+	case "A":
+		return r.A
+	default:
+		return 0
+	}
+}
+
+// Table6 is the paper's test set 1 (obituaries).
+var Table6 = []TestRow{
+	{"Alameda Newspaper", 1, 1, 1, 1, 1, 1},
+	{"Idaho State Journal", 1, 1, 2, 1, 2, 1},
+	{"Sacramento Bee", 1, 1, 1, 1, 1, 1},
+	{"Tampa Tribune", 1, 1, 1, 1, 1, 1},
+	{"Shoals Timesdaily", 1, 1, 1, 1, 2, 1},
+}
+
+// Table7 is the paper's test set 2 (car advertisements).
+var Table7 = []TestRow{
+	{"Arkansas Democrat-Gazette", 1, 1, 1, 1, 2, 1},
+	{"Sioux City Journal", 1, 2, 2, 1, 4, 1},
+	{"Knoxville News", 1, 1, 1, 1, 1, 1},
+	{"Lincoln Journal Star", 1, 1, 1, 1, 1, 1},
+	{"Reno Gazette-Journal", 3, 3, 1, 1, 3, 1},
+}
+
+// Table8 is the paper's test set 3 (computer job advertisements).
+var Table8 = []TestRow{
+	{"Baltimore Sun", 1, 1, 1, 1, 2, 1},
+	{"Dallas Morning News", 1, 1, 2, 1, 2, 1},
+	{"Denver Post", 4, 1, 1, 1, 4, 1},
+	{"Indianapolis Star/News", 1, 1, 1, 1, 1, 1},
+	{"Los Angeles Times", 2, 3, 2, 1, 2, 1},
+}
+
+// Table9 is the paper's test set 4 (university course descriptions).
+var Table9 = []TestRow{
+	{"BYU", 2, 2, 1, 1, 1, 1},
+	{"MIT", 1, 1, 1, 1, 2, 1},
+	{"KSU", 1, 1, 2, 2, 2, 1},
+	{"USC", 1, 1, 2, 1, 1, 1},
+	{"UT - Austin", 1, 2, 2, 1, 1, 1},
+}
+
+// Table10 is the paper's final success-rate table on the 20 test documents.
+var Table10 = map[string]float64{
+	certainty.OM: 0.80,
+	certainty.RP: 0.75,
+	certainty.SD: 0.65,
+	certainty.IT: 0.95,
+	certainty.HT: 0.45,
+	"ORSIH":      1.00,
+}

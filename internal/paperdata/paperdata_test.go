@@ -1,0 +1,100 @@
+package paperdata
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/certainty"
+)
+
+// TestTable4IsAverageOfTables2And3 cross-checks the paper's own derivation:
+// averaging the published Tables 2 and 3 must give the published Table 4
+// exactly (the paper states this is how the certainty factors were chosen).
+func TestTable4IsAverageOfTables2And3(t *testing.T) {
+	calibrated := certainty.Calibrate(append(append([]certainty.Distribution{}, Table2...), Table3...))
+	for h, want := range certainty.PaperTable {
+		got := calibrated[h]
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d factors, want %d", h, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Errorf("%s rank %d: avg(T2,T3) = %v, published Table 4 = %v", h, i+1, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDistributionsSumToOne: every published distribution row is a
+// probability distribution over ranks 1–4.
+func TestDistributionsSumToOne(t *testing.T) {
+	for _, tbl := range [][]certainty.Distribution{Table2, Table3} {
+		for _, d := range tbl {
+			sum := 0.0
+			for _, v := range d.AtRank {
+				sum += v
+			}
+			if math.Abs(sum-1.0) > 1e-9 {
+				t.Errorf("%s sums to %v", d.Heuristic, sum)
+			}
+		}
+	}
+}
+
+// TestTable5Consistency: the paper's published sweep has 26 rows; the four
+// it names as perfect are at 100%, and every IT combination exceeds 90%.
+func TestTable5Consistency(t *testing.T) {
+	if len(Table5) != 26 {
+		t.Fatalf("Table 5 rows = %d, want 26", len(Table5))
+	}
+	for _, ab := range []string{"ORSI", "ORIH", "RSIH", "ORSIH"} {
+		if Table5[ab] != 1.0 {
+			t.Errorf("%s = %v, the paper reports 100%%", ab, Table5[ab])
+		}
+	}
+	for _, combo := range certainty.Combinations(certainty.AllHeuristics, 2) {
+		ab := combo.Abbrev()
+		rate, ok := Table5[ab]
+		if !ok {
+			t.Errorf("combination %s missing from Table 5", ab)
+			continue
+		}
+		if combo.Contains(certainty.IT) && rate < 0.90 {
+			t.Errorf("%s = %v; the paper says IT combinations exceed 90%%", ab, rate)
+		}
+	}
+}
+
+// TestTable10MatchesTestRows: the paper's Table 10 success rates must equal
+// the fraction of rank-1 rows in its own Tables 6–9.
+func TestTable10MatchesTestRows(t *testing.T) {
+	all := append(append(append(append([]TestRow{}, Table6...), Table7...), Table8...), Table9...)
+	if len(all) != 20 {
+		t.Fatalf("test rows = %d, want 20", len(all))
+	}
+	for _, h := range certainty.AllHeuristics {
+		firsts := 0
+		for _, row := range all {
+			if row.Rank(h) == 1 {
+				firsts++
+			}
+		}
+		got := float64(firsts) / 20
+		if math.Abs(got-Table10[h]) > 1e-9 {
+			t.Errorf("%s: Tables 6–9 give %.2f, Table 10 says %.2f", h, got, Table10[h])
+		}
+	}
+	// The compound column is rank 1 everywhere.
+	for _, row := range all {
+		if row.A != 1 {
+			t.Errorf("%s: published A = %d", row.Site, row.A)
+		}
+	}
+}
+
+func TestRankLookup(t *testing.T) {
+	row := TestRow{Site: "x", OM: 1, RP: 2, SD: 3, IT: 4, HT: 1, A: 1}
+	if row.Rank("OM") != 1 || row.Rank("SD") != 3 || row.Rank("A") != 1 || row.Rank("ZZ") != 0 {
+		t.Error("Rank lookup wrong")
+	}
+}

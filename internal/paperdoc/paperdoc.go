@@ -1,0 +1,47 @@
+// Package paperdoc holds the paper's Figure 2(a) sample document — an
+// October 1998 funeral-notices page with three obituaries — reconstructed
+// with realistic filler text where the paper shows ellipses.
+//
+// The document is the paper's running example and the source of its §5.3
+// worked results, all of which this codebase reproduces exactly:
+//
+//	candidates:  hr (4), b (8), br (5); h1 is irrelevant
+//	OM ranking:  hr, br, b
+//	RP ranking:  hr, br, b   (pairs <hr><b> = 2, <br><hr> = 2)
+//	SD ranking:  hr, b, br
+//	IT ranking:  hr, br, b
+//	HT ranking:  b, br, hr
+//	ORSIH:       hr 99.96%, b 64.75%, br 56.34%
+package paperdoc
+
+// Figure2 is the reconstructed Figure 2(a) document. The tag skeleton —
+// every HTML tag and its order — is exactly the paper's; only the prose
+// behind the ellipses is reconstructed. The filler is sized so that the
+// three records have nearly equal plain-text length (giving <hr> the
+// smallest standard deviation, as in the paper) while the <b> and <br>
+// inter-occurrence intervals vary (SD ranks b second and br third).
+const Figure2 = `<html><head><title>Classifieds</title></head>
+<body bgcolor="#FFFFFF">
+<table><tr><td>
+<h1 align="left">Funeral Notices - </h1> October 1, 1998
+<hr>
+<b>Lemar K. Adamson</b><br> died on September 30, 1998. Lemar was born on September 5, 1913 in Spring City, a son of Knud and Hannah Adamson. He married Phyllis Jensen on June 4, 1937. He served honorably and was a lifelong member of his
+church. Services will be held Saturday at <b>MEMORIAL CHAPEL</b>, where friends may call one hour prior. Interment will follow in the city cemetery with military honors accorded graveside.<br>
+<hr>
+Our beloved <b>Brian Fielding Frost</b>, age 41, passed away on September 30, 1998, in a tragic accident. Brian was born May 12, 1957 in Tucson. He is survived by his wife Anne and their four children. Funeral services will be
+held at noon on Friday in the <b>Howard Stake Center</b>,
+<b>Carrillo's Tucson Mortuary</b>, directing. Friends may call Thursday evening. Interment,
+Holy Hope Cemetery<br>, where the family will gather following the services on Friday afternoon.
+<hr>
+<b>Leonard Kenneth Gunther</b><br> passed away on September 30, 1998. Leonard was born March 3, 1921 in Ogden, the second of six children. He worked forty years for the railroad and is survived by three sons. Friends may call Monday evening at <b>HEATHER MORTUARY</b>, from six until eight. Funeral services will be held
+Tuesday at 11:00 a.m. at <b>HEATHER MORTUARY</b>, on
+Tuesday, October 6, 1998. Interment will follow at the Ogden city cemetery beside his wife.<br>
+<hr>
+</td></tr></table>
+All material is copyrighted.
+</body>
+</html>`
+
+// TreeShape is the expected tag tree of Figure2 in a compact nested-paren
+// notation (names only), matching the paper's Figure 2(b).
+const TreeShape = "#document(html(head(title) body(table(tr(td(h1 hr b br b br hr b b b br hr b br b b br hr))))))"

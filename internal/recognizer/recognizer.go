@@ -1,0 +1,134 @@
+// Package recognizer implements the Constant/Keyword Recognizer of the
+// paper's Figure 1 pipeline: it applies the matching rules generated from an
+// application ontology to the plain text of a document and produces the
+// Data-Record Table — one row per recognized keyword or constant, carrying a
+// descriptor, the matched string, and its position, ordered by position.
+//
+// The OM heuristic (§4.5) reads its occurrence counts from this table, and
+// the Database-Instance Generator partitions it at the discovered separator
+// positions to build records.
+package recognizer
+
+import (
+	"sort"
+
+	"repro/internal/ontology"
+	"repro/internal/tagtree"
+)
+
+// Entry is one row of the Data-Record Table.
+type Entry struct {
+	// ObjectSet names the object set whose rule matched.
+	ObjectSet string
+	// Kind distinguishes keyword matches from constant (value) matches.
+	Kind ontology.RuleKind
+	// String is the matched text.
+	String string
+	// Pos is the byte offset of the match in the original document.
+	Pos int
+	// End is the byte offset just past the match.
+	End int
+}
+
+// Descriptor renders the entry's descriptor, e.g. "DeathDate/keyword".
+func (e Entry) Descriptor() string { return e.ObjectSet + "/" + e.Kind.String() }
+
+// Table is the Data-Record Table: entries sorted by position in the
+// document (ties broken by object-set name, then kind).
+type Table struct {
+	Entries []Entry
+}
+
+// Len returns the number of entries ("lines" in the paper's O(d) analysis).
+func (t *Table) Len() int { return len(t.Entries) }
+
+// CountKeyword returns the number of keyword entries for the object set.
+func (t *Table) CountKeyword(objectSet string) int {
+	return t.count(objectSet, ontology.KeywordRule)
+}
+
+// CountConstant returns the number of constant entries for the object set.
+func (t *Table) CountConstant(objectSet string) int {
+	return t.count(objectSet, ontology.ConstantRule)
+}
+
+func (t *Table) count(objectSet string, kind ontology.RuleKind) int {
+	n := 0
+	for _, e := range t.Entries {
+		if e.ObjectSet == objectSet && e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Slice returns the entries with Pos in [from, to), preserving order. It is
+// how the Database-Instance Generator partitions the table into records.
+func (t *Table) Slice(from, to int) []Entry {
+	lo := sort.Search(len(t.Entries), func(i int) bool { return t.Entries[i].Pos >= from })
+	hi := sort.Search(len(t.Entries), func(i int) bool { return t.Entries[i].Pos >= to })
+	return t.Entries[lo:hi]
+}
+
+// Recognize runs the ontology's matching rules over the plain text of the
+// subtree rooted at n (normally the highest-fan-out subtree) and returns the
+// Data-Record Table. Text chunks are matched individually — a rule never
+// matches across a tag boundary, mirroring how the paper's recognizers run
+// over the cleaned text between tags. Positions are document offsets.
+func Recognize(ont *ontology.Ontology, tree *tagtree.Tree, n *tagtree.Node) *Table {
+	rules := ont.Rules()
+	var entries []Entry
+	for _, ev := range tree.SubtreeEvents(n) {
+		if ev.Kind != tagtree.EventText {
+			continue
+		}
+		for _, r := range rules {
+			for _, m := range r.Pattern.FindAllStringIndex(ev.Text, -1) {
+				entries = append(entries, Entry{
+					ObjectSet: r.ObjectSet,
+					Kind:      r.Kind,
+					String:    ev.Text[m[0]:m[1]],
+					Pos:       ev.Pos + m[0],
+					End:       ev.Pos + m[1],
+				})
+			}
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Pos != b.Pos {
+			return a.Pos < b.Pos
+		}
+		if a.ObjectSet != b.ObjectSet {
+			return a.ObjectSet < b.ObjectSet
+		}
+		return a.Kind < b.Kind
+	})
+	return &Table{Entries: entries}
+}
+
+// FieldCount returns the number of indicator occurrences for one
+// record-identifying field, per §4.5: keyword occurrences for
+// keyword-indicated fields, constant occurrences otherwise.
+func FieldCount(t *Table, f ontology.RecordIdentifyingField) int {
+	if f.UseKeywords {
+		return t.CountKeyword(f.Set.Name)
+	}
+	return t.CountConstant(f.Set.Name)
+}
+
+// EstimateRecordCount averages the indicator counts of the ontology's
+// record-identifying fields — the paper's estimate of the number of records
+// in the document. ok is false when the ontology has fewer than three
+// record-identifying fields (OM then declines to answer).
+func EstimateRecordCount(ont *ontology.Ontology, t *Table) (estimate float64, ok bool) {
+	fields, ok := ont.RecordIdentifyingFields()
+	if !ok {
+		return 0, false
+	}
+	sum := 0
+	for _, f := range fields {
+		sum += FieldCount(t, f)
+	}
+	return float64(sum) / float64(len(fields)), true
+}

@@ -1,0 +1,240 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Query is a small fluent read API over one table — enough for the
+// downstream consumers of a populated instance (the comparison-shopping
+// queries the paper's introduction motivates) without growing into a query
+// engine.
+//
+//	rows := db.Table("CarAd").Query().
+//	        WhereNotNull("Price").
+//	        Where("Make", Eq, "Ford").
+//	        OrderBy("Price").
+//	        Limit(10).
+//	        Rows()
+type Query struct {
+	table  *Table
+	preds  []func(Row) bool
+	order  []orderKey
+	limit  int
+	offset int
+}
+
+type orderKey struct {
+	col     string
+	desc    bool
+	numeric bool
+}
+
+// Op is a comparison operator for Where.
+type Op int
+
+// Comparison operators.
+const (
+	// Eq matches cells equal to the operand.
+	Eq Op = iota
+	// Ne matches cells not equal to the operand (NULLs do not match).
+	Ne
+	// Lt, Le, Gt, Ge compare numerically when both sides parse as numbers
+	// (after stripping $ , and spaces), lexically otherwise.
+	Lt
+	Le
+	Gt
+	Ge
+	// Contains matches cells containing the operand as a substring.
+	Contains
+)
+
+// Query starts a query over the table.
+func (t *Table) Query() *Query { return &Query{table: t, limit: -1} }
+
+// Where adds a comparison predicate on a column. NULL cells never match.
+func (q *Query) Where(col string, op Op, operand string) *Query {
+	q.preds = append(q.preds, func(r Row) bool {
+		v := r.Get(col)
+		if v.Null {
+			return false
+		}
+		switch op {
+		case Eq:
+			return v.Str == operand
+		case Ne:
+			return v.Str != operand
+		case Contains:
+			return strings.Contains(v.Str, operand)
+		default:
+			c := compareValues(v.Str, operand)
+			switch op {
+			case Lt:
+				return c < 0
+			case Le:
+				return c <= 0
+			case Gt:
+				return c > 0
+			case Ge:
+				return c >= 0
+			}
+			return false
+		}
+	})
+	return q
+}
+
+// WhereNotNull keeps rows whose column is non-NULL and non-empty.
+func (q *Query) WhereNotNull(col string) *Query {
+	q.preds = append(q.preds, func(r Row) bool {
+		v := r.Get(col)
+		return !v.Null && v.Str != ""
+	})
+	return q
+}
+
+// WhereFunc adds an arbitrary predicate.
+func (q *Query) WhereFunc(pred func(Row) bool) *Query {
+	q.preds = append(q.preds, pred)
+	return q
+}
+
+// OrderBy sorts ascending by the column (numeric-aware); call repeatedly
+// for secondary keys.
+func (q *Query) OrderBy(col string) *Query {
+	q.order = append(q.order, orderKey{col: col, numeric: true})
+	return q
+}
+
+// OrderByDesc sorts descending by the column.
+func (q *Query) OrderByDesc(col string) *Query {
+	q.order = append(q.order, orderKey{col: col, desc: true, numeric: true})
+	return q
+}
+
+// Limit caps the number of returned rows; negative means unlimited.
+func (q *Query) Limit(n int) *Query { q.limit = n; return q }
+
+// Offset skips the first n rows after ordering.
+func (q *Query) Offset(n int) *Query { q.offset = n; return q }
+
+// Rows executes the query.
+func (q *Query) Rows() []Row {
+	rows := q.table.Select(func(r Row) bool {
+		for _, p := range q.preds {
+			if !p(r) {
+				return false
+			}
+		}
+		return true
+	})
+	if len(q.order) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for _, k := range q.order {
+				a, b := rows[i].Get(k.col), rows[j].Get(k.col)
+				if a.Null != b.Null {
+					return a.Null != k.desc // NULLs first ascending, last descending
+				}
+				c := compareValues(a.Str, b.Str)
+				if c != 0 {
+					if k.desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	if q.offset > 0 {
+		if q.offset >= len(rows) {
+			return nil
+		}
+		rows = rows[q.offset:]
+	}
+	if q.limit >= 0 && q.limit < len(rows) {
+		rows = rows[:q.limit]
+	}
+	return rows
+}
+
+// Count executes the query and returns the row count (Limit/Offset apply).
+func (q *Query) Count() int { return len(q.Rows()) }
+
+// compareValues compares numerically when both operands parse as numbers
+// (after stripping currency/grouping characters), lexically otherwise.
+func compareValues(a, b string) int {
+	na, aok := parseNumeric(a)
+	nb, bok := parseNumeric(b)
+	if aok && bok {
+		switch {
+		case na < nb:
+			return -1
+		case na > nb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(a, b)
+}
+
+// parseNumeric extracts a float from strings like "$4,500" or "78,000".
+func parseNumeric(s string) (float64, bool) {
+	clean := strings.Map(func(r rune) rune {
+		switch r {
+		case '$', ',', ' ':
+			return -1
+		}
+		return r
+	}, strings.TrimSpace(s))
+	if clean == "" {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(clean, 64)
+	return f, err == nil
+}
+
+// Aggregate helpers over query results.
+
+// MinBy returns the row with the smallest value in col (numeric-aware);
+// ok is false for an empty result.
+func (q *Query) MinBy(col string) (Row, bool) {
+	rows := q.WhereNotNull(col).OrderBy(col).Limit(1).Rows()
+	if len(rows) == 0 {
+		return Row{}, false
+	}
+	return rows[0], true
+}
+
+// SumBy sums the numeric values of col over the query's rows, skipping
+// cells that do not parse.
+func (q *Query) SumBy(col string) float64 {
+	sum := 0.0
+	for _, r := range q.Rows() {
+		if v := r.Get(col); !v.Null {
+			if f, ok := parseNumeric(v.Str); ok {
+				sum += f
+			}
+		}
+	}
+	return sum
+}
+
+// GroupCount groups the query's rows by col and returns value → count,
+// with NULLs grouped under "".
+func (q *Query) GroupCount(col string) map[string]int {
+	out := map[string]int{}
+	for _, r := range q.Rows() {
+		out[r.Get(col).String()]++
+	}
+	return out
+}
+
+// String renders a compact description for debugging.
+func (q *Query) String() string {
+	return fmt.Sprintf("query{%s, %d preds, %d order keys, limit %d}",
+		q.table.schema.Table, len(q.preds), len(q.order), q.limit)
+}

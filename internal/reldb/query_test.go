@@ -1,0 +1,241 @@
+package reldb
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// adsDB builds a small car-ads table for query tests.
+func adsDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	if err := db.Create(Schema{
+		Table: "CarAd",
+		Columns: []Column{
+			{Name: "id"}, {Name: "Make", Nullable: true},
+			{Name: "Price", Nullable: true}, {Name: "Year", Nullable: true},
+		},
+		Key: []string{"id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct{ id, make_, price, year string }{
+		{"1", "Ford", "$4,500", "1994"},
+		{"2", "Honda", "$2,900", "1991"},
+		{"3", "Toyota", "$11,200", "1997"},
+		{"4", "Ford", "$1,850", "1989"},
+		{"5", "Ford", "", "1996"},
+	}
+	for _, r := range rows {
+		vals := map[string]Value{"id": V(r.id), "Make": V(r.make_), "Year": V(r.year)}
+		if r.price != "" {
+			vals["Price"] = V(r.price)
+		}
+		if err := db.Insert("CarAd", vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func ids(rows []Row) string {
+	var out []string
+	for _, r := range rows {
+		out = append(out, r.Get("id").Str)
+	}
+	return strings.Join(out, ",")
+}
+
+func TestQueryWhereEq(t *testing.T) {
+	db := adsDB(t)
+	rows := db.Table("CarAd").Query().Where("Make", Eq, "Ford").Rows()
+	if got := ids(rows); got != "1,4,5" {
+		t.Errorf("fords = %s", got)
+	}
+}
+
+func TestQueryWhereNumericComparison(t *testing.T) {
+	db := adsDB(t)
+	// "$4,500" must compare numerically: under $5,000 means ads 1, 2, 4.
+	rows := db.Table("CarAd").Query().Where("Price", Lt, "$5,000").Rows()
+	if got := ids(rows); got != "1,2,4" {
+		t.Errorf("cheap ads = %s", got)
+	}
+	rows = db.Table("CarAd").Query().Where("Year", Ge, "1994").Rows()
+	if got := ids(rows); got != "1,3,5" {
+		t.Errorf("recent ads = %s", got)
+	}
+}
+
+func TestQueryWhereContainsAndNe(t *testing.T) {
+	db := adsDB(t)
+	if got := ids(db.Table("CarAd").Query().Where("Make", Contains, "o").Rows()); got != "1,2,3,4,5" {
+		t.Errorf("contains-o = %s", got)
+	}
+	if got := ids(db.Table("CarAd").Query().Where("Make", Ne, "Ford").Rows()); got != "2,3" {
+		t.Errorf("non-fords = %s", got)
+	}
+}
+
+func TestQueryNullHandling(t *testing.T) {
+	db := adsDB(t)
+	// Ad 5 has NULL price: excluded by comparisons and by WhereNotNull.
+	if got := ids(db.Table("CarAd").Query().Where("Price", Gt, "0").Rows()); strings.Contains(got, "5") {
+		t.Errorf("NULL price matched a comparison: %s", got)
+	}
+	if got := db.Table("CarAd").Query().WhereNotNull("Price").Count(); got != 4 {
+		t.Errorf("non-null prices = %d", got)
+	}
+}
+
+func TestQueryOrderByNumeric(t *testing.T) {
+	db := adsDB(t)
+	rows := db.Table("CarAd").Query().WhereNotNull("Price").OrderBy("Price").Rows()
+	if got := ids(rows); got != "4,2,1,3" {
+		t.Errorf("by price = %s", got)
+	}
+	rows = db.Table("CarAd").Query().WhereNotNull("Price").OrderByDesc("Price").Rows()
+	if got := ids(rows); got != "3,1,2,4" {
+		t.Errorf("by price desc = %s", got)
+	}
+}
+
+func TestQueryOrderByNullsFirst(t *testing.T) {
+	db := adsDB(t)
+	rows := db.Table("CarAd").Query().OrderBy("Price").Rows()
+	if rows[0].Get("id").Str != "5" {
+		t.Errorf("NULL should sort first ascending: %s", ids(rows))
+	}
+}
+
+func TestQueryLimitOffset(t *testing.T) {
+	db := adsDB(t)
+	q := func() *Query { return db.Table("CarAd").Query().OrderBy("id") }
+	if got := ids(q().Limit(2).Rows()); got != "1,2" {
+		t.Errorf("limit = %s", got)
+	}
+	if got := ids(q().Offset(3).Rows()); got != "4,5" {
+		t.Errorf("offset = %s", got)
+	}
+	if got := q().Offset(99).Rows(); got != nil {
+		t.Errorf("overshoot offset = %v", got)
+	}
+	if got := ids(q().Limit(-1).Rows()); got != "1,2,3,4,5" {
+		t.Errorf("unlimited = %s", got)
+	}
+}
+
+func TestQueryChainedPredicates(t *testing.T) {
+	db := adsDB(t)
+	rows := db.Table("CarAd").Query().
+		Where("Make", Eq, "Ford").
+		WhereNotNull("Price").
+		Where("Price", Lt, "$2,000").
+		Rows()
+	if got := ids(rows); got != "4" {
+		t.Errorf("cheap fords = %s", got)
+	}
+}
+
+func TestQueryWhereFunc(t *testing.T) {
+	db := adsDB(t)
+	rows := db.Table("CarAd").Query().WhereFunc(func(r Row) bool {
+		return len(r.Get("Make").Str) == 4 // Ford only
+	}).Rows()
+	if got := ids(rows); got != "1,4,5" {
+		t.Errorf("func filter = %s", got)
+	}
+}
+
+func TestQueryMinBy(t *testing.T) {
+	db := adsDB(t)
+	row, ok := db.Table("CarAd").Query().MinBy("Price")
+	if !ok || row.Get("id").Str != "4" {
+		t.Errorf("cheapest = %v ok=%v", row.Get("id"), ok)
+	}
+	_, ok = db.Table("CarAd").Query().Where("Make", Eq, "Nobody").MinBy("Price")
+	if ok {
+		t.Error("MinBy on empty result should report !ok")
+	}
+}
+
+func TestQuerySumBy(t *testing.T) {
+	db := adsDB(t)
+	sum := db.Table("CarAd").Query().Where("Make", Eq, "Ford").SumBy("Price")
+	if sum != 4500+1850 {
+		t.Errorf("ford price sum = %v", sum)
+	}
+}
+
+func TestQueryGroupCount(t *testing.T) {
+	db := adsDB(t)
+	groups := db.Table("CarAd").Query().GroupCount("Make")
+	if groups["Ford"] != 3 || groups["Honda"] != 1 || groups["Toyota"] != 1 {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestParseNumeric(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"$4,500", 4500, true},
+		{"78,000", 78000, true},
+		{"1994", 1994, true},
+		{" 12.5 ", 12.5, true},
+		{"", 0, false},
+		{"Ford", 0, false},
+		{"$", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseNumeric(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("parseNumeric(%q) = %v,%v want %v,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	db := adsDB(t)
+	s := db.Table("CarAd").Query().Where("Make", Eq, "Ford").OrderBy("Price").String()
+	if !strings.Contains(s, "CarAd") || !strings.Contains(s, "1 preds") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// BenchmarkQuery measures the fluent query path over a mid-sized table.
+func BenchmarkQuery(b *testing.B) {
+	db := New()
+	if err := db.Create(Schema{
+		Table:   "T",
+		Columns: []Column{{Name: "id"}, {Name: "k", Nullable: true}, {Name: "v", Nullable: true}},
+		Key:     []string{"id"},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := db.Insert("T", map[string]Value{
+			"id": V(strconv.Itoa(i)),
+			"k":  V(strconv.Itoa(i % 7)),
+			"v":  V("$" + strconv.Itoa(i*13%9000)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := db.Table("T").Query().
+			Where("k", Eq, "3").
+			WhereNotNull("v").
+			OrderBy("v").
+			Limit(10).
+			Rows()
+		if len(rows) != 10 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package reldb is a minimal in-memory relational store — the "Populated
+// Database" at the end of the paper's Figure 1 pipeline. It supports typed
+// schemas with primary keys, NOT-NULL enforcement, inserts with key-
+// uniqueness checking, predicate selects with ordering, and CSV/JSON export.
+//
+// It is deliberately small: the paper needs a database instance to populate,
+// not a query engine. Everything is stdlib-only and value-semantics simple.
+package reldb
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Value is a nullable string-typed cell.
+type Value struct {
+	Str  string
+	Null bool
+}
+
+// NullValue is the SQL NULL analogue.
+var NullValue = Value{Null: true}
+
+// V makes a non-null value.
+func V(s string) Value { return Value{Str: s} }
+
+// String renders the value; NULL renders as the empty string.
+func (v Value) String() string {
+	if v.Null {
+		return ""
+	}
+	return v.Str
+}
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name string
+	// Type is a domain label ("date", "price", "text"); the store does not
+	// interpret it but exports carry it for documentation.
+	Type string
+	// Nullable permits NULL cells.
+	Nullable bool
+}
+
+// Schema describes a table.
+type Schema struct {
+	Table   string
+	Columns []Column
+	// Key lists the primary-key column names; empty means no key (every
+	// insert accepted).
+	Key []string
+}
+
+// colIndex returns the index of the named column, or -1.
+func (s *Schema) colIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Row is one tuple, in schema column order.
+type Row struct {
+	schema *Schema
+	cells  []Value
+}
+
+// Get returns the cell for the named column; missing columns yield NULL.
+func (r Row) Get(col string) Value {
+	i := r.schema.colIndex(col)
+	if i < 0 {
+		return NullValue
+	}
+	return r.cells[i]
+}
+
+// Cells returns the row's cells in column order (a copy).
+func (r Row) Cells() []Value { return append([]Value(nil), r.cells...) }
+
+// Table is one relation.
+type Table struct {
+	schema Schema
+	rows   [][]Value
+	// keys holds the encoded primary keys of inserted rows for uniqueness.
+	keys map[string]bool
+}
+
+// Schema returns the table's schema (a copy).
+func (t *Table) Schema() Schema {
+	s := t.schema
+	s.Columns = append([]Column(nil), t.schema.Columns...)
+	s.Key = append([]string(nil), t.schema.Key...)
+	return s
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// DB is a set of tables.
+type DB struct {
+	tables map[string]*Table
+	order  []string // creation order for deterministic export
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// Create adds a table with the given schema. It fails on duplicate table
+// names, empty/duplicate column names, and key columns that do not exist.
+func (db *DB) Create(s Schema) error {
+	if s.Table == "" {
+		return fmt.Errorf("reldb: empty table name")
+	}
+	if _, ok := db.tables[s.Table]; ok {
+		return fmt.Errorf("reldb: table %q already exists", s.Table)
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("reldb: table %q has an unnamed column", s.Table)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("reldb: table %q has duplicate column %q", s.Table, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	for _, k := range s.Key {
+		if !seen[k] {
+			return fmt.Errorf("reldb: table %q key column %q does not exist", s.Table, k)
+		}
+	}
+	db.tables[s.Table] = &Table{schema: s, keys: map[string]bool{}}
+	db.order = append(db.order, s.Table)
+	return nil
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// TableNames returns the table names in creation order.
+func (db *DB) TableNames() []string { return append([]string(nil), db.order...) }
+
+// Insert adds a tuple given as column→value; missing nullable columns become
+// NULL. It enforces NOT NULL on non-nullable columns and primary-key
+// uniqueness.
+func (db *DB) Insert(table string, vals map[string]Value) error {
+	t := db.tables[table]
+	if t == nil {
+		return fmt.Errorf("reldb: no table %q", table)
+	}
+	cells := make([]Value, len(t.schema.Columns))
+	for i, c := range t.schema.Columns {
+		v, ok := vals[c.Name]
+		if !ok {
+			v = NullValue
+		}
+		if v.Null && !c.Nullable && contains(t.schema.Key, c.Name) {
+			return fmt.Errorf("reldb: %s.%s: key column is NULL", table, c.Name)
+		}
+		if v.Null && !c.Nullable && !contains(t.schema.Key, c.Name) {
+			return fmt.Errorf("reldb: %s.%s: NOT NULL column is NULL", table, c.Name)
+		}
+		cells[i] = v
+	}
+	for name := range vals {
+		if t.schema.colIndex(name) < 0 {
+			return fmt.Errorf("reldb: %s has no column %q", table, name)
+		}
+	}
+	if len(t.schema.Key) > 0 {
+		key := t.encodeKey(cells)
+		if t.keys[key] {
+			return fmt.Errorf("reldb: %s: duplicate key %s", table, key)
+		}
+		t.keys[key] = true
+	}
+	t.rows = append(t.rows, cells)
+	return nil
+}
+
+func (t *Table) encodeKey(cells []Value) string {
+	var parts []string
+	for _, k := range t.schema.Key {
+		parts = append(parts, cells[t.schema.colIndex(k)].Str)
+	}
+	return strings.Join(parts, "\x00")
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Select returns the rows satisfying pred (nil selects all), in insertion
+// order.
+func (t *Table) Select(pred func(Row) bool) []Row {
+	var out []Row
+	for _, cells := range t.rows {
+		r := Row{schema: &t.schema, cells: cells}
+		if pred == nil || pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SortRows orders rows by the named columns, ascending, NULLs first.
+func SortRows(rows []Row, cols ...string) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, c := range cols {
+			a, b := rows[i].Get(c), rows[j].Get(c)
+			if a.Null != b.Null {
+				return a.Null
+			}
+			if a.Str != b.Str {
+				return a.Str < b.Str
+			}
+		}
+		return false
+	})
+}
+
+// WriteCSV writes the table (header row first) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.schema.Columns))
+	for i, c := range t.schema.Columns {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, cells := range t.rows {
+		rec := make([]string, len(cells))
+		for i, v := range cells {
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// MarshalJSON renders the whole database as {table: [{col: val|null}]}.
+func (db *DB) MarshalJSON() ([]byte, error) {
+	out := make(map[string][]map[string]*string, len(db.tables))
+	for _, name := range db.order {
+		t := db.tables[name]
+		rows := make([]map[string]*string, 0, len(t.rows))
+		for _, cells := range t.rows {
+			m := make(map[string]*string, len(cells))
+			for i, v := range cells {
+				if v.Null {
+					m[t.schema.Columns[i].Name] = nil
+				} else {
+					s := v.Str
+					m[t.schema.Columns[i].Name] = &s
+				}
+			}
+			rows = append(rows, m)
+		}
+		out[name] = rows
+	}
+	return json.Marshal(out)
+}
+
+// Summary renders "table(rows)" pairs for logs and CLI output.
+func (db *DB) Summary() string {
+	var parts []string
+	for _, name := range db.order {
+		parts = append(parts, fmt.Sprintf("%s(%d)", name, db.tables[name].Len()))
+	}
+	return strings.Join(parts, " ")
+}

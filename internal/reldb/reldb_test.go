@@ -1,0 +1,301 @@
+package reldb
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func widgetSchema() Schema {
+	return Schema{
+		Table: "Widget",
+		Columns: []Column{
+			{Name: "id", Type: "int"},
+			{Name: "name", Type: "text"},
+			{Name: "color", Type: "text", Nullable: true},
+		},
+		Key: []string{"id"},
+	}
+}
+
+func newWidgetDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	if err := db.Create(widgetSchema()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestCreateAndInsert(t *testing.T) {
+	db := newWidgetDB(t)
+	err := db.Insert("Widget", map[string]Value{"id": V("1"), "name": V("sprocket")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := db.Table("Widget")
+	if tab.Len() != 1 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+	row := tab.Select(nil)[0]
+	if row.Get("name").Str != "sprocket" {
+		t.Errorf("name = %v", row.Get("name"))
+	}
+	if !row.Get("color").Null {
+		t.Errorf("missing nullable column should be NULL")
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	db := newWidgetDB(t)
+	cases := []struct {
+		name string
+		s    Schema
+		want string
+	}{
+		{"duplicate table", widgetSchema(), "already exists"},
+		{"empty name", Schema{}, "empty table name"},
+		{"unnamed column", Schema{Table: "X", Columns: []Column{{}}}, "unnamed column"},
+		{"duplicate column", Schema{Table: "X", Columns: []Column{{Name: "a"}, {Name: "a"}}}, "duplicate column"},
+		{"bad key", Schema{Table: "X", Columns: []Column{{Name: "a"}}, Key: []string{"z"}}, "does not exist"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := db.Create(c.s)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	db := newWidgetDB(t)
+	if err := db.Insert("Nope", nil); err == nil {
+		t.Error("insert into missing table should fail")
+	}
+	if err := db.Insert("Widget", map[string]Value{"id": V("1"), "name": V("a"), "bogus": V("x")}); err == nil {
+		t.Error("insert with unknown column should fail")
+	}
+	if err := db.Insert("Widget", map[string]Value{"id": V("1")}); err == nil {
+		t.Error("NOT NULL violation should fail")
+	}
+	if err := db.Insert("Widget", map[string]Value{"name": V("a")}); err == nil {
+		t.Error("NULL key should fail")
+	}
+}
+
+func TestPrimaryKeyUniqueness(t *testing.T) {
+	db := newWidgetDB(t)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.Insert("Widget", map[string]Value{"id": V("1"), "name": V("a")}))
+	err := db.Insert("Widget", map[string]Value{"id": V("1"), "name": V("b")})
+	if err == nil || !strings.Contains(err.Error(), "duplicate key") {
+		t.Errorf("duplicate key err = %v", err)
+	}
+	must(db.Insert("Widget", map[string]Value{"id": V("2"), "name": V("b")}))
+	if db.Table("Widget").Len() != 2 {
+		t.Errorf("len = %d, want 2", db.Table("Widget").Len())
+	}
+}
+
+func TestCompositeKey(t *testing.T) {
+	db := New()
+	if err := db.Create(Schema{
+		Table:   "Pair",
+		Columns: []Column{{Name: "a"}, {Name: "b"}},
+		Key:     []string{"a", "b"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ins := func(a, b string) error {
+		return db.Insert("Pair", map[string]Value{"a": V(a), "b": V(b)})
+	}
+	if err := ins("1", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ins("1", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ins("1", "x"); err == nil {
+		t.Error("composite duplicate should fail")
+	}
+}
+
+func TestSelectPredicate(t *testing.T) {
+	db := newWidgetDB(t)
+	for _, w := range []struct{ id, name, color string }{
+		{"1", "gear", "red"}, {"2", "cog", "blue"}, {"3", "gear", "blue"},
+	} {
+		if err := db.Insert("Widget", map[string]Value{"id": V(w.id), "name": V(w.name), "color": V(w.color)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows := db.Table("Widget").Select(func(r Row) bool { return r.Get("name").Str == "gear" })
+	if len(rows) != 2 {
+		t.Fatalf("gears = %d, want 2", len(rows))
+	}
+	if rows[0].Get("id").Str != "1" || rows[1].Get("id").Str != "3" {
+		t.Errorf("select order wrong: %v %v", rows[0].Get("id"), rows[1].Get("id"))
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	db := newWidgetDB(t)
+	for _, w := range [][2]string{{"3", "c"}, {"1", "b"}, {"2", "b"}} {
+		if err := db.Insert("Widget", map[string]Value{"id": V(w[0]), "name": V(w[1])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows := db.Table("Widget").Select(nil)
+	SortRows(rows, "name", "id")
+	var ids []string
+	for _, r := range rows {
+		ids = append(ids, r.Get("id").Str)
+	}
+	if got := strings.Join(ids, ""); got != "123" {
+		t.Errorf("sorted ids = %s, want 123", got)
+	}
+}
+
+func TestSortRowsNullsFirst(t *testing.T) {
+	db := newWidgetDB(t)
+	if err := db.Insert("Widget", map[string]Value{"id": V("1"), "name": V("a"), "color": V("red")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("Widget", map[string]Value{"id": V("2"), "name": V("b")}); err != nil {
+		t.Fatal(err)
+	}
+	rows := db.Table("Widget").Select(nil)
+	SortRows(rows, "color")
+	if !rows[0].Get("color").Null {
+		t.Error("NULL should sort first")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	db := newWidgetDB(t)
+	if err := db.Insert("Widget", map[string]Value{"id": V("1"), "name": V("a,b"), "color": V("red")}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Table("Widget").WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "id,name,color" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != `1,"a,b",red` {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestMarshalJSON(t *testing.T) {
+	db := newWidgetDB(t)
+	if err := db.Insert("Widget", map[string]Value{"id": V("1"), "name": V("a")}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string][]map[string]*string
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	rows := decoded["Widget"]
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0]["color"] != nil {
+		t.Error("NULL should encode as JSON null")
+	}
+	if *rows[0]["name"] != "a" {
+		t.Errorf("name = %v", rows[0]["name"])
+	}
+}
+
+func TestSummaryAndTableNames(t *testing.T) {
+	db := newWidgetDB(t)
+	if err := db.Create(Schema{Table: "Other", Columns: []Column{{Name: "x", Nullable: true}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("Widget", map[string]Value{"id": V("1"), "name": V("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Summary(); got != "Widget(1) Other(0)" {
+		t.Errorf("summary = %q", got)
+	}
+	names := db.TableNames()
+	if len(names) != 2 || names[0] != "Widget" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestRowGetMissingColumn(t *testing.T) {
+	db := newWidgetDB(t)
+	if err := db.Insert("Widget", map[string]Value{"id": V("1"), "name": V("a")}); err != nil {
+		t.Fatal(err)
+	}
+	row := db.Table("Widget").Select(nil)[0]
+	if !row.Get("nonexistent").Null {
+		t.Error("missing column should be NULL")
+	}
+	cells := row.Cells()
+	if len(cells) != 3 {
+		t.Errorf("cells = %v", cells)
+	}
+}
+
+// Property: inserting n distinct keys always yields n rows and any duplicate
+// key always fails, regardless of key content (including empty strings and
+// separator bytes).
+func TestKeyUniquenessProperty(t *testing.T) {
+	f := func(keys []string) bool {
+		db := New()
+		if err := db.Create(Schema{
+			Table:   "T",
+			Columns: []Column{{Name: "k"}},
+			Key:     []string{"k"},
+		}); err != nil {
+			return false
+		}
+		seen := map[string]bool{}
+		want := 0
+		for _, k := range keys {
+			err := db.Insert("T", map[string]Value{"k": V(k)})
+			if seen[k] {
+				if err == nil {
+					return false // duplicate accepted
+				}
+			} else {
+				if err != nil {
+					return false // fresh key rejected
+				}
+				seen[k] = true
+				want++
+			}
+		}
+		return db.Table("T").Len() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemaCopyIsolation(t *testing.T) {
+	db := newWidgetDB(t)
+	s := db.Table("Widget").Schema()
+	s.Columns[0].Name = "mutated"
+	if db.Table("Widget").Schema().Columns[0].Name != "id" {
+		t.Error("Schema() must return a copy")
+	}
+}

@@ -1,0 +1,95 @@
+package tagtree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/paperdoc"
+)
+
+func TestPatchDocumentInsertsEndTags(t *testing.T) {
+	got := PatchDocument("<div><b>bold<i>both</div>")
+	want := "<div><b>bold<i>both</i></b></div>"
+	if got != want {
+		t.Errorf("patched = %q, want %q", got, want)
+	}
+}
+
+func TestPatchDocumentRemovesUselessTags(t *testing.T) {
+	got := PatchDocument("<p><!-- note -->a</b>text</p>")
+	if strings.Contains(got, "<!--") {
+		t.Errorf("comment survived: %q", got)
+	}
+	if strings.Contains(got, "</b>") {
+		t.Errorf("orphan end tag survived: %q", got)
+	}
+}
+
+func TestPatchDocumentBalanced(t *testing.T) {
+	// Patched documents must contain matching start/end tags for every
+	// non-void element.
+	inputs := []string{
+		paperdoc.Figure2,
+		"<table><tr><td>a<td>b<tr><td>c</table>",
+		"<ul><li>one<li>two</ul>",
+		"<html><body><b>unclosed",
+	}
+	for _, in := range inputs {
+		patched := PatchDocument(in)
+		tree := Parse(patched)
+		// Re-normalizing a patched document must insert nothing new.
+		if again := PatchDocument(patched); again != patched {
+			t.Errorf("PatchDocument not idempotent:\n in  %q\n out %q", patched, again)
+		}
+		_ = tree
+	}
+}
+
+// TestPatchDocumentEquivalence is the fidelity check: building the tree
+// from the patched document (the paper's literal two-pass method) gives
+// the same structure as the direct single-pass builder.
+func TestPatchDocumentEquivalence(t *testing.T) {
+	inputs := []string{
+		paperdoc.Figure2,
+		"<div><b>bold<i>both</div>",
+		"<table><tr><td>a<td>b<tr><td>c</table>",
+		"</b>orphan<p>one<p>two",
+		"text only",
+		"",
+	}
+	for _, in := range inputs {
+		direct := Parse(in)
+		viaPatch := Parse(PatchDocument(in))
+		if !Equal(direct, viaPatch) {
+			t.Errorf("trees differ for %q:\n direct %s\n patch  %s",
+				in, shape(direct.Root), shape(viaPatch.Root))
+		}
+	}
+}
+
+// Property: patch-then-parse equals direct parse on arbitrary tag soup.
+func TestPatchEquivalenceProperty(t *testing.T) {
+	f := func(seed []byte) bool {
+		doc := soupFromBytes(seed)
+		return Equal(Parse(doc), Parse(PatchDocument(doc)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	if Equal(Parse("<p>a</p>"), Parse("<p>b</p>")) {
+		t.Error("Equal ignored text difference")
+	}
+	if Equal(Parse("<p>a</p>"), Parse("<div>a</div>")) {
+		t.Error("Equal ignored name difference")
+	}
+	if Equal(Parse("<p>a</p>"), Parse("<p>a</p><p>b</p>")) {
+		t.Error("Equal ignored child-count difference")
+	}
+	if !Equal(Parse("<p>  a   b </p>"), Parse("<p>a b</p>")) {
+		t.Error("Equal should collapse whitespace")
+	}
+}

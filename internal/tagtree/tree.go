@@ -1,0 +1,260 @@
+package tagtree
+
+import (
+	"strings"
+
+	"repro/internal/htmlparse"
+)
+
+// EventKind discriminates the entries of a Tree's linearized event stream.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventStart marks the opening of a node's region.
+	EventStart EventKind = iota
+	// EventEnd marks the close of a node's region. Void elements emit no
+	// EventEnd.
+	EventEnd
+	// EventText is a run of plain text.
+	EventText
+)
+
+// Event is one entry of the document-order event stream. The stream lets
+// heuristics scan any subtree linearly — the basis of the paper's O(n)
+// claims.
+type Event struct {
+	Kind EventKind
+	// Node is the region's node for EventStart and EventEnd.
+	Node *Node
+	// Text is the decoded character data for EventText.
+	Text string
+	// Pos is the byte offset in the original document.
+	Pos int
+}
+
+// Node is one region of the document: a start-tag, the plain text directly
+// inside its region, and its nested regions as children.
+type Node struct {
+	// Name is the lowercased tag name; the synthetic document root is
+	// named "#document".
+	Name string
+	// Attrs are the start-tag's attributes.
+	Attrs []htmlparse.Attr
+	// Parent is nil for the document root.
+	Parent *Node
+	// Children are the nested regions in document order.
+	Children []*Node
+	// Chunks is the plain text lying directly inside this region (not
+	// inside any child), in document order.
+	Chunks []Chunk
+	// StartPos and EndPos delimit the region's byte range in the original
+	// document.
+	StartPos, EndPos int
+
+	// firstEvent and lastEvent index into Tree.Events: the half-open range
+	// [firstEvent, lastEvent) covers this node's EventStart through its
+	// EventEnd (or just the EventStart for void elements).
+	firstEvent, lastEvent int
+
+	// subtreeTags is the number of start-tags in the subtree rooted here,
+	// excluding this node itself.
+	subtreeTags int
+}
+
+// Chunk is a run of plain text directly inside a region.
+type Chunk struct {
+	Text string
+	Pos  int
+}
+
+// Tree is the paper's tag tree: the nested-region structure of a document
+// plus a linearized event stream for single-pass heuristics.
+type Tree struct {
+	// Root is a synthetic "#document" node whose children are the
+	// document's top-level regions (normally a single html node).
+	Root *Node
+	// Events is the full document-order event stream.
+	Events []Event
+}
+
+// Parse tokenizes, normalizes (Appendix A step 2), and builds the tag tree
+// of an HTML document. It never fails: malformed input degrades gracefully.
+func Parse(doc string) *Tree {
+	return FromTokens(htmlparse.Tokenize(doc))
+}
+
+// FromTokens builds the tag tree from a pre-tokenized HTML document.
+func FromTokens(tokens []htmlparse.Token) *Tree {
+	return build(Normalize(tokens), htmlparse.IsVoid)
+}
+
+// build constructs a tree from an already-balanced token stream. isVoid
+// reports element names that never have end-tags (HTML's void set; always
+// false for XML, where only explicit self-closing counts).
+func build(norm []htmlparse.Token, isVoid func(string) bool) *Tree {
+	t := &Tree{Root: &Node{Name: "#document"}}
+	cur := t.Root
+	for _, tok := range norm {
+		switch tok.Type {
+		case htmlparse.Text:
+			if tok.Data == "" {
+				continue
+			}
+			cur.Chunks = append(cur.Chunks, Chunk{Text: tok.Data, Pos: tok.Pos})
+			t.Events = append(t.Events, Event{Kind: EventText, Text: tok.Data, Pos: tok.Pos})
+
+		case htmlparse.StartTag:
+			n := &Node{
+				Name:       tok.Name,
+				Attrs:      tok.Attrs,
+				Parent:     cur,
+				StartPos:   tok.Pos,
+				EndPos:     tok.End,
+				firstEvent: len(t.Events),
+			}
+			cur.Children = append(cur.Children, n)
+			t.Events = append(t.Events, Event{Kind: EventStart, Node: n, Pos: tok.Pos})
+			if tok.SelfClosing || isVoid(tok.Name) {
+				n.lastEvent = len(t.Events)
+				continue
+			}
+			cur = n
+
+		case htmlparse.EndTag:
+			// Normalize guarantees balance, so this matches cur.
+			if cur == t.Root {
+				continue
+			}
+			t.Events = append(t.Events, Event{Kind: EventEnd, Node: cur, Pos: tok.Pos})
+			cur.EndPos = tok.End
+			cur.lastEvent = len(t.Events)
+			cur = cur.Parent
+		}
+	}
+	t.Root.firstEvent = 0
+	t.Root.lastEvent = len(t.Events)
+	if n := len(norm); n > 0 {
+		t.Root.EndPos = norm[n-1].End
+	}
+	countSubtreeTags(t.Root)
+	return t
+}
+
+// countSubtreeTags fills in subtreeTags bottom-up.
+func countSubtreeTags(n *Node) int {
+	total := 0
+	for _, c := range n.Children {
+		total += 1 + countSubtreeTags(c)
+	}
+	n.subtreeTags = total
+	return total
+}
+
+// FanOut returns the node's number of immediate children.
+func (n *Node) FanOut() int { return len(n.Children) }
+
+// SubtreeTagCount returns the number of start-tags in the subtree rooted at
+// n, excluding n itself.
+func (n *Node) SubtreeTagCount() int { return n.subtreeTags }
+
+// EventRange returns the half-open [first, last) index range of n's events
+// in the owning Tree's event stream.
+func (n *Node) EventRange() (first, last int) { return n.firstEvent, n.lastEvent }
+
+// SubtreeEvents returns the slice of the tree's event stream covering the
+// subtree rooted at n (including n's own start event).
+func (t *Tree) SubtreeEvents(n *Node) []Event {
+	return t.Events[n.firstEvent:n.lastEvent]
+}
+
+// Text returns all plain text in the subtree rooted at n, in document
+// order, with chunks joined by single spaces and whitespace collapsed.
+func (n *Node) Text() string {
+	var parts []string
+	n.walkText(&parts)
+	return strings.Join(parts, " ")
+}
+
+func (n *Node) walkText(parts *[]string) {
+	// Merge chunks and children in document order by position.
+	ci, ki := 0, 0
+	for ci < len(n.Children) || ki < len(n.Chunks) {
+		if ki >= len(n.Chunks) || (ci < len(n.Children) && n.Children[ci].StartPos < n.Chunks[ki].Pos) {
+			n.Children[ci].walkText(parts)
+			ci++
+		} else {
+			if s := CollapseSpace(n.Chunks[ki].Text); s != "" {
+				*parts = append(*parts, s)
+			}
+			ki++
+		}
+	}
+}
+
+// CollapseSpace trims s and collapses interior whitespace runs to single
+// spaces; it returns "" for whitespace-only input.
+func CollapseSpace(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	space := true // swallow leading whitespace
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v' {
+			if !space {
+				b.WriteByte(' ')
+				space = true
+			}
+			continue
+		}
+		b.WriteByte(c)
+		space = false
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// Walk calls fn for every node in the subtree rooted at n (including n) in
+// document order. Returning false from fn prunes that node's subtree.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Find returns the first node in document order (depth-first) within the
+// subtree rooted at n whose tag name matches name, or nil.
+func (n *Node) Find(name string) *Node {
+	var found *Node
+	n.Walk(func(m *Node) bool {
+		if found != nil {
+			return false
+		}
+		if m != n && m.Name == name {
+			found = m
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// HighestFanOut returns the node with the most immediate children — the
+// paper's conjectured location of the record group (Section 3). Ties go to
+// the earlier node in document order. The synthetic document root is only
+// eligible when the document has no element that wraps its content.
+func (t *Tree) HighestFanOut() *Node {
+	best := t.Root
+	t.Root.Walk(func(n *Node) bool {
+		if n == t.Root {
+			return true
+		}
+		if n.FanOut() > best.FanOut() || best == t.Root && n.FanOut() == best.FanOut() {
+			best = n
+		}
+		return true
+	})
+	return best
+}

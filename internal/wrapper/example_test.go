@@ -1,0 +1,39 @@
+package wrapper_test
+
+import (
+	"fmt"
+
+	"repro/internal/ontology"
+	"repro/internal/wrapper"
+)
+
+// Learn a wrapper from sample pages of one site, then apply it to a new
+// page without re-running the heuristics.
+func ExampleLearn() {
+	page := func(names ...string) string {
+		html := "<html><body><div>"
+		for _, n := range names {
+			html += "<hr><b>" + n + "</b> died on March 3, 1998. " +
+				"Funeral services at <b>MEMORIAL CHAPEL</b>. Interment follows. "
+		}
+		return html + "<hr></div></body></html>"
+	}
+	samples := []string{
+		page("Ada Alpha", "Bo Beta", "Cy Gamma"),
+		page("Di Delta", "Ed Epsilon", "Fay Zeta"),
+	}
+	w, err := wrapper.Learn(samples, ontology.Builtin("obituary"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("separator:", w.Separator, "agreement:", w.Agreement)
+
+	records, err := w.Apply(page("Gus Eta", "Hal Theta"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("records:", len(records))
+	// Output:
+	// separator: hr agreement: 1
+	// records: 2
+}

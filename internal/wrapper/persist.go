@@ -1,0 +1,82 @@
+package wrapper
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/ontology"
+)
+
+// wireWrapper is the serialized form. The ontology travels as its DSL
+// source (or a built-in name), not as compiled regexps.
+type wireWrapper struct {
+	Version    int     `json:"version"`
+	Separator  string  `json:"separator"`
+	Ontology   string  `json:"ontology,omitempty"` // built-in name or DSL source
+	Confidence float64 `json:"confidence"`
+	Agreement  float64 `json:"agreement"`
+	SampleSize int     `json:"sample_size"`
+}
+
+// wireVersion is the current serialization version.
+const wireVersion = 1
+
+// Save writes the wrapper as JSON. The ontology is saved as a built-in
+// name when it is one of the built-ins (matched by Name), or as nothing
+// otherwise — custom DSL ontologies must be re-supplied at Load via
+// LoadWithOntology.
+func (w *Wrapper) Save(dst io.Writer) error {
+	ww := wireWrapper{
+		Version:    wireVersion,
+		Separator:  w.Separator,
+		Confidence: w.Confidence,
+		Agreement:  w.Agreement,
+		SampleSize: w.SampleSize,
+	}
+	if w.Ontology != nil {
+		for _, name := range ontology.BuiltinNames() {
+			if ontology.Builtin(name) == w.Ontology {
+				ww.Ontology = name
+			}
+		}
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ww)
+}
+
+// Load reads a wrapper saved by Save. Built-in ontology references are
+// resolved; wrappers saved with a custom ontology load with a nil ontology
+// (use LoadWithOntology to re-attach it).
+func Load(src io.Reader) (*Wrapper, error) {
+	return LoadWithOntology(src, nil)
+}
+
+// LoadWithOntology reads a wrapper and attaches the given ontology when the
+// saved form carried none.
+func LoadWithOntology(src io.Reader, ont *ontology.Ontology) (*Wrapper, error) {
+	var ww wireWrapper
+	if err := json.NewDecoder(src).Decode(&ww); err != nil {
+		return nil, fmt.Errorf("wrapper: decode: %w", err)
+	}
+	if ww.Version != wireVersion {
+		return nil, fmt.Errorf("wrapper: unsupported version %d", ww.Version)
+	}
+	if ww.Separator == "" {
+		return nil, fmt.Errorf("wrapper: missing separator")
+	}
+	w := &Wrapper{
+		Separator:  ww.Separator,
+		Ontology:   ont,
+		Confidence: ww.Confidence,
+		Agreement:  ww.Agreement,
+		SampleSize: ww.SampleSize,
+	}
+	if ww.Ontology != "" {
+		if b := ontology.Builtin(ww.Ontology); b != nil {
+			w.Ontology = b
+		}
+	}
+	return w, nil
+}

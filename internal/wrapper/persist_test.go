@@ -1,0 +1,67 @@
+package wrapper
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/ontology"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	site := corpus.TrainingSites(corpus.Obituaries)[0]
+	w, err := Learn(samplesFor(site, 3), ontology.Builtin("obituary"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Separator != w.Separator || loaded.Confidence != w.Confidence ||
+		loaded.Agreement != w.Agreement || loaded.SampleSize != w.SampleSize {
+		t.Errorf("round trip changed fields: %+v vs %+v", loaded, w)
+	}
+	if loaded.Ontology != ontology.Builtin("obituary") {
+		t.Error("built-in ontology reference not restored")
+	}
+	// The loaded wrapper must still apply.
+	recs, err := loaded.Apply(site.Generate(9).HTML)
+	if err != nil || len(recs) == 0 {
+		t.Errorf("loaded wrapper apply: %d records, err %v", len(recs), err)
+	}
+}
+
+func TestLoadWithCustomOntology(t *testing.T) {
+	custom := ontology.MustParse("ontology C\nentity C\nobject A : many {\nkeyword `k`\n}")
+	w := &Wrapper{Separator: "hr", Ontology: custom, Confidence: 0.9, Agreement: 1, SampleSize: 2}
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Custom ontologies do not serialize; re-attach at load.
+	loaded, err := LoadWithOntology(&buf, custom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Ontology != custom {
+		t.Error("custom ontology not attached")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version":99,"separator":"hr"}`)); err == nil {
+		t.Error("unknown version should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1}`)); err == nil {
+		t.Error("missing separator should fail")
+	}
+}

@@ -1,0 +1,123 @@
+// Package wrapper turns per-document record-boundary discovery into a
+// per-site wrapper — the artifact the paper's surrounding research program
+// builds (§1: "to structure Web data ... one of the most promising
+// approaches is to build wrappers for Web documents").
+//
+// Learn runs the Record-Boundary Discovery Algorithm over several sample
+// documents from one site and, when the discovered separators agree, emits
+// a Wrapper that applies to further documents from the same site without
+// re-running the heuristics. Apply verifies the wrapper still fits (the
+// separator must still be a candidate tag of the highest-fan-out subtree)
+// and reports drift otherwise — sites redesign, wrappers rot.
+package wrapper
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ontology"
+	"repro/internal/tagtree"
+)
+
+// Wrapper is a learned site wrapper.
+type Wrapper struct {
+	// Separator is the site's record-separator tag.
+	Separator string
+	// Ontology is the application ontology the wrapper was learned with
+	// (may be nil when learned structurally only).
+	Ontology *ontology.Ontology
+	// Confidence is the mean compound certainty factor of the separator
+	// across the training sample.
+	Confidence float64
+	// Agreement is the fraction of training documents whose discovered
+	// separator equals Separator.
+	Agreement float64
+	// SampleSize is the number of training documents.
+	SampleSize int
+}
+
+// MinAgreement is the training-sample agreement Learn requires before it
+// trusts a separator for the whole site.
+const MinAgreement = 0.75
+
+// ErrNoSamples is returned by Learn with an empty training set.
+var ErrNoSamples = errors.New("wrapper: no sample documents")
+
+// ErrDisagreement is returned when the sample documents do not agree on a
+// separator — the "site" probably mixes layouts.
+var ErrDisagreement = errors.New("wrapper: sample documents disagree on the separator")
+
+// ErrDrift is returned by Apply when the document no longer matches the
+// wrapper (site redesign).
+var ErrDrift = errors.New("wrapper: document does not match the learned wrapper")
+
+// Learn discovers the record separator on each sample document and returns
+// a wrapper when at least MinAgreement of them agree on the same tag.
+func Learn(samples []string, ont *ontology.Ontology) (*Wrapper, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	votes := map[string]int{}
+	cfSum := map[string]float64{}
+	for i, doc := range samples {
+		res, err := core.Discover(doc, core.Options{Ontology: ont})
+		if err != nil {
+			return nil, fmt.Errorf("wrapper: sample %d: %w", i, err)
+		}
+		votes[res.Separator]++
+		cfSum[res.Separator] += res.Scores[0].CF
+	}
+	// Majority tag, ties broken by name for determinism.
+	tags := make([]string, 0, len(votes))
+	for t := range votes {
+		tags = append(tags, t)
+	}
+	sort.Slice(tags, func(i, j int) bool {
+		if votes[tags[i]] != votes[tags[j]] {
+			return votes[tags[i]] > votes[tags[j]]
+		}
+		return tags[i] < tags[j]
+	})
+	best := tags[0]
+	agreement := float64(votes[best]) / float64(len(samples))
+	if agreement < MinAgreement {
+		return nil, fmt.Errorf("%w: best tag %q won only %.0f%% of %d samples",
+			ErrDisagreement, best, agreement*100, len(samples))
+	}
+	return &Wrapper{
+		Separator:  best,
+		Ontology:   ont,
+		Confidence: cfSum[best] / float64(votes[best]),
+		Agreement:  agreement,
+		SampleSize: len(samples),
+	}, nil
+}
+
+// Apply splits a new document from the wrapped site into records using the
+// learned separator directly — no heuristic voting. It returns ErrDrift
+// when the separator is no longer a candidate tag of the document's
+// highest-fan-out subtree, the signal that the site changed its layout.
+func (w *Wrapper) Apply(doc string) ([]core.Record, error) {
+	tree := tagtree.Parse(doc)
+	hf := tree.HighestFanOut()
+	found := false
+	for _, c := range tagtree.Candidates(hf, tagtree.DefaultCandidateThreshold) {
+		if c.Name == w.Separator {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %q is not a candidate separator anymore", ErrDrift, w.Separator)
+	}
+	res := &core.Result{Separator: w.Separator, Tree: tree, Subtree: hf}
+	return core.Split(doc, res), nil
+}
+
+// String summarizes the wrapper.
+func (w *Wrapper) String() string {
+	return fmt.Sprintf("wrapper{sep=<%s> conf=%.2f%% agree=%.0f%% n=%d}",
+		w.Separator, w.Confidence*100, w.Agreement*100, w.SampleSize)
+}

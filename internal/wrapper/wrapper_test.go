@@ -1,0 +1,123 @@
+package wrapper
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// samplesFor generates n training documents for a site.
+func samplesFor(s *corpus.Site, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = s.Generate(i).HTML
+	}
+	return out
+}
+
+func TestLearnFromConsistentSite(t *testing.T) {
+	for _, d := range corpus.AllDomains {
+		site := corpus.TestSites(d)[0]
+		w, err := Learn(samplesFor(site, 5), d.Ontology())
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		truth := site.Profile.Truth()
+		ok := false
+		for _, tag := range truth {
+			if w.Separator == tag {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s: learned separator %q not in truth %v", d, w.Separator, truth)
+		}
+		if w.Agreement != 1.0 {
+			t.Errorf("%s: agreement = %v, want 1.0 on a consistent site", d, w.Agreement)
+		}
+		if w.Confidence < 0.9 {
+			t.Errorf("%s: confidence = %v, suspiciously low", d, w.Confidence)
+		}
+		if w.SampleSize != 5 {
+			t.Errorf("%s: sample size = %d", d, w.SampleSize)
+		}
+	}
+}
+
+func TestApplyToUnseenDocuments(t *testing.T) {
+	site := corpus.TrainingSites(corpus.Obituaries)[0] // Salt Lake Tribune
+	w, err := Learn(samplesFor(site, 3), corpus.Obituaries.Ontology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply to documents not in the training sample.
+	for idx := 10; idx < 14; idx++ {
+		doc := site.Generate(idx)
+		recs, err := w.Apply(doc.HTML)
+		if err != nil {
+			t.Fatalf("doc %d: %v", idx, err)
+		}
+		// Delimited layout: one chunk per record (leading header chunk is
+		// outside the container here, trailing separator chunk is empty).
+		if len(recs) != doc.Records {
+			t.Errorf("doc %d: %d records from wrapper, generator planted %d",
+				idx, len(recs), doc.Records)
+		}
+	}
+}
+
+func TestApplyDetectsDrift(t *testing.T) {
+	site := corpus.TrainingSites(corpus.Obituaries)[0] // hr-delimited
+	w, err := Learn(samplesFor(site, 3), corpus.Obituaries.Ontology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "redesigned" site now uses table rows: hr is gone.
+	redesigned := corpus.TrainingSites(corpus.Obituaries)[4] // Seattle Times, wrapped
+	_, err = w.Apply(redesigned.Generate(0).HTML)
+	if !errors.Is(err, ErrDrift) {
+		t.Errorf("err = %v, want ErrDrift", err)
+	}
+}
+
+func TestLearnDisagreement(t *testing.T) {
+	// Half the "site" uses hr-delimited pages, half uses table rows: no
+	// 75% majority.
+	hrSite := corpus.TrainingSites(corpus.Obituaries)[0]
+	trSite := corpus.TrainingSites(corpus.Obituaries)[4]
+	samples := []string{
+		hrSite.Generate(0).HTML, hrSite.Generate(1).HTML,
+		trSite.Generate(0).HTML, trSite.Generate(1).HTML,
+	}
+	_, err := Learn(samples, corpus.Obituaries.Ontology())
+	if !errors.Is(err, ErrDisagreement) {
+		t.Errorf("err = %v, want ErrDisagreement", err)
+	}
+}
+
+func TestLearnNoSamples(t *testing.T) {
+	if _, err := Learn(nil, nil); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("err = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestLearnWithoutOntology(t *testing.T) {
+	site := corpus.TestSites(corpus.CarAds)[2] // wrapped table rows
+	w, err := Learn(samplesFor(site, 4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Separator != "tr" && w.Separator != "td" {
+		t.Errorf("separator = %q", w.Separator)
+	}
+}
+
+func TestWrapperString(t *testing.T) {
+	w := &Wrapper{Separator: "hr", Confidence: 0.999, Agreement: 1, SampleSize: 5}
+	s := w.String()
+	if !strings.Contains(s, "<hr>") || !strings.Contains(s, "n=5") {
+		t.Errorf("String = %q", s)
+	}
+}

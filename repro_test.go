@@ -1,0 +1,92 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/paperdoc"
+)
+
+func TestDiscoverFigure2(t *testing.T) {
+	res, err := Discover(paperdoc.Figure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Separator != "hr" {
+		t.Errorf("separator = %s, want hr", res.Separator)
+	}
+}
+
+func TestDiscoverWithOntologyFigure2(t *testing.T) {
+	res, err := DiscoverWithOntology(paperdoc.Figure2, BuiltinOntology("obituary"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Separator != "hr" {
+		t.Errorf("separator = %s, want hr", res.Separator)
+	}
+	if _, ok := res.Rankings["OM"]; !ok {
+		t.Error("OM should participate with an ontology")
+	}
+}
+
+func TestSplitFacade(t *testing.T) {
+	res, err := Discover(paperdoc.Figure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := Split(paperdoc.Figure2, res)
+	if len(recs) != 4 {
+		t.Errorf("records = %d, want 4", len(recs))
+	}
+}
+
+func TestExtractFacade(t *testing.T) {
+	db, err := Extract(paperdoc.Figure2, BuiltinOntology("obituary"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Table("Obituary").Len() != 3 {
+		t.Errorf("obituaries = %d, want 3", db.Table("Obituary").Len())
+	}
+}
+
+func TestParseOntologyFacade(t *testing.T) {
+	ont, err := ParseOntology("ontology X\nentity X\nobject A : many {\nkeyword `k`\n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ont.Name != "X" {
+		t.Errorf("name = %s", ont.Name)
+	}
+	if _, err := ParseOntology("garbage"); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestBuiltinOntologyFacade(t *testing.T) {
+	for _, name := range []string{"obituary", "carad", "jobad", "course"} {
+		if BuiltinOntology(name) == nil {
+			t.Errorf("builtin %s missing", name)
+		}
+	}
+	if BuiltinOntology("nope") != nil {
+		t.Error("unknown builtin should be nil")
+	}
+}
+
+func TestDiscoverErrors(t *testing.T) {
+	if _, err := Discover(""); err == nil {
+		t.Error("empty document should error")
+	}
+}
+
+func TestExplainFacade(t *testing.T) {
+	res, err := Discover(paperdoc.Figure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Explain(res), "separator: <hr>") {
+		t.Error("Explain output missing separator line")
+	}
+}
