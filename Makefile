@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test testshort cover bench fuzz experiments corpus examples clean
+.PHONY: all build test testshort race cover bench fuzz experiments corpus examples clean
 
 all: build test
 
@@ -15,6 +15,11 @@ test:
 
 testshort:
 	$(GO) test -short ./...
+
+# The CI configuration (.github/workflows/ci.yml) runs this; the metrics
+# registry and HTTP middleware are exercised concurrently by their tests.
+race:
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

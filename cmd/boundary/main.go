@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	boundary [-ontology obituary] [-records] [-explain] [-xml] [-check] [file.html]
+//	boundary [-ontology obituary] [-records] [-explain] [-xml] [-check] [-trace] [file.html]
 //
 // With no file argument the document is read from standard input. The
 // -ontology flag enables the OM heuristic with one of the built-in
@@ -11,6 +11,9 @@
 // ontology DSL file. -xml parses the input with XML semantics. -check runs
 // the document classifier first and refuses to discover boundaries on
 // pages that do not hold multiple records (the paper's input assumption).
+// -trace appends a per-stage timing table (parse, fan-out search, candidate
+// extraction, each heuristic, certainty combination) showing where the
+// pipeline spends its time on the document.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 )
 
@@ -30,15 +34,16 @@ func main() {
 	explain := flag.Bool("explain", true, "print per-heuristic rankings and compound scores")
 	xml := flag.Bool("xml", false, "parse the input as XML instead of HTML")
 	check := flag.Bool("check", false, "classify the document first; refuse non-multi-record pages")
+	trace := flag.Bool("trace", false, "print a per-stage timing table for the discovery run")
 	flag.Parse()
 
-	if err := run(os.Stdout, *ontName, *records, *explain, *xml, *check, flag.Args()); err != nil {
+	if err := run(os.Stdout, *ontName, *records, *explain, *xml, *check, *trace, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "boundary:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, ontName string, records, explain, xml, check bool, args []string) error {
+func run(out io.Writer, ontName string, records, explain, xml, check, trace bool, args []string) error {
 	doc, err := readDocument(args)
 	if err != nil {
 		return err
@@ -67,7 +72,11 @@ func run(out io.Writer, ontName string, records, explain, xml, check bool, args 
 	if xml {
 		discover = core.DiscoverXML
 	}
-	res, err := discover(doc, core.Options{Ontology: ont})
+	opts := core.Options{Ontology: ont}
+	if trace {
+		opts.Trace = obs.NewTrace()
+	}
+	res, err := discover(doc, opts)
 	if err != nil {
 		return err
 	}
@@ -75,6 +84,9 @@ func run(out io.Writer, ontName string, records, explain, xml, check bool, args 
 		fmt.Fprint(out, core.Explain(res))
 	} else {
 		fmt.Fprintf(out, "separator: <%s>\n", res.Separator)
+	}
+	if trace {
+		fmt.Fprintf(out, "\nstage timings:\n%s", opts.Trace.Table())
 	}
 	if records {
 		for i, rec := range core.Split(doc, res) {

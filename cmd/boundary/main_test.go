@@ -20,7 +20,7 @@ func writeTemp(t *testing.T, content string) string {
 
 func TestRunExplain(t *testing.T) {
 	var out strings.Builder
-	err := run(&out, "obituary", false, true, false, false, []string{writeTemp(t, paperdoc.Figure2)})
+	err := run(&out, "obituary", false, true, false, false, false, []string{writeTemp(t, paperdoc.Figure2)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestRunExplain(t *testing.T) {
 
 func TestRunRecords(t *testing.T) {
 	var out strings.Builder
-	err := run(&out, "", true, false, false, false, []string{writeTemp(t, paperdoc.Figure2)})
+	err := run(&out, "", true, false, false, false, false, []string{writeTemp(t, paperdoc.Figure2)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestRunRecords(t *testing.T) {
 func TestRunXML(t *testing.T) {
 	var out strings.Builder
 	path := writeTemp(t, "<c><item>a b</item><item>c d</item><item>e f</item></c>")
-	err := run(&out, "", false, false, true, false, []string{path})
+	err := run(&out, "", false, false, true, false, false, []string{path})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestRunCheckRefusesSingleRecord(t *testing.T) {
 	single := `<html><body><div><b>One Person</b> passed away on March 3, 1998.
 Funeral services will be held Friday. Interment will follow.</div></body></html>`
 	var out strings.Builder
-	err := run(&out, "obituary", false, false, false, true, []string{writeTemp(t, single)})
+	err := run(&out, "obituary", false, false, false, true, false, []string{writeTemp(t, single)})
 	if err == nil {
 		t.Fatal("expected refusal for single-record page")
 	}
@@ -67,9 +67,29 @@ Funeral services will be held Friday. Interment will follow.</div></body></html>
 	}
 }
 
+func TestRunTrace(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, "obituary", false, true, false, false, true, []string{writeTemp(t, paperdoc.Figure2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"stage timings:",
+		"stage", "duration", "attributes",
+		"parse", "fanout", "candidates", "recognize",
+		"heuristic/OM", "heuristic/RP", "heuristic/SD", "heuristic/IT", "heuristic/HT",
+		"combine", "separator=hr", "total",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trace output missing %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestRunCheckNeedsOntology(t *testing.T) {
 	var out strings.Builder
-	err := run(&out, "", false, false, false, true, []string{writeTemp(t, paperdoc.Figure2)})
+	err := run(&out, "", false, false, false, true, false, []string{writeTemp(t, paperdoc.Figure2)})
 	if err == nil || !strings.Contains(err.Error(), "-ontology") {
 		t.Errorf("err = %v", err)
 	}
@@ -77,13 +97,13 @@ func TestRunCheckNeedsOntology(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "", false, true, false, false, []string{"/nonexistent/file.html"}); err == nil {
+	if err := run(&out, "", false, true, false, false, false, []string{"/nonexistent/file.html"}); err == nil {
 		t.Error("missing file should error")
 	}
-	if err := run(&out, "no-such-ontology", false, true, false, false, []string{writeTemp(t, paperdoc.Figure2)}); err == nil {
+	if err := run(&out, "no-such-ontology", false, true, false, false, false, []string{writeTemp(t, paperdoc.Figure2)}); err == nil {
 		t.Error("bad ontology should error")
 	}
-	if err := run(&out, "", false, true, false, false, []string{writeTemp(t, "no tags")}); err == nil {
+	if err := run(&out, "", false, true, false, false, false, []string{writeTemp(t, "no tags")}); err == nil {
 		t.Error("tagless document should error")
 	}
 }

@@ -1,37 +1,135 @@
 // Command serve runs the record-boundary discovery pipeline as a JSON HTTP
-// service (see internal/httpapi for the endpoint reference).
+// service (see internal/httpapi for the endpoint reference), with structured
+// request logging, Prometheus metrics at /metrics, expvar at /debug/vars,
+// and graceful shutdown on SIGINT/SIGTERM.
 //
 // Usage:
 //
-//	serve -addr :8080
+//	serve -addr :8080 [-ops-addr :6060] [-shutdown-timeout 10s]
+//
+// -ops-addr starts a second, operations-only listener carrying the
+// net/http/pprof profiling handlers (plus /metrics and /debug/vars again) so
+// profiling is never exposed on the service port; empty disables it.
 //
 // Example:
 //
 //	curl -s localhost:8080/v1/discover \
 //	     -d '{"html":"<div><hr><b>A</b> x<hr><b>B</b> y<hr></div>"}'
+//	curl -s localhost:8080/metrics
+//	go tool pprof localhost:6060/debug/pprof/profile?seconds=10
 package main
 
 import (
+	"context"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/httpapi"
+	"repro/internal/obs"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
 
+// run starts the service and blocks until ctx is cancelled (then draining
+// in-flight requests) or a listener fails. Listener addresses are printed to
+// out so callers using port 0 learn the bound ports.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "service listen address")
+	opsAddr := fs.String("ops-addr", "",
+		"operations listen address (pprof, /metrics, /debug/vars); empty disables")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second,
+		"how long to drain in-flight requests on SIGINT/SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := slog.New(slog.NewJSONHandler(out, nil))
+	metrics := obs.NewRegistry()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           httpapi.NewServeMux(),
+		Handler:           httpapi.NewHandler(httpapi.Config{Logger: logger, Metrics: metrics}),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
 	}
-	fmt.Printf("record-boundary service listening on %s\n", *addr)
-	log.Fatal(srv.ListenAndServe())
+	fmt.Fprintf(out, "record-boundary service listening on %s\n", ln.Addr())
+
+	servers := []*http.Server{srv}
+	errCh := make(chan error, 2)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	if *opsAddr != "" {
+		opsLn, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			shutdown(servers, *shutdownTimeout)
+			return err
+		}
+		ops := &http.Server{
+			Handler:           opsMux(metrics),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		servers = append(servers, ops)
+		fmt.Fprintf(out, "ops listener (pprof, metrics) on %s\n", opsLn.Addr())
+		go func() { errCh <- ops.Serve(opsLn) }()
+	}
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(out, "shutting down")
+		return shutdown(servers, *shutdownTimeout)
+	case err := <-errCh:
+		shutdown(servers, *shutdownTimeout)
+		return err
+	}
+}
+
+// shutdown drains every server, allowing up to timeout for in-flight
+// requests; http.ErrServerClosed from the Serve goroutines is expected.
+func shutdown(servers []*http.Server, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var firstErr error
+	for _, s := range servers {
+		if err := s.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// opsMux is the operations-only surface: profiling endpoints that must not
+// face service traffic, plus the metric exports for convenience.
+func opsMux(metrics *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", metrics.Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
 }

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lockedBuffer is an io.Writer safe for the concurrent writes run() and the
+// request logger make while the test polls the output.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// waitFor polls the buffer for a regexp's first capture group.
+func waitFor(t *testing.T, buf *lockedBuffer, pattern string) string {
+	t.Helper()
+	re := regexp.MustCompile(pattern)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := re.FindStringSubmatch(buf.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("output never matched %q; output so far:\n%s", pattern, buf.String())
+	return ""
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServeGracefulShutdown boots the full service on ephemeral ports,
+// exercises the service and ops listeners, then cancels the context and
+// checks run() drains and returns cleanly.
+func TestServeGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	buf := &lockedBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-ops-addr", "127.0.0.1:0",
+			"-shutdown-timeout", "2s",
+		}, buf)
+	}()
+
+	addr := waitFor(t, buf, `service listening on ([0-9.:]+)`)
+	opsAddr := waitFor(t, buf, `ops listener \(pprof, metrics\) on ([0-9.:]+)`)
+
+	if code, body := get(t, "http://"+addr+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get(t, "http://"+addr+"/metrics"); code != 200 ||
+		!strings.Contains(body, "http_requests_total") {
+		t.Errorf("/metrics = %d, want 200 with http_requests_total; body:\n%s", code, body)
+	}
+	if code, body := get(t, "http://"+addr+"/debug/vars"); code != 200 ||
+		!strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars = %d, want 200 with memstats", code)
+		_ = body
+	}
+	if code, body := get(t, "http://"+opsAddr+"/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("ops /debug/pprof/cmdline = %d", code)
+	}
+	if code, _ := get(t, "http://"+opsAddr+"/metrics"); code != 200 {
+		t.Errorf("ops /metrics = %d", code)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v after cancel, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return after context cancel")
+	}
+	if !strings.Contains(buf.String(), "shutting down") {
+		t.Errorf("missing shutdown message; output:\n%s", buf.String())
+	}
+}
+
+// TestServeBadFlag checks flag errors surface instead of booting.
+func TestServeBadFlag(t *testing.T) {
+	buf := &lockedBuffer{}
+	if err := run(context.Background(), []string{"-no-such-flag"}, buf); err == nil {
+		t.Error("run accepted an unknown flag")
+	}
+}
+
+// TestServeAddrInUse checks a bind failure is reported as an error.
+func TestServeAddrInUse(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	buf := &lockedBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0"}, buf)
+	}()
+	addr := waitFor(t, buf, `service listening on ([0-9.:]+)`)
+
+	if err := run(ctx, []string{"-addr", addr}, &lockedBuffer{}); err == nil {
+		t.Error("second bind on the same address succeeded")
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("first server: %v", err)
+	}
+}

@@ -19,10 +19,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/certainty"
 	"repro/internal/heuristic"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/tagtree"
 )
@@ -45,6 +48,24 @@ type Options struct {
 	// SeparatorList overrides IT's identifiable-separator list; nil means
 	// the paper's list.
 	SeparatorList []string
+	// Trace, if non-nil, receives one span per pipeline stage (parse,
+	// fan-out search, candidate extraction, recognition, each heuristic,
+	// certainty combination) for this call.
+	Trace *obs.Trace
+	// Metrics, if non-nil, receives pipeline counters and stage-latency
+	// histograms (see docs/OBSERVABILITY.md for the metric names).
+	Metrics *obs.Registry
+}
+
+// observed reports whether any observability sink is attached.
+func (o Options) observed() bool { return o.Trace != nil || o.Metrics != nil }
+
+// recordStage files one completed stage with both sinks.
+func (o Options) recordStage(name string, d time.Duration, attrs ...string) {
+	o.Trace.Add(name, d, attrs...)
+	o.Metrics.Histogram("boundary_stage_duration_seconds",
+		"Pipeline stage latency in seconds, by stage.", nil,
+		"stage", name).Observe(d.Seconds())
 }
 
 func (o Options) combination() certainty.Combination {
@@ -115,7 +136,13 @@ var ErrNoCandidates = errors.New("core: no candidate separator tags")
 
 // Discover runs the Record-Boundary Discovery Algorithm on an HTML document.
 func Discover(doc string, opts Options) (*Result, error) {
-	return DiscoverTree(tagtree.Parse(doc), opts)
+	start := time.Now()
+	tree := tagtree.Parse(doc)
+	if opts.observed() {
+		opts.recordStage("parse", time.Since(start),
+			"mode", "html", "bytes", strconv.Itoa(len(doc)))
+	}
+	return DiscoverTree(tree, opts)
 }
 
 // DiscoverXML runs the algorithm on an XML document (the paper's footnote 1
@@ -125,7 +152,13 @@ func Discover(doc string, opts Options) (*Result, error) {
 // callers usually supply Options.SeparatorList (or rely on the other
 // heuristics, which are markup-agnostic).
 func DiscoverXML(doc string, opts Options) (*Result, error) {
-	return DiscoverTree(tagtree.ParseXML(doc), opts)
+	start := time.Now()
+	tree := tagtree.ParseXML(doc)
+	if opts.observed() {
+		opts.recordStage("parse", time.Since(start),
+			"mode", "xml", "bytes", strconv.Itoa(len(doc)))
+	}
+	return DiscoverTree(tree, opts)
 }
 
 // DiscoverTree runs discovery over an already-parsed tag tree, for callers
@@ -137,8 +170,13 @@ func DiscoverTree(tree *tagtree.Tree, opts Options) (*Result, error) {
 	if !opts.combination().Contains(certainty.OM) {
 		ont = nil
 	}
-	ctx := heuristic.NewContext(tree, opts.threshold(), ont)
+	var onStage heuristic.StageFunc
+	if opts.observed() {
+		onStage = func(s heuristic.Stage) { opts.recordStage(s.Name, s.Duration, s.Attrs...) }
+	}
+	ctx := heuristic.NewContextTimed(tree, opts.threshold(), ont, onStage)
 	if len(ctx.Candidates) == 0 {
+		opts.countDocument("no_candidates")
 		return nil, ErrNoCandidates
 	}
 
@@ -154,12 +192,18 @@ func DiscoverTree(tree *tagtree.Tree, opts Options) (*Result, error) {
 		res.Separator = ctx.Candidates[0].Name
 		res.TopTags = []string{res.Separator}
 		res.Scores = []certainty.Score{{Tag: res.Separator, CF: 1}}
+		opts.countDocument("single_candidate")
 		return res, nil
 	}
 
 	rankMaps := make(map[string]map[string]int)
 	for _, h := range opts.heuristics() {
-		if r, ok := h.Rank(ctx); ok {
+		start := time.Now()
+		r, ok := h.Rank(ctx)
+		if opts.observed() {
+			opts.observeHeuristic(h.Name(), time.Since(start), r, ok)
+		}
+		if ok {
 			res.Rankings[h.Name()] = r
 			rankMaps[h.Name()] = r.ToMap()
 		}
@@ -169,6 +213,7 @@ func DiscoverTree(tree *tagtree.Tree, opts Options) (*Result, error) {
 	for i, c := range ctx.Candidates {
 		tags[i] = c.Name
 	}
+	start := time.Now()
 	res.Scores = certainty.Compound(opts.factors(), opts.combination(), rankMaps, tags)
 	res.Separator = res.Scores[0].Tag
 	for _, s := range res.Scores {
@@ -176,7 +221,39 @@ func DiscoverTree(tree *tagtree.Tree, opts Options) (*Result, error) {
 			res.TopTags = append(res.TopTags, s.Tag)
 		}
 	}
+	if opts.observed() {
+		opts.recordStage("combine", time.Since(start),
+			"separator", res.Separator,
+			"cf", fmt.Sprintf("%.4f", res.Scores[0].CF))
+	}
+	opts.countDocument("ok")
 	return res, nil
+}
+
+// countDocument increments the per-outcome document counter.
+func (o Options) countDocument(outcome string) {
+	o.Metrics.Counter("boundary_documents_total",
+		"Documents run through boundary discovery, by outcome.",
+		"outcome", outcome).Inc()
+}
+
+// observeHeuristic files one heuristic's answer (or decline) with both
+// sinks: a trace span named heuristic/<name>, a stage-latency observation,
+// and run/decline counters.
+func (o Options) observeHeuristic(name string, d time.Duration, r heuristic.Ranking, ok bool) {
+	stage := "heuristic/" + name
+	attrs := []string{"declined", "true"}
+	if ok && len(r) > 0 {
+		attrs = []string{"declined", "false", "rank1", r[0].Tag}
+	}
+	o.recordStage(stage, d, attrs...)
+	o.Metrics.Counter("boundary_heuristic_runs_total",
+		"Heuristic invocations, by heuristic.", "heuristic", name).Inc()
+	if !ok {
+		o.Metrics.Counter("boundary_heuristic_declines_total",
+			"Heuristic invocations that declined to answer, by heuristic.",
+			"heuristic", name).Inc()
+	}
 }
 
 // Record is one record-sized chunk of a document.

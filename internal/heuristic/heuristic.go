@@ -15,6 +15,8 @@ package heuristic
 
 import (
 	"sort"
+	"strconv"
+	"time"
 
 	"repro/internal/ontology"
 	"repro/internal/recognizer"
@@ -45,15 +47,55 @@ type Context struct {
 // (tagtree.DefaultCandidateThreshold for the paper's 10% rule). ont may be
 // nil, in which case the OM heuristic will decline to answer.
 func NewContext(tree *tagtree.Tree, threshold float64, ont *ontology.Ontology) *Context {
+	return NewContextTimed(tree, threshold, ont, nil)
+}
+
+// Stage is one timed step of Context construction, reported to the observer
+// passed to NewContextTimed. Attrs holds alternating key, value descriptive
+// pairs (the winning tag, the candidate count, ...).
+type Stage struct {
+	Name     string // "fanout", "candidates" or "recognize"
+	Duration time.Duration
+	Attrs    []string
+}
+
+// StageFunc observes one completed stage of context construction.
+type StageFunc func(Stage)
+
+// NewContextTimed is NewContext with per-stage observation: each derivation
+// step — highest-fan-out search, candidate extraction, and (with an
+// ontology) Data-Record Table recognition — is timed and reported to
+// onStage. A nil onStage skips all bookkeeping; this is the hook the
+// pipeline's observability layer uses for trace spans and stage-latency
+// histograms.
+func NewContextTimed(tree *tagtree.Tree, threshold float64, ont *ontology.Ontology, onStage StageFunc) *Context {
+	start := time.Now()
 	sub := tree.HighestFanOut()
+	if onStage != nil {
+		onStage(Stage{Name: "fanout", Duration: time.Since(start), Attrs: []string{
+			"tag", sub.Name, "fan_out", strconv.Itoa(sub.FanOut()),
+		}})
+		start = time.Now()
+	}
 	ctx := &Context{
 		Tree:       tree,
 		Subtree:    sub,
 		Candidates: tagtree.Candidates(sub, threshold),
 		Ontology:   ont,
 	}
+	if onStage != nil {
+		onStage(Stage{Name: "candidates", Duration: time.Since(start), Attrs: []string{
+			"count", strconv.Itoa(len(ctx.Candidates)),
+		}})
+		start = time.Now()
+	}
 	if ont != nil {
 		ctx.Table = recognizer.Recognize(ont, tree, sub)
+		if onStage != nil {
+			onStage(Stage{Name: "recognize", Duration: time.Since(start), Attrs: []string{
+				"entries", strconv.Itoa(ctx.Table.Len()),
+			}})
+		}
 	}
 	return ctx
 }

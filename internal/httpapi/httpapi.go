@@ -13,18 +13,23 @@
 //	POST /v1/wrapper/apply  {wrapper, html}       → records (409 on drift)
 //	GET  /v1/ontologies                           → built-in ontology names
 //	GET  /healthz                                 → ok
+//	GET  /metrics                                 → Prometheus text format
+//	GET  /debug/vars                              → expvar JSON
 package httpapi
 
 import (
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 
 	"repro/internal/certainty"
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/dbgen"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 )
 
@@ -32,20 +37,66 @@ import (
 // kilobytes, and even generous modern listings fit far below this.
 const MaxBodyBytes = 8 << 20
 
-// NewServeMux returns the service's routing table.
+// Config carries the service's observability sinks. The zero value is valid:
+// a nil Logger disables request logging and a nil Metrics disables metric
+// collection (the /metrics endpoint then serves an empty exposition).
+type Config struct {
+	// Logger receives one structured "request" record per served request.
+	Logger *slog.Logger
+	// Metrics collects HTTP middleware metrics and is threaded into the
+	// pipeline via core.Options, so /metrics shows per-stage and
+	// per-heuristic counters alongside the per-route HTTP series.
+	Metrics *obs.Registry
+}
+
+// server binds the handlers to one Config.
+type server struct {
+	cfg Config
+}
+
+// NewHandler returns the full service handler: the routing table wrapped in
+// request-logging + metrics middleware, plus GET /metrics and
+// GET /debug/vars.
+func NewHandler(cfg Config) http.Handler {
+	mux := newMux(server{cfg: cfg})
+	mux.Handle("GET /metrics", cfg.Metrics.Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	route := func(r *http.Request) string {
+		_, pattern := mux.Handler(r)
+		return pattern
+	}
+	return obs.Middleware(mux, cfg.Logger, cfg.Metrics, route)
+}
+
+// NewServeMux returns the bare routing table with no middleware and no
+// observability endpoints — the pre-observability surface, kept for embedders
+// that bring their own. Most callers want NewHandler.
 func NewServeMux() *http.ServeMux {
+	return newMux(server{})
+}
+
+func newMux(s server) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/discover", handleDiscover)
-	mux.HandleFunc("POST /v1/records", handleRecords)
-	mux.HandleFunc("POST /v1/extract", handleExtract)
-	mux.HandleFunc("POST /v1/classify", handleClassify)
-	mux.HandleFunc("GET /v1/ontologies", handleOntologies)
-	registerWrapperRoutes(mux)
+	mux.HandleFunc("POST /v1/discover", s.handleDiscover)
+	mux.HandleFunc("POST /v1/records", s.handleRecords)
+	mux.HandleFunc("POST /v1/extract", s.handleExtract)
+	mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	mux.HandleFunc("GET /v1/ontologies", s.handleOntologies)
+	registerWrapperRoutes(mux, s)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// pipelineOptions threads the server's metrics into a discovery call.
+func (s server) pipelineOptions(ont *ontology.Ontology, separatorList []string) core.Options {
+	return core.Options{
+		Ontology:      ont,
+		SeparatorList: separatorList,
+		Metrics:       s.cfg.Metrics,
+	}
 }
 
 // request is the shared request envelope.
@@ -79,13 +130,29 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
-// decode parses the request envelope with a body limit.
-func decode(w http.ResponseWriter, r *http.Request) (*request, bool) {
-	var req request
+// decodeJSON parses a JSON body into v with the body limit applied,
+// answering 400 on malformed input and 413 when the body exceeds
+// MaxBodyBytes. Reports whether decoding succeeded.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", maxErr.Limit))
+			return false
+		}
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// decode parses the shared request envelope.
+func decode(w http.ResponseWriter, r *http.Request) (*request, bool) {
+	var req request
+	if !decodeJSON(w, r, &req) {
 		return nil, false
 	}
 	return &req, true
@@ -156,7 +223,7 @@ func toDiscoverResponse(res *core.Result) *discoverResponse {
 	return out
 }
 
-func handleDiscover(w http.ResponseWriter, r *http.Request) {
+func (s server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	req, ok := decode(w, r)
 	if !ok {
 		return
@@ -170,7 +237,7 @@ func handleDiscover(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	opts := core.Options{Ontology: ont, SeparatorList: req.SeparatorList}
+	opts := s.pipelineOptions(ont, req.SeparatorList)
 	var res *core.Result
 	if req.HTML != "" {
 		res, err = core.Discover(req.HTML, opts)
@@ -191,7 +258,7 @@ type recordBody struct {
 	End   int    `json:"end"`
 }
 
-func handleRecords(w http.ResponseWriter, r *http.Request) {
+func (s server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	req, ok := decode(w, r)
 	if !ok {
 		return
@@ -205,7 +272,7 @@ func handleRecords(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := core.Discover(req.HTML, core.Options{Ontology: ont, SeparatorList: req.SeparatorList})
+	res, err := core.Discover(req.HTML, s.pipelineOptions(ont, req.SeparatorList))
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
@@ -220,7 +287,7 @@ func handleRecords(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func handleExtract(w http.ResponseWriter, r *http.Request) {
+func (s server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	req, ok := decode(w, r)
 	if !ok {
 		return
@@ -238,7 +305,7 @@ func handleExtract(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := core.Discover(req.HTML, core.Options{Ontology: ont})
+	res, err := core.Discover(req.HTML, s.pipelineOptions(ont, nil))
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
@@ -254,7 +321,7 @@ func handleExtract(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func handleClassify(w http.ResponseWriter, r *http.Request) {
+func (s server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	req, ok := decode(w, r)
 	if !ok {
 		return
@@ -282,7 +349,7 @@ func handleClassify(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func handleOntologies(w http.ResponseWriter, _ *http.Request) {
+func (s server) handleOntologies(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"builtin":    ontology.BuiltinNames(),
 		"heuristics": certainty.AllHeuristics,

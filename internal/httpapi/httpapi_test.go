@@ -311,8 +311,11 @@ func TestMethodNotAllowed(t *testing.T) {
 func TestBodyLimit(t *testing.T) {
 	srv := newServer(t)
 	huge := map[string]any{"html": strings.Repeat("x", MaxBodyBytes+1024)}
-	resp, _ := post(t, srv, "/v1/discover", huge)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("oversized body status = %d, want 400", resp.StatusCode)
+	resp, body := post(t, srv, "/v1/discover", huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body status = %d, want 413", resp.StatusCode)
+	}
+	if msg := str(t, body["error"]); !strings.Contains(msg, "exceeds") {
+		t.Errorf("error message %q does not mention the limit", msg)
 	}
 }

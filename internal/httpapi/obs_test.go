@@ -1,0 +1,165 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/paperdoc"
+)
+
+// newObservedServer runs the full NewHandler surface (middleware + /metrics
+// + /debug/vars) with a fresh registry and a captured log stream.
+func newObservedServer(t *testing.T) (*httptest.Server, *obs.Registry, *bytes.Buffer) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	var logBuf bytes.Buffer
+	h := NewHandler(Config{
+		Logger:  slog.New(slog.NewJSONHandler(&logBuf, nil)),
+		Metrics: reg,
+	})
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv, reg, &logBuf
+}
+
+func postDiscover(t *testing.T, srv *httptest.Server) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"html": paperdoc.Figure2, "ontology": "obituary"})
+	resp, err := http.Post(srv.URL+"/v1/discover", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestMetricsEndpoint serves one /v1/discover request and asserts /metrics
+// reflects it: the per-route HTTP series and the pipeline's per-stage and
+// per-heuristic counters, in Prometheus text format.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _, _ := newObservedServer(t)
+	if resp := postDiscover(t, srv); resp.StatusCode != http.StatusOK {
+		t.Fatalf("discover status = %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(body)
+	for _, want := range []string{
+		"# TYPE http_requests_total counter",
+		`http_requests_total{code="200",method="POST",route="POST /v1/discover"} 1`,
+		`http_request_duration_seconds_bucket{route="POST /v1/discover",le="+Inf"} 1`,
+		`http_request_duration_seconds_count{route="POST /v1/discover"} 1`,
+		`http_request_body_bytes_total{route="POST /v1/discover"}`,
+		"# TYPE boundary_stage_duration_seconds histogram",
+		`boundary_stage_duration_seconds_count{stage="parse"} 1`,
+		`boundary_stage_duration_seconds_count{stage="combine"} 1`,
+		`boundary_heuristic_runs_total{heuristic="OM"} 1`,
+		`boundary_documents_total{outcome="ok"} 1`,
+		"http_requests_in_flight",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRequestIDHeader: every response carries X-Request-ID, and a
+// caller-supplied ID is propagated back and into the request log.
+func TestRequestIDHeader(t *testing.T) {
+	srv, _, logBuf := newObservedServer(t)
+
+	if resp := postDiscover(t, srv); len(resp.Header.Get(obs.RequestIDHeader)) != 16 {
+		t.Errorf("generated id = %q, want 16 hex chars", resp.Header.Get(obs.RequestIDHeader))
+	}
+
+	req, _ := http.NewRequest("GET", srv.URL+"/healthz", nil)
+	req.Header.Set(obs.RequestIDHeader, "trace-me-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "trace-me-123" {
+		t.Errorf("propagated id = %q, want trace-me-123", got)
+	}
+	if !strings.Contains(logBuf.String(), `"request_id":"trace-me-123"`) {
+		t.Errorf("request log missing the supplied id:\n%s", logBuf.String())
+	}
+}
+
+// TestErrorMetrics: a 4xx response increments the error counter.
+func TestErrorMetrics(t *testing.T) {
+	srv, reg, _ := newObservedServer(t)
+	resp, err := http.Post(srv.URL+"/v1/discover", "application/json",
+		strings.NewReader(`{"bogus": true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `http_request_errors_total{route="POST /v1/discover"} 1`) {
+		t.Errorf("error counter missing:\n%s", b.String())
+	}
+}
+
+// TestDebugVars: the expvar surface is mounted and serves JSON.
+func TestDebugVars(t *testing.T) {
+	srv, _, _ := newObservedServer(t)
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := v["memstats"]; !ok {
+		t.Error("/debug/vars missing memstats")
+	}
+}
+
+// TestUnmatchedRoute: 404s are labeled "unmatched", keeping route
+// cardinality bounded against URL scanning.
+func TestUnmatchedRoute(t *testing.T) {
+	srv, reg, _ := newObservedServer(t)
+	resp, err := http.Get(srv.URL + "/no/such/path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `http_requests_total{code="404",method="GET",route="unmatched"} 1`) {
+		t.Errorf("unmatched route not labeled:\n%s", b.String())
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
 
 	"repro/internal/wrapper"
@@ -28,17 +27,14 @@ type applyRequest struct {
 	Ontology string          `json:"ontology,omitempty"`
 }
 
-func registerWrapperRoutes(mux *http.ServeMux) {
-	mux.HandleFunc("POST /v1/wrapper/learn", handleWrapperLearn)
-	mux.HandleFunc("POST /v1/wrapper/apply", handleWrapperApply)
+func registerWrapperRoutes(mux *http.ServeMux, s server) {
+	mux.HandleFunc("POST /v1/wrapper/learn", s.handleWrapperLearn)
+	mux.HandleFunc("POST /v1/wrapper/apply", s.handleWrapperApply)
 }
 
-func handleWrapperLearn(w http.ResponseWriter, r *http.Request) {
+func (s server) handleWrapperLearn(w http.ResponseWriter, r *http.Request) {
 	var req learnRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	if len(req.Samples) == 0 {
@@ -68,12 +64,9 @@ func handleWrapperLearn(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func handleWrapperApply(w http.ResponseWriter, r *http.Request) {
+func (s server) handleWrapperApply(w http.ResponseWriter, r *http.Request) {
 	var req applyRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	if len(req.Wrapper) == 0 || req.HTML == "" {

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// mwServer wires a tiny handler through the middleware with a fresh registry.
+func mwServer(t *testing.T, logDst io.Writer) (*httptest.Server, *Registry) {
+	t.Helper()
+	reg := NewRegistry()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/boom":
+			http.Error(w, "boom", http.StatusInternalServerError)
+		case "/id":
+			io.WriteString(w, RequestIDFrom(r.Context()))
+		default:
+			io.WriteString(w, "hello")
+		}
+	})
+	var logger *slog.Logger
+	if logDst != nil {
+		logger = slog.New(slog.NewJSONHandler(logDst, nil))
+	}
+	route := func(r *http.Request) string { return r.URL.Path }
+	srv := httptest.NewServer(Middleware(inner, logger, reg, route))
+	t.Cleanup(srv.Close)
+	return srv, reg
+}
+
+func exposition(t *testing.T, reg *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestMiddlewareGeneratesRequestID(t *testing.T) {
+	srv, _ := mwServer(t, nil)
+	resp, err := http.Get(srv.URL + "/ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	id := resp.Header.Get(RequestIDHeader)
+	if len(id) != 16 {
+		t.Errorf("generated request id %q, want 16 hex chars", id)
+	}
+}
+
+func TestMiddlewarePropagatesRequestID(t *testing.T) {
+	srv, _ := mwServer(t, nil)
+	req, _ := http.NewRequest("GET", srv.URL+"/id", nil)
+	req.Header.Set(RequestIDHeader, "caller-supplied-id")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "caller-supplied-id" {
+		t.Errorf("response header id = %q, want the caller's", got)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "caller-supplied-id" {
+		t.Errorf("context id = %q, want the caller's", body)
+	}
+}
+
+func TestMiddlewareMetrics(t *testing.T) {
+	srv, reg := mwServer(t, nil)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(srv.URL+"/ok", "text/plain", strings.NewReader("abcde"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	got := exposition(t, reg)
+	for _, want := range []string{
+		`http_requests_total{code="200",method="POST",route="/ok"} 3`,
+		`http_requests_total{code="500",method="GET",route="/boom"} 1`,
+		`http_request_errors_total{route="/boom"} 1`,
+		`http_request_body_bytes_total{route="/ok"} 15`,
+		`http_request_duration_seconds_count{route="/ok"} 3`,
+		`http_requests_in_flight 0`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestMiddlewareLogs(t *testing.T) {
+	var buf bytes.Buffer
+	srv, _ := mwServer(t, &buf)
+	resp, err := http.Get(srv.URL + "/ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var entry map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &entry); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	if entry["msg"] != "request" || entry["method"] != "GET" ||
+		entry["path"] != "/ok" || entry["status"] != float64(200) {
+		t.Errorf("log entry = %v", entry)
+	}
+	if id, _ := entry["request_id"].(string); len(id) != 16 {
+		t.Errorf("logged request_id = %v", entry["request_id"])
+	}
+}
+
+// TestMiddlewareNilSinks checks the middleware works with no logger, no
+// registry and no route function.
+func TestMiddlewareNilSinks(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	})
+	srv := httptest.NewServer(Middleware(inner, nil, nil, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 || resp.Header.Get(RequestIDHeader) == "" {
+		t.Errorf("status %d, id %q", resp.StatusCode, resp.Header.Get(RequestIDHeader))
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs.", "kind", "a")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters are monotonic
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %v, want 3.5", got)
+	}
+	if r.Counter("jobs_total", "Jobs.", "kind", "a") != c {
+		t.Error("same name+labels did not return the same counter")
+	}
+	if r.Counter("jobs_total", "Jobs.", "kind", "b") == c {
+		t.Error("different labels returned the same counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "Queue depth.")
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %v, want 7", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got != 55.65 {
+		t.Errorf("sum = %v, want 55.65", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`latency_bucket{le="0.1"} 2`, // 0.05 and 0.1 (le is inclusive)
+		`latency_bucket{le="1"} 3`,
+		`latency_bucket{le="10"} 4`,
+		`latency_bucket{le="+Inf"} 5`,
+		`latency_sum 55.65`,
+		`latency_count 5`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestPrometheusGolden locks the full exposition format: HELP/TYPE comments,
+// sorted families and series, escaped label values.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "B counter.", "route", `with"quote`).Add(2)
+	r.Counter("b_total", "B counter.", "route", "plain").Inc()
+	r.Gauge("a_gauge", "A gauge.").Set(1.5)
+	h := r.Histogram("c_seconds", "C histogram.", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+
+	want := `# HELP a_gauge A gauge.
+# TYPE a_gauge gauge
+a_gauge 1.5
+# HELP b_total B counter.
+# TYPE b_total counter
+b_total{route="plain"} 1
+b_total{route="with\"quote"} 2
+# HELP c_seconds C histogram.
+# TYPE c_seconds histogram
+c_seconds_bucket{le="0.5"} 1
+c_seconds_bucket{le="1"} 2
+c_seconds_bucket{le="+Inf"} 2
+c_seconds_sum 1
+c_seconds_count 2
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, gauge and histogram from many
+// goroutines; run with -race this is the registry's thread-safety proof.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, n = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				// Registration races too: look the metrics up every time.
+				r.Counter("ops_total", "Ops.").Inc()
+				r.Gauge("level", "Level.").Add(1)
+				r.Histogram("dur", "Durations.", []float64{0.5}).Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("ops_total", "Ops.").Value(); got != goroutines*n {
+		t.Errorf("counter = %v, want %d", got, goroutines*n)
+	}
+	if got := r.Gauge("level", "Level.").Value(); got != goroutines*n {
+		t.Errorf("gauge = %v, want %d", got, goroutines*n)
+	}
+	if got := r.Histogram("dur", "Durations.", []float64{0.5}).Count(); got != goroutines*n {
+		t.Errorf("histogram count = %v, want %d", got, goroutines*n)
+	}
+}
+
+// TestNilRegistry checks the no-op contract instrumented code relies on.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Counter("x", "").Inc()
+	r.Gauge("x", "").Set(1)
+	r.Histogram("x", "", nil).Observe(1)
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil registry write: %v", err)
+	}
+	if v := r.Counter("x", "").Value(); v != 0 {
+		t.Errorf("nil counter value = %v", v)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace records the per-stage spans of one Discover call: tag-tree build,
+// highest-fan-out search, candidate extraction, each heuristic's ranking,
+// and certainty combination. A nil *Trace is a valid no-op sink, so the
+// pipeline can be instrumented unconditionally and pay nothing when tracing
+// is off.
+type Trace struct {
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// Span is one timed stage with optional descriptive attributes
+// (candidate count, winning tag, ...).
+type Span struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	// Attrs holds alternating key, value strings in the order added.
+	Attrs []string
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// StartSpan opens a live span; call End on the returned span when the stage
+// finishes. Returns nil (whose methods are no-ops) on a nil trace.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{Name: name, Start: time.Now()}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Add records an already-timed span — for stages whose duration was measured
+// elsewhere. attrs are alternating key, value strings.
+func (t *Trace) Add(name string, d time.Duration, attrs ...string) {
+	if t == nil {
+		return
+	}
+	s := &Span{Name: name, Start: time.Now().Add(-d), Duration: d, Attrs: attrs}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// End closes a live span, fixing its duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.Duration = time.Since(s.Start)
+}
+
+// Attr appends one key/value attribute and returns the span for chaining.
+func (s *Span) Attr(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.Attrs = append(s.Attrs, key, value)
+	return s
+}
+
+// AttrInt is Attr for integer values.
+func (s *Span) AttrInt(key string, v int) *Span {
+	return s.Attr(key, fmt.Sprintf("%d", v))
+}
+
+// Spans returns a snapshot of the recorded spans in recording order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	for i, s := range t.spans {
+		out[i] = *s
+	}
+	return out
+}
+
+// attrString renders a span's attributes as "k=v k=v".
+func attrString(attrs []string) string {
+	var b strings.Builder
+	for i := 0; i+1 < len(attrs); i += 2 {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", attrs[i], attrs[i+1])
+	}
+	return b.String()
+}
+
+// Table renders the spans as an aligned three-column table (stage, duration,
+// attributes) with a total row — the "where does the time go" view for the
+// §5.3 worked example.
+func (t *Trace) Table() string {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return "(no spans recorded)\n"
+	}
+	rows := make([][3]string, 0, len(spans)+1)
+	var total time.Duration
+	for _, s := range spans {
+		total += s.Duration
+		rows = append(rows, [3]string{s.Name, s.Duration.String(), attrString(s.Attrs)})
+	}
+	rows = append(rows, [3]string{"total", total.String(), ""})
+
+	w0, w1 := len("stage"), len("duration")
+	for _, r := range rows {
+		w0, w1 = max(w0, len(r[0])), max(w1, len(r[1]))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  %*s  %s\n", w0, "stage", w1, "duration", "attributes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s  %*s  %s\n", w0, r[0], w1, r[1], r[2])
+	}
+	return b.String()
+}
