@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestExpoRace(t *testing.T) {
+	r := NewRegistry()
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := 0
+			for !done.Load() {
+				r.Counter("x_total", "", "route", strconv.Itoa(w*1_000_000+i)).Inc()
+				i++
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		_ = r.WritePrometheus(io.Discard)
+	}
+	done.Store(true)
+	wg.Wait()
+	t.Log("series churned; done")
+}
