@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test testshort race cover bench fuzz experiments corpus examples clean
+.PHONY: all build test testshort race cover bench bench-smoke fuzz experiments corpus examples clean
 
 all: build test
 
@@ -25,8 +25,24 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
+# Full benchmark run, archived as BENCH_<n>.json (next free index) via
+# cmd/benchjson so runs can be diffed across commits. CI runs the cheaper
+# bench-smoke variant on every push.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
+	n=0; for f in BENCH_*.json; do \
+		[ -e "$$f" ] || continue; \
+		i=$${f#BENCH_}; i=$${i%.json}; \
+		case "$$i" in *[!0-9]*) continue;; esac; \
+		[ "$$i" -ge "$$n" ] && n=$$((i+1)); \
+	done; \
+	$(GO) run ./cmd/benchjson -in bench_output.txt -out BENCH_$$n.json && \
+	echo "wrote BENCH_$$n.json"
+
+# The one-iteration smoke CI runs: catches benchmarks that crash or hang
+# without paying for a full measurement.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # Brief fuzz sessions over every fuzz target (seeds always run under `test`).
 fuzz:

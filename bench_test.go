@@ -11,7 +11,12 @@ package repro
 // The printed experiment outputs themselves come from cmd/experiments.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -19,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/eval"
+	"repro/internal/httpapi"
 	"repro/internal/ontology"
 	"repro/internal/paperdoc"
 	"repro/internal/tagtree"
@@ -367,6 +373,78 @@ func BenchmarkWrapperApplyVsDiscover(b *testing.B) {
 			core.Split(target, res)
 		}
 	})
+}
+
+// postJSON drives one HTTP round-trip against the serving layer, draining
+// the body so connections are reused across iterations.
+func postJSON(b *testing.B, client *http.Client, url string, body []byte) {
+	b.Helper()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkServeCacheHitVsMiss contrasts a discovery request that must run
+// the full pipeline with the identical request answered from the result
+// cache. The gap is the pipeline cost the cache saves; the hit side is pure
+// HTTP + JSON + LRU overhead.
+func BenchmarkServeCacheHitVsMiss(b *testing.B) {
+	body, err := json.Marshal(map[string]string{"html": paperdoc.Figure2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, cacheSize int) {
+		srv := httptest.NewServer(httpapi.NewHandler(httpapi.Config{CacheSize: cacheSize}))
+		defer srv.Close()
+		client := srv.Client()
+		postJSON(b, client, srv.URL+"/v1/discover", body) // warm (fills the cache when enabled)
+		b.SetBytes(int64(len(paperdoc.Figure2)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			postJSON(b, client, srv.URL+"/v1/discover", body)
+		}
+	}
+	b.Run("miss", func(b *testing.B) { run(b, 0) }) // cache disabled: every request recomputes
+	b.Run("hit", func(b *testing.B) { run(b, 8) })
+}
+
+// BenchmarkServeBatchThroughput measures the batch endpoint fanning 32
+// distinct documents across its worker pool, with caching disabled so every
+// iteration pays full pipeline cost (the crawl-shaped workload).
+func BenchmarkServeBatchThroughput(b *testing.B) {
+	docs := make([]map[string]string, 32)
+	total := 0
+	for i := range docs {
+		doc := corpus.TrainingSites(corpus.Obituaries)[i%10].Generate(i).HTML
+		docs[i] = map[string]string{"html": doc}
+		total += len(doc)
+	}
+	body, err := json.Marshal(map[string]any{"documents": docs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			srv := httptest.NewServer(httpapi.NewHandler(httpapi.Config{BatchWorkers: workers}))
+			defer srv.Close()
+			client := srv.Client()
+			b.SetBytes(int64(total))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				postJSON(b, client, srv.URL+"/v1/discover/batch", body)
+			}
+		})
+	}
 }
 
 // BenchmarkTagTreeVsFullDiscovery isolates the tag-tree construction share

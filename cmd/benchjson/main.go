@@ -1,0 +1,152 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so benchmark runs can be checked in (BENCH_<n>.json at the
+// repo root) and diffed across commits.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson -out BENCH_2.json
+//	benchjson -in bench_output.txt
+//
+// -in "-" reads stdin, -out "-" writes stdout (both defaults). Non-benchmark
+// lines (test chatter, PASS/ok) are ignored; goos/goarch/cpu/pkg headers are
+// captured as environment metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the emitted document: run environment plus every benchmark in
+// input order.
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	in := fs.String("in", "-", `input file ("-" for stdin)`)
+	out := fs.String("out", "-", `output file ("-" for stdout)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	r := stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	report, err := parse(r)
+	if err != nil {
+		return err
+	}
+	if len(report.Benchmarks) == 0 {
+		return errors.New("no benchmark lines in input")
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out != "-" {
+		return os.WriteFile(*out, data, 0o644)
+	}
+	_, err = stdout.Write(data)
+	return err
+}
+
+// parse scans go-test output, keeping header metadata and benchmark result
+// lines. The line grammar is: name, iteration count, then value/unit pairs
+// (ns/op, MB/s, B/op, allocs/op).
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			report.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			report.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			report.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("%q: %w", line, err)
+			}
+			b.Package = pkg
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	return report, sc.Err()
+}
+
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, errors.New("too few fields")
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iterations: %w", err)
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("value %q: %w", fields[i], err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "MB/s":
+			b.MBPerS = v
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		default:
+			// Custom ReportMetric units: ignore rather than fail, so the
+			// tool keeps working as benchmarks evolve.
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFigure2Document-4   	    2282	    510679 ns/op	  88.89 MB/s	   93239 B/op	     441 allocs/op
+BenchmarkSplitRecords-4      	   19741	     60055 ns/op	 317.85 MB/s	   60328 B/op	     621 allocs/op
+BenchmarkCorpusGeneration-4  	      37	  31234567 ns/op
+PASS
+ok  	repro	12.345s
+pkg: repro/internal/lru
+BenchmarkGet-4               	12345678	        95.2 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/lru	1.234s
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.GOOS != "linux" || report.GOARCH != "amd64" || !strings.Contains(report.CPU, "Xeon") {
+		t.Errorf("environment = %q/%q/%q", report.GOOS, report.GOARCH, report.CPU)
+	}
+	if len(report.Benchmarks) != 4 {
+		t.Fatalf("benchmarks = %d, want 4", len(report.Benchmarks))
+	}
+	fig := report.Benchmarks[0]
+	if fig.Name != "BenchmarkFigure2Document-4" || fig.Package != "repro" ||
+		fig.Iterations != 2282 || fig.NsPerOp != 510679 ||
+		fig.MBPerS != 88.89 || fig.BytesPerOp != 93239 || fig.AllocsPerOp != 441 {
+		t.Errorf("Figure2 parsed as %+v", fig)
+	}
+	// Line with ns/op only: remaining metrics stay zero.
+	gen := report.Benchmarks[2]
+	if gen.NsPerOp != 31234567 || gen.BytesPerOp != 0 || gen.MBPerS != 0 {
+		t.Errorf("CorpusGeneration parsed as %+v", gen)
+	}
+	// pkg headers re-scope later benchmarks.
+	if got := report.Benchmarks[3].Package; got != "repro/internal/lru" {
+		t.Errorf("lru benchmark package = %q", got)
+	}
+	// Fractional ns/op survives.
+	if got := report.Benchmarks[3].NsPerOp; got != 95.2 {
+		t.Errorf("lru ns/op = %v", got)
+	}
+}
+
+func TestParseRejectsMalformedBenchmarkLine(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkBroken-4 notanumber 5 ns/op\n")); err == nil {
+		t.Error("malformed iteration count accepted")
+	}
+}
+
+func TestRunFileToFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", in, "-out", out}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(report.Benchmarks) != 4 {
+		t.Errorf("round-tripped benchmarks = %d", len(report.Benchmarks))
+	}
+}
+
+func TestRunStdinToStdout(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"name": "BenchmarkSplitRecords-4"`) {
+		t.Errorf("stdout output missing benchmark:\n%s", out.String())
+	}
+}
+
+func TestRunEmptyInputErrors(t *testing.T) {
+	if err := run(nil, strings.NewReader("PASS\nok repro 0.1s\n"), &strings.Builder{}); err == nil {
+		t.Error("input with no benchmarks accepted")
+	}
+}

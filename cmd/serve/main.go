@@ -6,10 +6,16 @@
 // Usage:
 //
 //	serve -addr :8080 [-ops-addr :6060] [-shutdown-timeout 10s]
+//	      [-cache-size 1024] [-batch-parallelism 0]
 //
 // -ops-addr starts a second, operations-only listener carrying the
 // net/http/pprof profiling handlers (plus /metrics and /debug/vars again) so
 // profiling is never exposed on the service port; empty disables it.
+//
+// -cache-size bounds the LRU result cache for /v1/discover and
+// /v1/discover/batch (entries, not bytes); 0 disables caching.
+// -batch-parallelism caps the worker pool draining one batch request;
+// 0 means GOMAXPROCS.
 //
 // Example:
 //
@@ -58,8 +64,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"operations listen address (pprof, /metrics, /debug/vars); empty disables")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second,
 		"how long to drain in-flight requests on SIGINT/SIGTERM")
+	cacheSize := fs.Int("cache-size", 1024,
+		"max entries in the discovery result cache; 0 disables caching")
+	batchParallelism := fs.Int("batch-parallelism", 0,
+		"workers per /v1/discover/batch request; 0 means GOMAXPROCS")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cacheSize < 0 {
+		return fmt.Errorf("-cache-size must be >= 0, got %d", *cacheSize)
+	}
+	if *batchParallelism < 0 {
+		return fmt.Errorf("-batch-parallelism must be >= 0, got %d", *batchParallelism)
 	}
 
 	logger := slog.New(slog.NewJSONHandler(out, nil))
@@ -70,7 +86,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	srv := &http.Server{
-		Handler:           httpapi.NewHandler(httpapi.Config{Logger: logger, Metrics: metrics}),
+		Handler: httpapi.NewHandler(httpapi.Config{
+			Logger:       logger,
+			Metrics:      metrics,
+			CacheSize:    *cacheSize,
+			BatchWorkers: *batchParallelism,
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,

@@ -45,6 +45,20 @@ func waitFor(t *testing.T, buf *lockedBuffer, pattern string) string {
 	return ""
 }
 
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
 func get(t *testing.T, url string) (int, string) {
 	t.Helper()
 	resp, err := http.Get(url)
@@ -116,6 +130,61 @@ func TestServeBadFlag(t *testing.T) {
 	buf := &lockedBuffer{}
 	if err := run(context.Background(), []string{"-no-such-flag"}, buf); err == nil {
 		t.Error("run accepted an unknown flag")
+	}
+	for _, args := range [][]string{
+		{"-cache-size", "-1"},
+		{"-batch-parallelism", "-2"},
+	} {
+		if err := run(context.Background(), args, &lockedBuffer{}); err == nil {
+			t.Errorf("run accepted %v", args)
+		}
+	}
+}
+
+// TestServeCacheAndBatchFlags boots the service with an explicit cache size
+// and batch parallelism and checks both code paths are live: repeated
+// discover requests surface boundary_cache_* metrics, and the batch endpoint
+// answers in order.
+func TestServeCacheAndBatchFlags(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	buf := &lockedBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-cache-size", "16",
+			"-batch-parallelism", "2",
+			"-shutdown-timeout", "2s",
+		}, buf)
+	}()
+	addr := waitFor(t, buf, `service listening on ([0-9.:]+)`)
+
+	doc := `{"html":"<div><hr><b>A</b> x<hr><b>B</b> y<hr><b>C</b> z</div>"}`
+	for i := 0; i < 2; i++ {
+		code, body := post(t, "http://"+addr+"/v1/discover", doc)
+		if code != 200 || !strings.Contains(body, `"separator": "hr"`) {
+			t.Fatalf("discover %d = %d %q", i, code, body)
+		}
+	}
+	if code, body := get(t, "http://"+addr+"/metrics"); code != 200 ||
+		!strings.Contains(body, "boundary_cache_hits_total 1") ||
+		!strings.Contains(body, "boundary_cache_misses_total 1") {
+		t.Errorf("/metrics should show one cache hit and one miss; got %d:\n%s", code, body)
+	}
+
+	code, body := post(t, "http://"+addr+"/v1/discover/batch",
+		`{"documents":[`+doc+`,{"xml":"<f><e>a b</e><e>c d</e><e>e f</e></f>"}]}`)
+	if code != 200 {
+		t.Fatalf("batch = %d %q", code, body)
+	}
+	if hr, e := strings.Index(body, `"separator": "hr"`), strings.Index(body, `"separator": "e"`); hr < 0 || e < 0 || hr > e {
+		t.Errorf("batch results out of order or missing: %q", body)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("run returned %v after cancel", err)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/certainty"
@@ -196,16 +197,33 @@ func DiscoverTree(tree *tagtree.Tree, opts Options) (*Result, error) {
 		return res, nil
 	}
 
+	// The heuristics share one immutable Context and never write to it, so
+	// they fan out concurrently — one goroutine each. Results land in
+	// per-heuristic slots and all observability is filed after the join, in
+	// combination order, keeping trace output deterministic and the sinks
+	// race-free.
+	hs := opts.heuristics()
+	answers := make([]heuristicAnswer, len(hs))
+	var wg sync.WaitGroup
+	for i, h := range hs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			r, ok := h.Rank(ctx)
+			answers[i] = heuristicAnswer{name: h.Name(), d: time.Since(start), r: r, ok: ok}
+		}()
+	}
+	wg.Wait()
+
 	rankMaps := make(map[string]map[string]int)
-	for _, h := range opts.heuristics() {
-		start := time.Now()
-		r, ok := h.Rank(ctx)
+	for _, a := range answers {
 		if opts.observed() {
-			opts.observeHeuristic(h.Name(), time.Since(start), r, ok)
+			opts.observeHeuristic(a.name, a.d, a.r, a.ok)
 		}
-		if ok {
-			res.Rankings[h.Name()] = r
-			rankMaps[h.Name()] = r.ToMap()
+		if a.ok {
+			res.Rankings[a.name] = a.r
+			rankMaps[a.name] = a.r.ToMap()
 		}
 	}
 
@@ -228,6 +246,15 @@ func DiscoverTree(tree *tagtree.Tree, opts Options) (*Result, error) {
 	}
 	opts.countDocument("ok")
 	return res, nil
+}
+
+// heuristicAnswer is one heuristic's result as collected by the concurrent
+// fan-out, held until the join so observability is filed in a stable order.
+type heuristicAnswer struct {
+	name string
+	d    time.Duration
+	r    heuristic.Ranking
+	ok   bool
 }
 
 // countDocument increments the per-outcome document counter.
@@ -273,6 +300,11 @@ type Record struct {
 // last one (within the subtree) forms leading/trailing chunks; chunks with
 // no plain text (adjacent separators, a trailing separator at the subtree's
 // edge) are dropped.
+//
+// Record.Text comes from the already-built tree's event stream, so the whole
+// split is one linear pass with no re-tokenization — and the text honors the
+// semantics the tree was parsed with (a record split from a DiscoverXML
+// result is never re-read with HTML's void elements or raw-text rules).
 func Split(doc string, res *Result) []Record {
 	positions := tagtree.Occurrences(res.Tree, res.Subtree, res.Separator)
 	if len(positions) == 0 {
@@ -282,18 +314,39 @@ func Split(doc string, res *Result) []Record {
 	bounds := append([]int{subStart}, positions...)
 	bounds = append(bounds, subEnd)
 
+	// One merge walk: text events and bounds are both in ascending document
+	// order, and text runs never straddle a bound (every bound is a
+	// start-tag position, which terminates any text run before it).
+	events := res.Tree.SubtreeEvents(res.Subtree)
+	ei := 0
 	var out []Record
+	var parts []string
 	for i := 0; i+1 < len(bounds); i++ {
 		lo, hi := bounds[i], bounds[i+1]
 		if lo >= hi || lo < 0 || hi > len(doc) {
 			continue
 		}
-		raw := doc[lo:hi]
-		text := tagtree.Parse(raw).Root.Text()
-		if text == "" {
+		for ei < len(events) && events[ei].Pos < lo {
+			ei++
+		}
+		parts = parts[:0]
+		for ; ei < len(events) && events[ei].Pos < hi; ei++ {
+			if events[ei].Kind != tagtree.EventText {
+				continue
+			}
+			if s := tagtree.CollapseSpace(events[ei].Text); s != "" {
+				parts = append(parts, s)
+			}
+		}
+		if len(parts) == 0 {
 			continue
 		}
-		out = append(out, Record{HTML: raw, Text: text, Start: lo, End: hi})
+		out = append(out, Record{
+			HTML:  doc[lo:hi],
+			Text:  strings.Join(parts, " "),
+			Start: lo,
+			End:   hi,
+		})
 	}
 	return out
 }

@@ -282,6 +282,53 @@ func TestDiscoverXMLCaseSensitiveTags(t *testing.T) {
 	}
 }
 
+// TestSplitXMLKeepsXMLSemantics is the regression test for the old
+// re-parse bug: Split used to re-tokenize every chunk with tagtree.Parse
+// (HTML semantics), so an XML element whose name collides with an HTML
+// raw-text element (title, script, style) leaked its child markup into
+// Record.Text as literal "<...>" text. Splitting now reads the original
+// tree's event stream, so the XML parse semantics carry through.
+func TestSplitXMLKeepsXMLSemantics(t *testing.T) {
+	xml := `<catalog>` +
+		`<listing><title><b>First</b> edition</title><price>100</price></listing>` +
+		`<listing><title><b>Second</b> edition</title><price>200</price></listing>` +
+		`<listing><title><b>Third</b> edition</title><price>300</price></listing>` +
+		`</catalog>`
+	res, err := DiscoverXML(xml, Options{SeparatorList: []string{"listing"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Separator != "listing" {
+		t.Fatalf("separator = %s, want listing\n%s", res.Separator, Explain(res))
+	}
+	recs := Split(xml, res)
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	for i, want := range []string{"First edition 100", "Second edition 200", "Third edition 300"} {
+		if recs[i].Text != want {
+			t.Errorf("record %d text = %q, want %q", i, recs[i].Text, want)
+		}
+		if strings.ContainsAny(recs[i].Text, "<>") {
+			t.Errorf("record %d text contains markup (HTML raw-text semantics leaked): %q",
+				i, recs[i].Text)
+		}
+	}
+}
+
+// TestSplitMatchesSubtreeText: the event-stream split must reproduce, per
+// record, exactly the text a fresh parse of the chunk would produce for an
+// HTML document (the pre-rewrite behavior), keeping Split's contract stable.
+func TestSplitMatchesSubtreeText(t *testing.T) {
+	res := discoverFigure2(t)
+	for i, r := range Split(paperdoc.Figure2, res) {
+		want := tagtree.Parse(r.HTML).Root.Text()
+		if r.Text != want {
+			t.Errorf("record %d text = %q, re-parse gives %q", i, r.Text, want)
+		}
+	}
+}
+
 func TestDiscoverTreeReuse(t *testing.T) {
 	tree := tagtree.Parse(paperdoc.Figure2)
 	res, err := DiscoverTree(tree, Options{})

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/obs"
@@ -74,6 +76,55 @@ func TestDiscoverMetrics(t *testing.T) {
 	}
 	if strings.Contains(got, `boundary_heuristic_declines_total{heuristic="HT"}`) {
 		t.Error("HT should not have declined")
+	}
+}
+
+// TestDiscoverConcurrentObserved exercises the parallel heuristic fan-out
+// under the race detector: many Discover calls run at once, all feeding one
+// shared metrics registry while each carries its own trace. Span order must
+// stay deterministic per call even though the heuristics run concurrently.
+func TestDiscoverConcurrentObserved(t *testing.T) {
+	reg := obs.NewRegistry()
+	ont := ontology.Builtin("obituary")
+	const calls = 8
+	var wg sync.WaitGroup
+	traces := make([]*obs.Trace, calls)
+	for i := 0; i < calls; i++ {
+		traces[i] = obs.NewTrace()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := Discover(paperdoc.Figure2, Options{
+				Ontology: ont,
+				Trace:    traces[i],
+				Metrics:  reg,
+			})
+			if err != nil || res.Separator != "hr" {
+				t.Errorf("res = %v, err = %v", res, err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := []string{"parse", "fanout", "candidates", "recognize",
+		"heuristic/OM", "heuristic/RP", "heuristic/SD", "heuristic/IT", "heuristic/HT",
+		"combine"}
+	for i, tr := range traces {
+		var names []string
+		for _, s := range tr.Spans() {
+			names = append(names, s.Name)
+		}
+		if strings.Join(names, " ") != strings.Join(want, " ") {
+			t.Errorf("call %d spans = %v, want %v", i, names, want)
+		}
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf(`boundary_documents_total{outcome="ok"} %d`, calls); !strings.Contains(b.String(), want) {
+		t.Errorf("metrics missing %q", want)
 	}
 }
 

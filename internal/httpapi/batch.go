@@ -1,0 +1,91 @@
+package httpapi
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+)
+
+// MaxBatchDocuments bounds one batch request. The body-size limit already
+// caps total bytes; this caps scheduling overhead from degenerate requests
+// with thousands of tiny documents.
+const MaxBatchDocuments = 256
+
+// batchRequest is the /v1/discover/batch envelope: each document is a full
+// discover request, so per-document ontologies and separator lists work.
+type batchRequest struct {
+	Documents []request `json:"documents"`
+}
+
+// batchItem is one per-document outcome, in input order. Exactly one of the
+// embedded result fields or Error is populated.
+type batchItem struct {
+	*discoverResponse
+	// Error carries the per-document failure; the batch itself still
+	// answers 200 so one bad document cannot mask the others' results.
+	Error string `json:"error,omitempty"`
+}
+
+// handleDiscoverBatch fans a batch of documents across a bounded worker
+// pool (the EvaluateAllParallel shape: indexed tasks, results slotted by
+// position) and answers per-document results in input order. Each document
+// takes the same cache-then-pipeline path as /v1/discover.
+func (s server) handleDiscoverBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Documents) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("documents must be non-empty"))
+		return
+	}
+	if len(req.Documents) > MaxBatchDocuments {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("batch has %d documents, limit is %d", len(req.Documents), MaxBatchDocuments))
+		return
+	}
+
+	workers := s.cfg.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(req.Documents) {
+		workers = len(req.Documents)
+	}
+
+	items := make([]batchItem, len(req.Documents))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				resp, apiErr := s.discoverOne(&req.Documents[i])
+				if apiErr != nil {
+					items[i] = batchItem{Error: apiErr.err.Error()}
+				} else {
+					items[i] = batchItem{discoverResponse: resp}
+				}
+			}
+		}()
+	}
+	for i := range req.Documents {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, item := range items {
+		outcome := "ok"
+		if item.Error != "" {
+			outcome = "error"
+		}
+		s.cfg.Metrics.Counter("boundary_batch_documents_total",
+			"Documents processed by the batch endpoint, by outcome.",
+			"outcome", outcome).Inc()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": items})
+}

@@ -1,0 +1,85 @@
+package httpapi
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"repro/internal/lru"
+	"repro/internal/obs"
+)
+
+// resultCache memoizes discovery responses keyed by a fingerprint of the
+// document and every option that can change the answer. Cached values are
+// the wire-form responses, which are immutable once built and far smaller
+// than a core.Result (no tag tree retained), so sharing them across
+// concurrent requests is safe and cheap.
+type resultCache struct {
+	c       *lru.Cache[[sha256.Size]byte, *discoverResponse]
+	metrics *obs.Registry
+}
+
+// newResultCache returns a cache holding up to size responses, or nil when
+// size is not positive (caching disabled). Hit/miss/eviction counters and a
+// resident-entry gauge are filed under boundary_cache_* in metrics.
+func newResultCache(size int, metrics *obs.Registry) *resultCache {
+	if size <= 0 {
+		return nil
+	}
+	return &resultCache{
+		c:       lru.New[[sha256.Size]byte, *discoverResponse](size),
+		metrics: metrics,
+	}
+}
+
+// cacheKey fingerprints one discover request: parse mode, document bytes,
+// the ontology argument verbatim (builtin name or DSL source), and the
+// separator-list override. Fields are length-prefixed so concatenations
+// cannot collide.
+func cacheKey(mode, doc, ontologySrc string, separatorList []string) [sha256.Size]byte {
+	h := sha256.New()
+	var n [8]byte
+	writeField := func(s string) {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	writeField(mode)
+	writeField(doc)
+	writeField(ontologySrc)
+	for _, s := range separatorList {
+		writeField(s)
+	}
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
+}
+
+// get returns the cached response for key, counting the hit or miss. A nil
+// cache misses everything and counts nothing.
+func (rc *resultCache) get(key [sha256.Size]byte) (*discoverResponse, bool) {
+	if rc == nil {
+		return nil, false
+	}
+	resp, ok := rc.c.Get(key)
+	if ok {
+		rc.metrics.Counter("boundary_cache_hits_total",
+			"Discovery requests served from the result cache.").Inc()
+	} else {
+		rc.metrics.Counter("boundary_cache_misses_total",
+			"Discovery requests that missed the result cache.").Inc()
+	}
+	return resp, ok
+}
+
+// put stores a response, counting any eviction and updating the entry gauge.
+func (rc *resultCache) put(key [sha256.Size]byte, resp *discoverResponse) {
+	if rc == nil {
+		return
+	}
+	if rc.c.Add(key, resp) {
+		rc.metrics.Counter("boundary_cache_evictions_total",
+			"Result-cache entries evicted to make room.").Inc()
+	}
+	rc.metrics.Gauge("boundary_cache_entries",
+		"Result-cache entries currently resident.").Set(float64(rc.c.Len()))
+}

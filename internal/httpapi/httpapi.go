@@ -6,6 +6,7 @@
 // Endpoints (all POST bodies and responses are JSON):
 //
 //	POST /v1/discover  {html|xml, ontology?}     → separator, scores, rankings
+//	POST /v1/discover/batch  {documents: [...]}   → per-document results, in order
 //	POST /v1/records   {html, ontology?}          → cleaned record chunks
 //	POST /v1/extract   {html, ontology}           → populated database
 //	POST /v1/classify  {html, ontology}           → document kind + evidence
@@ -18,6 +19,7 @@
 package httpapi
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -37,9 +39,11 @@ import (
 // kilobytes, and even generous modern listings fit far below this.
 const MaxBodyBytes = 8 << 20
 
-// Config carries the service's observability sinks. The zero value is valid:
-// a nil Logger disables request logging and a nil Metrics disables metric
-// collection (the /metrics endpoint then serves an empty exposition).
+// Config carries the service's observability sinks and serving-layer
+// tuning. The zero value is valid: a nil Logger disables request logging, a
+// nil Metrics disables metric collection (the /metrics endpoint then serves
+// an empty exposition), a zero CacheSize disables the result cache, and a
+// zero BatchWorkers sizes the batch pool to GOMAXPROCS.
 type Config struct {
 	// Logger receives one structured "request" record per served request.
 	Logger *slog.Logger
@@ -47,18 +51,27 @@ type Config struct {
 	// pipeline via core.Options, so /metrics shows per-stage and
 	// per-heuristic counters alongside the per-route HTTP series.
 	Metrics *obs.Registry
+	// CacheSize bounds the discovery result cache (entries). Repeated
+	// /v1/discover (and batch) requests for an identical document and
+	// options are answered from the cache; hits, misses, and evictions
+	// surface as boundary_cache_* metrics. Zero or negative disables it.
+	CacheSize int
+	// BatchWorkers bounds how many documents one /v1/discover/batch request
+	// processes concurrently. Zero or negative selects GOMAXPROCS.
+	BatchWorkers int
 }
 
 // server binds the handlers to one Config.
 type server struct {
-	cfg Config
+	cfg   Config
+	cache *resultCache
 }
 
 // NewHandler returns the full service handler: the routing table wrapped in
 // request-logging + metrics middleware, plus GET /metrics and
 // GET /debug/vars.
 func NewHandler(cfg Config) http.Handler {
-	mux := newMux(server{cfg: cfg})
+	mux := newMux(server{cfg: cfg, cache: newResultCache(cfg.CacheSize, cfg.Metrics)})
 	mux.Handle("GET /metrics", cfg.Metrics.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	route := func(r *http.Request) string {
@@ -78,6 +91,7 @@ func NewServeMux() *http.ServeMux {
 func newMux(s server) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/discover", s.handleDiscover)
+	mux.HandleFunc("POST /v1/discover/batch", s.handleDiscoverBatch)
 	mux.HandleFunc("POST /v1/records", s.handleRecords)
 	mux.HandleFunc("POST /v1/extract", s.handleExtract)
 	mux.HandleFunc("POST /v1/classify", s.handleClassify)
@@ -223,32 +237,61 @@ func toDiscoverResponse(res *core.Result) *discoverResponse {
 	return out
 }
 
+// apiError pairs a client-visible error with the HTTP status it maps to.
+type apiError struct {
+	status int
+	err    error
+}
+
+// discoverOne runs one discover request through the cache and, on a miss,
+// the full pipeline — the shared path behind /v1/discover and each document
+// of /v1/discover/batch.
+func (s server) discoverOne(req *request) (*discoverResponse, *apiError) {
+	if (req.HTML == "") == (req.XML == "") {
+		return nil, &apiError{http.StatusBadRequest,
+			errors.New("exactly one of html or xml is required")}
+	}
+	mode, doc := "html", req.HTML
+	if req.XML != "" {
+		mode, doc = "xml", req.XML
+	}
+	var key [sha256.Size]byte
+	if s.cache != nil {
+		key = cacheKey(mode, doc, req.Ontology, req.SeparatorList)
+		if resp, ok := s.cache.get(key); ok {
+			return resp, nil
+		}
+	}
+	ont, err := req.resolveOntology()
+	if err != nil {
+		return nil, &apiError{http.StatusBadRequest, err}
+	}
+	opts := s.pipelineOptions(ont, req.SeparatorList)
+	var res *core.Result
+	if mode == "html" {
+		res, err = core.Discover(doc, opts)
+	} else {
+		res, err = core.DiscoverXML(doc, opts)
+	}
+	if err != nil {
+		return nil, &apiError{http.StatusUnprocessableEntity, err}
+	}
+	resp := toDiscoverResponse(res)
+	s.cache.put(key, resp)
+	return resp, nil
+}
+
 func (s server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	req, ok := decode(w, r)
 	if !ok {
 		return
 	}
-	if (req.HTML == "") == (req.XML == "") {
-		writeErr(w, http.StatusBadRequest, errors.New("exactly one of html or xml is required"))
+	resp, apiErr := s.discoverOne(req)
+	if apiErr != nil {
+		writeErr(w, apiErr.status, apiErr.err)
 		return
 	}
-	ont, err := req.resolveOntology()
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	opts := s.pipelineOptions(ont, req.SeparatorList)
-	var res *core.Result
-	if req.HTML != "" {
-		res, err = core.Discover(req.HTML, opts)
-	} else {
-		res, err = core.DiscoverXML(req.XML, opts)
-	}
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, toDiscoverResponse(res))
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // recordBody is one split record on the wire.

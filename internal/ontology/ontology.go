@@ -16,6 +16,7 @@ package ontology
 import (
 	"fmt"
 	"regexp"
+	"sync"
 )
 
 // Cardinality describes how an object set relates to the entity of interest.
@@ -103,6 +104,10 @@ type Ontology struct {
 	// Lexicons maps lexicon name → member words, usable in patterns via
 	// {Name} interpolation.
 	Lexicons map[string][]string
+
+	// rulesOnce guards the lazily-built, shared matching-rule set (Rules).
+	rulesOnce sync.Once
+	rules     []Rule
 }
 
 // ObjectSet returns the named object set, or nil.

@@ -1,0 +1,109 @@
+package ontology
+
+import (
+	"regexp/syntax"
+)
+
+// minPrefilterLen is the shortest literal worth prescanning for: a
+// one-character needle (a space, a digit) matches nearly every chunk and
+// would make the prescan pure overhead.
+const minPrefilterLen = 2
+
+// prefilterLiterals derives a necessary-literal set for a pattern: a list of
+// case-sensitive strings such that every match of the pattern contains at
+// least one of them. A caller can then reject a text chunk with cheap
+// substring scans before invoking the regexp engine — the hot-path
+// optimization the recognizer's Data-Record-Table build relies on.
+//
+// The result is nil when no useful set exists (the pattern can match without
+// any fixed literal, e.g. a bare character class, or the best literals are
+// shorter than minPrefilterLen); nil means "always run the regexp".
+func prefilterLiterals(pattern string) []string {
+	re, err := syntax.Parse(pattern, syntax.Perl)
+	if err != nil {
+		return nil
+	}
+	lits, ok := necessaryLiterals(re.Simplify())
+	if !ok || len(lits) == 0 {
+		return nil
+	}
+	for _, l := range lits {
+		if len(l) < minPrefilterLen {
+			return nil
+		}
+	}
+	// Cap pathological alternations: scanning dozens of needles per chunk
+	// costs more than one regexp run.
+	if len(lits) > 24 {
+		return nil
+	}
+	return lits
+}
+
+// necessaryLiterals computes, for a parse-tree node, a set of literals of
+// which every match of the node must contain at least one. ok is false when
+// no such (non-empty) set can be derived.
+func necessaryLiterals(re *syntax.Regexp) ([]string, bool) {
+	switch re.Op {
+	case syntax.OpLiteral:
+		if re.Flags&syntax.FoldCase != 0 {
+			// A folded literal matches in any case mix; a case-sensitive
+			// substring scan would miss valid matches.
+			return nil, false
+		}
+		return []string{string(re.Rune)}, true
+
+	case syntax.OpCapture:
+		return necessaryLiterals(re.Sub[0])
+
+	case syntax.OpPlus:
+		// The sub-expression matches at least once.
+		return necessaryLiterals(re.Sub[0])
+
+	case syntax.OpRepeat:
+		if re.Min >= 1 {
+			return necessaryLiterals(re.Sub[0])
+		}
+		return nil, false
+
+	case syntax.OpConcat:
+		// Every sub-expression matches in sequence, so any sub-expression's
+		// necessary set works; pick the one whose weakest literal is longest.
+		var best []string
+		bestMin := 0
+		for _, sub := range re.Sub {
+			lits, ok := necessaryLiterals(sub)
+			if !ok || len(lits) == 0 {
+				continue
+			}
+			m := len(lits[0])
+			for _, l := range lits[1:] {
+				if len(l) < m {
+					m = len(l)
+				}
+			}
+			if m > bestMin {
+				best, bestMin = lits, m
+			}
+		}
+		return best, best != nil
+
+	case syntax.OpAlternate:
+		// A match comes from one branch, so the union works only if every
+		// branch contributes a set.
+		var all []string
+		for _, sub := range re.Sub {
+			lits, ok := necessaryLiterals(sub)
+			if !ok {
+				return nil, false
+			}
+			all = append(all, lits...)
+		}
+		return all, true
+
+	default:
+		// Character classes, anchors, empty-width ops, star/quest: no
+		// required literal.
+		return nil, false
+	}
+}

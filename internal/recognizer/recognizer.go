@@ -10,7 +10,10 @@
 package recognizer
 
 import (
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/ontology"
 	"repro/internal/tagtree"
@@ -33,10 +36,22 @@ type Entry struct {
 // Descriptor renders the entry's descriptor, e.g. "DeathDate/keyword".
 func (e Entry) Descriptor() string { return e.ObjectSet + "/" + e.Kind.String() }
 
+// countKey identifies one (object set, rule kind) occurrence-count bucket.
+type countKey struct {
+	objectSet string
+	kind      ontology.RuleKind
+}
+
 // Table is the Data-Record Table: entries sorted by position in the
 // document (ties broken by object-set name, then kind).
 type Table struct {
 	Entries []Entry
+
+	// counts caches per-(objectSet, kind) entry counts. Recognize fills it
+	// so the OM heuristic's per-field lookups are O(1) instead of a fresh
+	// scan of all entries; tables assembled by hand leave it nil and fall
+	// back to the linear count.
+	counts map[countKey]int
 }
 
 // Len returns the number of entries ("lines" in the paper's O(d) analysis).
@@ -53,6 +68,9 @@ func (t *Table) CountConstant(objectSet string) int {
 }
 
 func (t *Table) count(objectSet string, kind ontology.RuleKind) int {
+	if t.counts != nil {
+		return t.counts[countKey{objectSet, kind}]
+	}
 	n := 0
 	for _, e := range t.Entries {
 		if e.ObjectSet == objectSet && e.Kind == kind {
@@ -60,6 +78,14 @@ func (t *Table) count(objectSet string, kind ontology.RuleKind) int {
 		}
 	}
 	return n
+}
+
+// buildCounts precomputes the per-(objectSet, kind) counts.
+func (t *Table) buildCounts() {
+	t.counts = make(map[countKey]int)
+	for _, e := range t.Entries {
+		t.counts[countKey{e.ObjectSet, e.Kind}]++
+	}
 }
 
 // Slice returns the entries with Pos in [from, to), preserving order. It is
@@ -70,19 +96,90 @@ func (t *Table) Slice(from, to int) []Entry {
 	return t.Entries[lo:hi]
 }
 
+// parallelThreshold is the total chunk byte count below which fanning the
+// scan out across workers costs more than it saves.
+const parallelThreshold = 16 << 10
+
 // Recognize runs the ontology's matching rules over the plain text of the
 // subtree rooted at n (normally the highest-fan-out subtree) and returns the
 // Data-Record Table. Text chunks are matched individually — a rule never
 // matches across a tag boundary, mirroring how the paper's recognizers run
 // over the cleaned text between tags. Positions are document offsets.
+//
+// Each chunk takes a single pass: rules whose prefilter literals (see
+// ontology.Rule.Prefilter) are absent from the chunk are rejected with
+// substring scans and never reach the regexp engine. Chunks are independent,
+// so large documents fan out across a bounded worker pool; per-chunk entry
+// lists are sorted locally and concatenated in document order, which leaves
+// the table globally sorted without a final full-table sort.
 func Recognize(ont *ontology.Ontology, tree *tagtree.Tree, n *tagtree.Node) *Table {
 	rules := ont.Rules()
-	var entries []Entry
-	for _, ev := range tree.SubtreeEvents(n) {
-		if ev.Kind != tagtree.EventText {
-			continue
+
+	events := tree.SubtreeEvents(n)
+	chunks := make([]tagtree.Event, 0, len(events)/2)
+	total := 0
+	for _, ev := range events {
+		if ev.Kind == tagtree.EventText {
+			chunks = append(chunks, ev)
+			total += len(ev.Text)
 		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	if total < parallelThreshold || workers <= 1 {
+		t := &Table{Entries: scanChunks(rules, chunks)}
+		t.buildCounts()
+		return t
+	}
+
+	// Shard the chunk list into contiguous runs, one per worker, so each
+	// worker's output is already in document order.
+	perChunk := make([][]Entry, len(chunks))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				perChunk[i] = scanChunks(rules, chunks[i:i+1])
+			}
+		}()
+	}
+	for i := range chunks {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	n2 := 0
+	for _, es := range perChunk {
+		n2 += len(es)
+	}
+	entries := make([]Entry, 0, n2)
+	for _, es := range perChunk {
+		entries = append(entries, es...)
+	}
+	t := &Table{Entries: entries}
+	t.buildCounts()
+	return t
+}
+
+// scanChunks matches every rule against every chunk, returning entries
+// sorted by (Pos, ObjectSet, Kind). Chunks must be in ascending document
+// order; since chunk byte ranges are disjoint, sorting each chunk's matches
+// locally keeps the concatenation globally sorted.
+func scanChunks(rules []ontology.Rule, chunks []tagtree.Event) []Entry {
+	var entries []Entry
+	for _, ev := range chunks {
+		chunkStart := len(entries)
 		for _, r := range rules {
+			if !prefilterHit(r.Prefilter, ev.Text) {
+				continue
+			}
 			for _, m := range r.Pattern.FindAllStringIndex(ev.Text, -1) {
 				entries = append(entries, Entry{
 					ObjectSet: r.ObjectSet,
@@ -93,7 +190,28 @@ func Recognize(ont *ontology.Ontology, tree *tagtree.Tree, n *tagtree.Node) *Tab
 				})
 			}
 		}
+		sortEntries(entries[chunkStart:])
 	}
+	return entries
+}
+
+// prefilterHit reports whether the chunk can possibly match a rule with the
+// given necessary-literal set. An empty set means "always possible".
+func prefilterHit(lits []string, text string) bool {
+	if len(lits) == 0 {
+		return true
+	}
+	for _, l := range lits {
+		if strings.Contains(text, l) {
+			return true
+		}
+	}
+	return false
+}
+
+// sortEntries orders entries by position, ties broken by object-set name,
+// then kind — the table's canonical order.
+func sortEntries(entries []Entry) {
 	sort.Slice(entries, func(i, j int) bool {
 		a, b := entries[i], entries[j]
 		if a.Pos != b.Pos {
@@ -104,7 +222,6 @@ func Recognize(ont *ontology.Ontology, tree *tagtree.Tree, n *tagtree.Node) *Tab
 		}
 		return a.Kind < b.Kind
 	})
-	return &Table{Entries: entries}
 }
 
 // FieldCount returns the number of indicator occurrences for one

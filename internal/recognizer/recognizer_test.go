@@ -1,6 +1,8 @@
 package recognizer
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/ontology"
@@ -124,6 +126,95 @@ func TestEstimateRequiresThreeFields(t *testing.T) {
 	table := Recognize(ont, tree, tree.Root)
 	if _, ok := EstimateRecordCount(ont, table); ok {
 		t.Error("estimate should be unavailable with < 3 record-identifying fields")
+	}
+}
+
+// TestCountsPrecomputed: Recognize fills the per-(objectSet, kind) count
+// map, and the O(1) lookups agree with a linear scan of the entries.
+func TestCountsPrecomputed(t *testing.T) {
+	ont, tree, hf := obituarySetup(t)
+	table := Recognize(ont, tree, hf)
+	if table.counts == nil {
+		t.Fatal("Recognize left counts nil")
+	}
+	linear := func(set string, kind ontology.RuleKind) int {
+		n := 0
+		for _, e := range table.Entries {
+			if e.ObjectSet == set && e.Kind == kind {
+				n++
+			}
+		}
+		return n
+	}
+	for _, s := range ont.ObjectSets {
+		if got, want := table.CountKeyword(s.Name), linear(s.Name, ontology.KeywordRule); got != want {
+			t.Errorf("CountKeyword(%s) = %d, want %d", s.Name, got, want)
+		}
+		if got, want := table.CountConstant(s.Name), linear(s.Name, ontology.ConstantRule); got != want {
+			t.Errorf("CountConstant(%s) = %d, want %d", s.Name, got, want)
+		}
+	}
+}
+
+// TestCountFallbackOnHandBuiltTable: a table assembled directly (no counts
+// map) still counts correctly via the linear fallback.
+func TestCountFallbackOnHandBuiltTable(t *testing.T) {
+	table := &Table{Entries: []Entry{
+		{ObjectSet: "A", Kind: ontology.KeywordRule},
+		{ObjectSet: "A", Kind: ontology.KeywordRule},
+		{ObjectSet: "A", Kind: ontology.ConstantRule},
+		{ObjectSet: "B", Kind: ontology.ConstantRule},
+	}}
+	if got := table.CountKeyword("A"); got != 2 {
+		t.Errorf("CountKeyword(A) = %d, want 2", got)
+	}
+	if got := table.CountConstant("B"); got != 1 {
+		t.Errorf("CountConstant(B) = %d, want 1", got)
+	}
+	if got := table.CountKeyword("C"); got != 0 {
+		t.Errorf("CountKeyword(C) = %d, want 0", got)
+	}
+}
+
+// TestRecognizeParallelMatchesSequential: the worker-pool path must produce
+// the identical table as a forced-sequential scan, on a document large
+// enough to cross the fan-out threshold.
+func TestRecognizeParallelMatchesSequential(t *testing.T) {
+	ont := ontology.Builtin("obituary")
+	var sb strings.Builder
+	sb.WriteString("<div>")
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&sb, "<b>Brian Fielding Frost %d</b> passed away on March %d, 1998, age %d. "+
+			"Funeral services at the chapel. Interment at City Cemetery. Some filler text padding the chunk out. ",
+			i, i%28+1, 20+i%70)
+		sb.WriteString("<hr>")
+	}
+	sb.WriteString("</div>")
+	tree := tagtree.Parse(sb.String())
+	rules := ont.Rules()
+
+	// Reference: the same single-goroutine scan the small-document path uses.
+	var chunks []tagtree.Event
+	for _, ev := range tree.SubtreeEvents(tree.Root) {
+		if ev.Kind == tagtree.EventText {
+			chunks = append(chunks, ev)
+		}
+	}
+	want := scanChunks(rules, chunks)
+
+	got := Recognize(ont, tree, tree.Root)
+	if len(got.Entries) != len(want) {
+		t.Fatalf("parallel entries = %d, sequential = %d", len(got.Entries), len(want))
+	}
+	for i := range want {
+		if got.Entries[i] != want[i] {
+			t.Fatalf("entry %d: parallel %+v != sequential %+v", i, got.Entries[i], want[i])
+		}
+	}
+	for i := 1; i < len(got.Entries); i++ {
+		if got.Entries[i].Pos < got.Entries[i-1].Pos {
+			t.Fatalf("entries out of order at %d", i)
+		}
 	}
 }
 
