@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test testshort race cover bench bench-smoke fuzz experiments corpus examples clean
+.PHONY: all build test testshort race cover bench bench-smoke fuzz chaos experiments corpus examples clean
 
 all: build test
 
@@ -51,6 +51,15 @@ fuzz:
 	$(GO) test -fuzz='^FuzzDecodeEntities$$' -fuzztime=30s ./internal/htmlparse/
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s ./internal/tagtree/
 	$(GO) test -fuzz='^FuzzParseXML$$' -fuzztime=30s ./internal/tagtree/
+	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s ./internal/ontology/
+	$(GO) test -fuzz='^FuzzDiscoverRequest$$' -fuzztime=30s ./internal/httpapi/
+
+# The fault-injection chaos suite (see docs/ROBUSTNESS.md) under the race
+# detector: isolated heuristic panics, mid-batch cancellation, load
+# shedding, resource limits, and singleflight dedup.
+chaos:
+	$(GO) test -race -run 'TestChaos' -v ./internal/httpapi/
+	$(GO) test -race -run 'Panic|Canceled|Fault|Limits' ./internal/core/ ./internal/tagtree/
 
 # Regenerate every table of the paper, plus quality, scaling, and the
 # threshold ablation.

@@ -7,6 +7,8 @@
 //
 //	serve -addr :8080 [-ops-addr :6060] [-shutdown-timeout 10s]
 //	      [-cache-size 1024] [-batch-parallelism 0]
+//	      [-max-inflight 0] [-request-timeout 0]
+//	      [-max-doc-bytes 0] [-max-tree-depth 0] [-max-nodes 0]
 //
 // -ops-addr starts a second, operations-only listener carrying the
 // net/http/pprof profiling handlers (plus /metrics and /debug/vars again) so
@@ -16,6 +18,12 @@
 // /v1/discover/batch (entries, not bytes); 0 disables caching.
 // -batch-parallelism caps the worker pool draining one batch request;
 // 0 means GOMAXPROCS.
+//
+// Robustness knobs (see docs/ROBUSTNESS.md; each 0 disables its limit):
+// -max-inflight sheds /v1/ requests beyond N in flight with 429 +
+// Retry-After; -request-timeout aborts a /v1/ request's pipeline work after
+// the duration and answers 503; -max-doc-bytes (413), -max-tree-depth (422),
+// and -max-nodes (422) bound per-document parse resources.
 //
 // Example:
 //
@@ -43,6 +51,7 @@ import (
 
 	"repro/internal/httpapi"
 	"repro/internal/obs"
+	"repro/internal/tagtree"
 )
 
 func main() {
@@ -68,6 +77,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"max entries in the discovery result cache; 0 disables caching")
 	batchParallelism := fs.Int("batch-parallelism", 0,
 		"workers per /v1/discover/batch request; 0 means GOMAXPROCS")
+	maxInflight := fs.Int("max-inflight", 0,
+		"max concurrently-processing /v1/ requests; excess shed with 429; 0 disables")
+	requestTimeout := fs.Duration("request-timeout", 0,
+		"per-request processing deadline for /v1/ routes (503 on expiry); 0 disables")
+	maxDocBytes := fs.Int("max-doc-bytes", 0,
+		"max document size in bytes (413 beyond it); 0 disables")
+	maxTreeDepth := fs.Int("max-tree-depth", 0,
+		"max tag-tree nesting depth (422 beyond it); 0 disables")
+	maxNodes := fs.Int("max-nodes", 0,
+		"max tag-tree node count (422 beyond it); 0 disables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +95,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *batchParallelism < 0 {
 		return fmt.Errorf("-batch-parallelism must be >= 0, got %d", *batchParallelism)
+	}
+	for name, v := range map[string]int{
+		"-max-inflight": *maxInflight, "-max-doc-bytes": *maxDocBytes,
+		"-max-tree-depth": *maxTreeDepth, "-max-nodes": *maxNodes,
+	} {
+		if v < 0 {
+			return fmt.Errorf("%s must be >= 0, got %d", name, v)
+		}
+	}
+	if *requestTimeout < 0 {
+		return fmt.Errorf("-request-timeout must be >= 0, got %v", *requestTimeout)
 	}
 
 	logger := slog.New(slog.NewJSONHandler(out, nil))
@@ -87,10 +117,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	srv := &http.Server{
 		Handler: httpapi.NewHandler(httpapi.Config{
-			Logger:       logger,
-			Metrics:      metrics,
-			CacheSize:    *cacheSize,
-			BatchWorkers: *batchParallelism,
+			Logger:         logger,
+			Metrics:        metrics,
+			CacheSize:      *cacheSize,
+			BatchWorkers:   *batchParallelism,
+			MaxInFlight:    *maxInflight,
+			RequestTimeout: *requestTimeout,
+			Limits: tagtree.Limits{
+				MaxBytes: *maxDocBytes,
+				MaxDepth: *maxTreeDepth,
+				MaxNodes: *maxNodes,
+			},
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,

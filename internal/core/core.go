@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -25,7 +26,9 @@ import (
 	"time"
 
 	"repro/internal/certainty"
+	"repro/internal/faultinject"
 	"repro/internal/heuristic"
+	"repro/internal/htmlparse"
 	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/tagtree"
@@ -56,6 +59,14 @@ type Options struct {
 	// Metrics, if non-nil, receives pipeline counters and stage-latency
 	// histograms (see docs/OBSERVABILITY.md for the metric names).
 	Metrics *obs.Registry
+	// Limits bounds input resources (document bytes, tag-tree depth, node
+	// count); zero-value fields are unlimited. Exceeding a limit fails the
+	// call with the sentinel errors of tagtree.Limits / htmlparse.
+	Limits tagtree.Limits
+	// Faults is the test-only fault-injection hook set (see
+	// internal/faultinject); nil — the production value — disables every
+	// hook point at the cost of one nil check each.
+	Faults *faultinject.Set
 }
 
 // observed reports whether any observability sink is attached.
@@ -127,6 +138,13 @@ type Result struct {
 	Subtree *tagtree.Node
 	// Tree is the document's tag tree.
 	Tree *tagtree.Tree
+	// Degraded reports that at least one heuristic failed (panicked) and
+	// the compound certainty was computed from the survivors — the paper's
+	// tolerance of missing evidence, applied to our own failures.
+	Degraded bool
+	// FailedHeuristics names the heuristics that panicked and were
+	// isolated, in combination order; empty on a clean run.
+	FailedHeuristics []string
 }
 
 // ErrNoCandidates is returned for documents whose highest-fan-out subtree
@@ -137,13 +155,29 @@ var ErrNoCandidates = errors.New("core: no candidate separator tags")
 
 // Discover runs the Record-Boundary Discovery Algorithm on an HTML document.
 func Discover(doc string, opts Options) (*Result, error) {
+	return DiscoverContext(context.Background(), doc, opts)
+}
+
+// DiscoverContext is Discover with cancellation: ctx is honored at
+// checkpoints throughout the pipeline — the tag-tree build loop, the
+// recognizer's chunk scan, and the heuristic fan-out — so an HTTP request
+// context that expires actually stops the work instead of merely abandoning
+// its result. It returns ctx's error when canceled, and the sentinel limit
+// errors of Options.Limits when the document exceeds a resource bound.
+func DiscoverContext(ctx context.Context, doc string, opts Options) (*Result, error) {
 	start := time.Now()
-	tree := tagtree.Parse(doc)
+	if err := opts.Faults.FireCtx(ctx, "core/parse"); err != nil {
+		return nil, opts.failDocument(err)
+	}
+	tree, err := tagtree.ParseContext(ctx, doc, opts.Limits)
+	if err != nil {
+		return nil, opts.failDocument(err)
+	}
 	if opts.observed() {
 		opts.recordStage("parse", time.Since(start),
 			"mode", "html", "bytes", strconv.Itoa(len(doc)))
 	}
-	return DiscoverTree(tree, opts)
+	return DiscoverTreeContext(ctx, tree, opts)
 }
 
 // DiscoverXML runs the algorithm on an XML document (the paper's footnote 1
@@ -153,18 +187,40 @@ func Discover(doc string, opts Options) (*Result, error) {
 // callers usually supply Options.SeparatorList (or rely on the other
 // heuristics, which are markup-agnostic).
 func DiscoverXML(doc string, opts Options) (*Result, error) {
+	return DiscoverXMLContext(context.Background(), doc, opts)
+}
+
+// DiscoverXMLContext is DiscoverXML with cancellation and resource limits,
+// the XML counterpart of DiscoverContext.
+func DiscoverXMLContext(ctx context.Context, doc string, opts Options) (*Result, error) {
 	start := time.Now()
-	tree := tagtree.ParseXML(doc)
+	if err := opts.Faults.FireCtx(ctx, "core/parse"); err != nil {
+		return nil, opts.failDocument(err)
+	}
+	tree, err := tagtree.ParseXMLContext(ctx, doc, opts.Limits)
+	if err != nil {
+		return nil, opts.failDocument(err)
+	}
 	if opts.observed() {
 		opts.recordStage("parse", time.Since(start),
 			"mode", "xml", "bytes", strconv.Itoa(len(doc)))
 	}
-	return DiscoverTree(tree, opts)
+	return DiscoverTreeContext(ctx, tree, opts)
 }
 
 // DiscoverTree runs discovery over an already-parsed tag tree, for callers
 // that need the tree for other purposes too.
 func DiscoverTree(tree *tagtree.Tree, opts Options) (*Result, error) {
+	return DiscoverTreeContext(context.Background(), tree, opts)
+}
+
+// DiscoverTreeContext is DiscoverTree with cancellation and heuristic fault
+// isolation. Each heuristic runs behind recover(): one that panics becomes
+// a recorded failure (Result.Degraded / Result.FailedHeuristics, the
+// boundary_heuristic_panics_total metric, and a "panicked" trace attribute)
+// and the compound certainty is computed from the survivors — mirroring the
+// paper's Stanford-certainty tolerance of heuristics that decline.
+func DiscoverTreeContext(ctx context.Context, tree *tagtree.Tree, opts Options) (*Result, error) {
 	// The Data-Record Table (regular-expression recognition) is by far the
 	// most expensive context ingredient; skip it when OM is not voting.
 	ont := opts.Ontology
@@ -175,22 +231,25 @@ func DiscoverTree(tree *tagtree.Tree, opts Options) (*Result, error) {
 	if opts.observed() {
 		onStage = func(s heuristic.Stage) { opts.recordStage(s.Name, s.Duration, s.Attrs...) }
 	}
-	ctx := heuristic.NewContextTimed(tree, opts.threshold(), ont, onStage)
-	if len(ctx.Candidates) == 0 {
+	hctx, err := heuristic.NewContextCtx(ctx, tree, opts.threshold(), ont, onStage, opts.Faults)
+	if err != nil {
+		return nil, opts.failDocument(err)
+	}
+	if len(hctx.Candidates) == 0 {
 		opts.countDocument("no_candidates")
 		return nil, ErrNoCandidates
 	}
 
 	res := &Result{
 		Rankings:   make(map[string]heuristic.Ranking),
-		Candidates: ctx.Candidates,
-		Subtree:    ctx.Subtree,
+		Candidates: hctx.Candidates,
+		Subtree:    hctx.Subtree,
 		Tree:       tree,
 	}
 
 	// Section 3: a single candidate is the separator outright.
-	if len(ctx.Candidates) == 1 {
-		res.Separator = ctx.Candidates[0].Name
+	if len(hctx.Candidates) == 1 {
+		res.Separator = hctx.Candidates[0].Name
 		res.TopTags = []string{res.Separator}
 		res.Scores = []certainty.Score{{Tag: res.Separator, CF: 1}}
 		opts.countDocument("single_candidate")
@@ -198,10 +257,11 @@ func DiscoverTree(tree *tagtree.Tree, opts Options) (*Result, error) {
 	}
 
 	// The heuristics share one immutable Context and never write to it, so
-	// they fan out concurrently — one goroutine each. Results land in
-	// per-heuristic slots and all observability is filed after the join, in
-	// combination order, keeping trace output deterministic and the sinks
-	// race-free.
+	// they fan out concurrently — one goroutine each, isolated by recover()
+	// so a panicking heuristic is contained in its own slot. Results land
+	// in per-heuristic slots and all observability is filed after the join,
+	// in combination order, keeping trace output deterministic and the
+	// sinks race-free.
 	hs := opts.heuristics()
 	answers := make([]heuristicAnswer, len(hs))
 	var wg sync.WaitGroup
@@ -210,16 +270,42 @@ func DiscoverTree(tree *tagtree.Tree, opts Options) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			start := time.Now()
-			r, ok := h.Rank(ctx)
+			defer func() {
+				if r := recover(); r != nil {
+					answers[i] = heuristicAnswer{
+						name: h.Name(), d: time.Since(start),
+						panicked: true, panicMsg: fmt.Sprint(r),
+					}
+				}
+			}()
+			// A canceled context turns the remaining heuristics into
+			// declines; the post-join check below fails the whole call.
+			if ctx.Err() != nil {
+				answers[i] = heuristicAnswer{name: h.Name()}
+				return
+			}
+			if err := opts.Faults.FireCtx(ctx, "core/heuristic/"+h.Name()); err != nil {
+				answers[i] = heuristicAnswer{name: h.Name(), d: time.Since(start)}
+				return
+			}
+			r, ok := h.Rank(hctx)
 			answers[i] = heuristicAnswer{name: h.Name(), d: time.Since(start), r: r, ok: ok}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, opts.failDocument(err)
+	}
 
 	rankMaps := make(map[string]map[string]int)
 	for _, a := range answers {
 		if opts.observed() {
-			opts.observeHeuristic(a.name, a.d, a.r, a.ok)
+			opts.observeHeuristic(a)
+		}
+		if a.panicked {
+			res.Degraded = true
+			res.FailedHeuristics = append(res.FailedHeuristics, a.name)
+			continue
 		}
 		if a.ok {
 			res.Rankings[a.name] = a.r
@@ -227,8 +313,11 @@ func DiscoverTree(tree *tagtree.Tree, opts Options) (*Result, error) {
 		}
 	}
 
-	tags := make([]string, len(ctx.Candidates))
-	for i, c := range ctx.Candidates {
+	if err := opts.Faults.FireCtx(ctx, "core/combine"); err != nil {
+		return nil, opts.failDocument(err)
+	}
+	tags := make([]string, len(hctx.Candidates))
+	for i, c := range hctx.Candidates {
 		tags[i] = c.Name
 	}
 	start := time.Now()
@@ -244,17 +333,40 @@ func DiscoverTree(tree *tagtree.Tree, opts Options) (*Result, error) {
 			"separator", res.Separator,
 			"cf", fmt.Sprintf("%.4f", res.Scores[0].CF))
 	}
-	opts.countDocument("ok")
+	if res.Degraded {
+		opts.countDocument("degraded")
+	} else {
+		opts.countDocument("ok")
+	}
 	return res, nil
 }
 
 // heuristicAnswer is one heuristic's result as collected by the concurrent
 // fan-out, held until the join so observability is filed in a stable order.
+// panicked marks an isolated heuristic panic (panicMsg carries the value).
 type heuristicAnswer struct {
-	name string
-	d    time.Duration
-	r    heuristic.Ranking
-	ok   bool
+	name     string
+	d        time.Duration
+	r        heuristic.Ranking
+	ok       bool
+	panicked bool
+	panicMsg string
+}
+
+// failDocument counts a failed document under the outcome its error class
+// maps to (canceled, limit, or error), then returns the error unchanged.
+func (o Options) failDocument(err error) error {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		o.countDocument("canceled")
+	case errors.Is(err, htmlparse.ErrTooLarge),
+		errors.Is(err, tagtree.ErrTooDeep),
+		errors.Is(err, tagtree.ErrTooManyNodes):
+		o.countDocument("limit")
+	default:
+		o.countDocument("error")
+	}
+	return err
 }
 
 // countDocument increments the per-outcome document counter.
@@ -264,22 +376,30 @@ func (o Options) countDocument(outcome string) {
 		"outcome", outcome).Inc()
 }
 
-// observeHeuristic files one heuristic's answer (or decline) with both
-// sinks: a trace span named heuristic/<name>, a stage-latency observation,
-// and run/decline counters.
-func (o Options) observeHeuristic(name string, d time.Duration, r heuristic.Ranking, ok bool) {
-	stage := "heuristic/" + name
+// observeHeuristic files one heuristic's answer (decline, or isolated
+// panic) with both sinks: a trace span named heuristic/<name>, a
+// stage-latency observation, and run/decline/panic counters.
+func (o Options) observeHeuristic(a heuristicAnswer) {
+	stage := "heuristic/" + a.name
 	attrs := []string{"declined", "true"}
-	if ok && len(r) > 0 {
-		attrs = []string{"declined", "false", "rank1", r[0].Tag}
+	switch {
+	case a.panicked:
+		attrs = []string{"panicked", "true", "panic", a.panicMsg}
+	case a.ok && len(a.r) > 0:
+		attrs = []string{"declined", "false", "rank1", a.r[0].Tag}
 	}
-	o.recordStage(stage, d, attrs...)
+	o.recordStage(stage, a.d, attrs...)
 	o.Metrics.Counter("boundary_heuristic_runs_total",
-		"Heuristic invocations, by heuristic.", "heuristic", name).Inc()
-	if !ok {
+		"Heuristic invocations, by heuristic.", "heuristic", a.name).Inc()
+	switch {
+	case a.panicked:
+		o.Metrics.Counter("boundary_heuristic_panics_total",
+			"Heuristic invocations that panicked and were isolated, by heuristic.",
+			"heuristic", a.name).Inc()
+	case !a.ok:
 		o.Metrics.Counter("boundary_heuristic_declines_total",
 			"Heuristic invocations that declined to answer, by heuristic.",
-			"heuristic", name).Inc()
+			"heuristic", a.name).Inc()
 	}
 }
 

@@ -1,0 +1,122 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSetIsNoOp(t *testing.T) {
+	var s *Set
+	if err := s.Fire("anything"); err != nil {
+		t.Fatalf("nil set Fire = %v", err)
+	}
+	if n := s.Fired("anything"); n != 0 {
+		t.Fatalf("nil set Fired = %d", n)
+	}
+}
+
+func TestUnarmedPointCountsAndReturnsNil(t *testing.T) {
+	s := New()
+	if err := s.Fire("p"); err != nil {
+		t.Fatalf("unarmed Fire = %v", err)
+	}
+	if n := s.Fired("p"); n != 1 {
+		t.Fatalf("Fired = %d, want 1", n)
+	}
+}
+
+func TestInjectedError(t *testing.T) {
+	s := New()
+	boom := errors.New("boom")
+	s.Inject("p", Fault{Err: boom})
+	if err := s.Fire("p"); !errors.Is(err, boom) {
+		t.Fatalf("Fire = %v, want boom", err)
+	}
+}
+
+func TestInjectedPanic(t *testing.T) {
+	s := New()
+	s.Inject("p", Fault{Panic: "kaboom"})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "kaboom") {
+			t.Fatalf("panic value = %v", r)
+		}
+	}()
+	_ = s.Fire("p")
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	s := New()
+	s.Inject("p", Fault{Delay: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.FireCtx(ctx, "p") }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("FireCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("FireCtx did not return after cancel")
+	}
+}
+
+func TestTimesLimitsFirings(t *testing.T) {
+	s := New()
+	boom := errors.New("boom")
+	s.Inject("p", Fault{Err: boom, Times: 2})
+	for i := 0; i < 2; i++ {
+		if err := s.Fire("p"); !errors.Is(err, boom) {
+			t.Fatalf("firing %d = %v, want boom", i, err)
+		}
+	}
+	if err := s.Fire("p"); err != nil {
+		t.Fatalf("exhausted fault still fires: %v", err)
+	}
+	if n := s.Fired("p"); n != 3 {
+		t.Fatalf("Fired = %d, want 3", n)
+	}
+}
+
+func TestRemoveAndReset(t *testing.T) {
+	s := New()
+	s.Inject("a", Fault{Err: errors.New("x")})
+	s.Inject("b", Fault{Err: errors.New("y")})
+	s.Remove("a")
+	if err := s.Fire("a"); err != nil {
+		t.Fatalf("removed fault fired: %v", err)
+	}
+	s.Reset()
+	if err := s.Fire("b"); err != nil {
+		t.Fatalf("reset fault fired: %v", err)
+	}
+	if s.Fired("a") != 1 || s.Fired("b") != 1 {
+		t.Fatal("Reset should preserve firing counts")
+	}
+}
+
+func TestConcurrentFire(t *testing.T) {
+	s := New()
+	s.Inject("p", Fault{Err: errors.New("e"), Times: 50})
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = s.Fire("p")
+		}()
+	}
+	wg.Wait()
+	if n := s.Fired("p"); n != 100 {
+		t.Fatalf("Fired = %d, want 100", n)
+	}
+}

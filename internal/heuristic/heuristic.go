@@ -14,10 +14,12 @@
 package heuristic
 
 import (
+	"context"
 	"sort"
 	"strconv"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/ontology"
 	"repro/internal/recognizer"
 	"repro/internal/tagtree"
@@ -69,6 +71,22 @@ type StageFunc func(Stage)
 // pipeline's observability layer uses for trace spans and stage-latency
 // histograms.
 func NewContextTimed(tree *tagtree.Tree, threshold float64, ont *ontology.Ontology, onStage StageFunc) *Context {
+	hctx, err := NewContextCtx(context.Background(), tree, threshold, ont, onStage, nil)
+	if err != nil {
+		// Unreachable: a background context never cancels and a nil fault
+		// set never fires.
+		panic("heuristic: context build failed without cancellation: " + err.Error())
+	}
+	return hctx
+}
+
+// NewContextCtx is NewContextTimed with cancellation and fault injection:
+// the Data-Record Table recognition — the expensive step — honors ctx and
+// the test-only fault set (see internal/faultinject), so a hung-up caller
+// stops paying for recognition and chaos tests can force failures here. It
+// returns ctx's error when canceled and the recognizer's error when a
+// chunk-scan fault fires.
+func NewContextCtx(ctx context.Context, tree *tagtree.Tree, threshold float64, ont *ontology.Ontology, onStage StageFunc, faults *faultinject.Set) (*Context, error) {
 	start := time.Now()
 	sub := tree.HighestFanOut()
 	if onStage != nil {
@@ -77,7 +95,7 @@ func NewContextTimed(tree *tagtree.Tree, threshold float64, ont *ontology.Ontolo
 		}})
 		start = time.Now()
 	}
-	ctx := &Context{
+	hctx := &Context{
 		Tree:       tree,
 		Subtree:    sub,
 		Candidates: tagtree.Candidates(sub, threshold),
@@ -85,19 +103,23 @@ func NewContextTimed(tree *tagtree.Tree, threshold float64, ont *ontology.Ontolo
 	}
 	if onStage != nil {
 		onStage(Stage{Name: "candidates", Duration: time.Since(start), Attrs: []string{
-			"count", strconv.Itoa(len(ctx.Candidates)),
+			"count", strconv.Itoa(len(hctx.Candidates)),
 		}})
 		start = time.Now()
 	}
 	if ont != nil {
-		ctx.Table = recognizer.Recognize(ont, tree, sub)
+		table, err := recognizer.RecognizeContext(ctx, ont, tree, sub, faults)
+		if err != nil {
+			return nil, err
+		}
+		hctx.Table = table
 		if onStage != nil {
 			onStage(Stage{Name: "recognize", Duration: time.Since(start), Attrs: []string{
-				"entries", strconv.Itoa(ctx.Table.Len()),
+				"entries", strconv.Itoa(hctx.Table.Len()),
 			}})
 		}
 	}
-	return ctx
+	return hctx, nil
 }
 
 // CandidateCount returns the appearance count of the named candidate tag,

@@ -1,0 +1,21 @@
+package htmlparse
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTooLarge reports a document whose byte size exceeds the caller's limit.
+// It is a sentinel: match with errors.Is. The HTTP layer maps it to
+// 413 Request Entity Too Large.
+var ErrTooLarge = errors.New("htmlparse: document exceeds byte limit")
+
+// CheckSize returns an ErrTooLarge-wrapping error when maxBytes is positive
+// and doc is larger; zero or negative maxBytes means unlimited. It is the
+// single byte-limit gate shared by the HTML and XML parse paths.
+func CheckSize(doc string, maxBytes int) error {
+	if maxBytes > 0 && len(doc) > maxBytes {
+		return fmt.Errorf("%w (%d bytes, limit %d)", ErrTooLarge, len(doc), maxBytes)
+	}
+	return nil
+}

@@ -26,12 +26,23 @@ type batchItem struct {
 	// Error carries the per-document failure; the batch itself still
 	// answers 200 so one bad document cannot mask the others' results.
 	Error string `json:"error,omitempty"`
+	// Code machine-tags the failure. "not_attempted" marks documents the
+	// batch never dispatched because the request's context was canceled or
+	// timed out mid-batch; clients should resubmit only those.
+	Code string `json:"code,omitempty"`
 }
+
+// codeNotAttempted marks batch documents skipped because the request ended
+// before they were dispatched.
+const codeNotAttempted = "not_attempted"
 
 // handleDiscoverBatch fans a batch of documents across a bounded worker
 // pool (the EvaluateAllParallel shape: indexed tasks, results slotted by
 // position) and answers per-document results in input order. Each document
-// takes the same cache-then-pipeline path as /v1/discover.
+// takes the same cache-then-pipeline path as /v1/discover. When the request
+// context ends mid-batch, dispatch stops immediately: already-running
+// documents finish (each sees the canceled context and fails fast), and
+// undispatched ones come back with Code "not_attempted".
 func (s server) handleDiscoverBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if !decodeJSON(w, r, &req) {
@@ -55,6 +66,8 @@ func (s server) handleDiscoverBatch(w http.ResponseWriter, r *http.Request) {
 		workers = len(req.Documents)
 	}
 
+	ctx := r.Context()
+	attempted := make([]bool, len(req.Documents))
 	items := make([]batchItem, len(req.Documents))
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -62,25 +75,51 @@ func (s server) handleDiscoverBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				resp, apiErr := s.discoverOne(&req.Documents[i])
-				if apiErr != nil {
-					items[i] = batchItem{Error: apiErr.err.Error()}
-				} else {
-					items[i] = batchItem{discoverResponse: resp}
+			for {
+				select {
+				case i, ok := <-next:
+					if !ok {
+						return
+					}
+					attempted[i] = true
+					resp, apiErr := s.discoverOne(ctx, &req.Documents[i])
+					if apiErr != nil {
+						items[i] = batchItem{Error: apiErr.err.Error()}
+					} else {
+						items[i] = batchItem{discoverResponse: resp}
+					}
+				case <-ctx.Done():
+					return
 				}
 			}
 		}()
 	}
+dispatch:
 	for i := range req.Documents {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
 
+	for i := range items {
+		if !attempted[i] {
+			items[i] = batchItem{
+				Error: "batch request ended before this document was attempted",
+				Code:  codeNotAttempted,
+			}
+		}
+	}
+
 	for _, item := range items {
 		outcome := "ok"
-		if item.Error != "" {
+		switch {
+		case item.Code == codeNotAttempted:
+			outcome = codeNotAttempted
+		case item.Error != "":
 			outcome = "error"
 		}
 		s.cfg.Metrics.Counter("boundary_batch_documents_total",

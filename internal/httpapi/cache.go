@@ -3,6 +3,7 @@ package httpapi
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"sync"
 
 	"repro/internal/lru"
 	"repro/internal/obs"
@@ -13,9 +14,25 @@ import (
 // the wire-form responses, which are immutable once built and far smaller
 // than a core.Result (no tag tree retained), so sharing them across
 // concurrent requests is safe and cheap.
+//
+// It also deduplicates in-flight computations (singleflight): while one
+// request is computing a key, identical requests join its inflightCall and
+// wait for the shared result instead of running the pipeline again.
 type resultCache struct {
 	c       *lru.Cache[[sha256.Size]byte, *discoverResponse]
 	metrics *obs.Registry
+
+	mu       sync.Mutex
+	inflight map[[sha256.Size]byte]*inflightCall
+}
+
+// inflightCall is one in-progress computation that followers wait on. done
+// is closed exactly once, after resp and err are set; followers must only
+// read them after <-done.
+type inflightCall struct {
+	done chan struct{}
+	resp *discoverResponse
+	err  *apiError
 }
 
 // newResultCache returns a cache holding up to size responses, or nil when
@@ -26,8 +43,9 @@ func newResultCache(size int, metrics *obs.Registry) *resultCache {
 		return nil
 	}
 	return &resultCache{
-		c:       lru.New[[sha256.Size]byte, *discoverResponse](size),
-		metrics: metrics,
+		c:        lru.New[[sha256.Size]byte, *discoverResponse](size),
+		metrics:  metrics,
+		inflight: make(map[[sha256.Size]byte]*inflightCall),
 	}
 }
 
@@ -82,4 +100,33 @@ func (rc *resultCache) put(key [sha256.Size]byte, resp *discoverResponse) {
 	}
 	rc.metrics.Gauge("boundary_cache_entries",
 		"Result-cache entries currently resident.").Set(float64(rc.c.Len()))
+}
+
+// join registers interest in key's computation. The first caller becomes the
+// leader (leader == true) and must eventually call complete with the same
+// call; later callers receive the leader's call and wait on call.done.
+func (rc *resultCache) join(key [sha256.Size]byte) (call *inflightCall, leader bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if c, ok := rc.inflight[key]; ok {
+		return c, false
+	}
+	c := &inflightCall{done: make(chan struct{})}
+	rc.inflight[key] = c
+	return c, true
+}
+
+// complete publishes the leader's outcome to followers and retires the
+// in-flight entry. Successful, non-degraded responses are cached; degraded
+// ones are not — a later retry with all heuristics healthy should get the
+// chance to compute (and then cache) the full answer.
+func (rc *resultCache) complete(key [sha256.Size]byte, call *inflightCall, resp *discoverResponse, err *apiError) {
+	if err == nil && resp != nil && !resp.Degraded {
+		rc.put(key, resp)
+	}
+	rc.mu.Lock()
+	delete(rc.inflight, key)
+	rc.mu.Unlock()
+	call.resp, call.err = resp, err
+	close(call.done)
 }

@@ -1,0 +1,306 @@
+package httpapi
+
+// Chaos tests: the fault-injection harness (internal/faultinject) armed
+// against the full HTTP service, proving the acceptance properties of the
+// hardened pipeline — isolated heuristic panics degrade instead of crash,
+// canceled batches stop dispatching, saturation sheds with 429, and
+// resource limits answer typed 413/422. The package's TestMain fails the
+// run if any of these paths leak goroutines.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/paperdoc"
+	"repro/internal/tagtree"
+)
+
+func newChaosServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(cfg))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// waitFired polls until the hook point has fired at least n times.
+func waitFired(t *testing.T, faults *faultinject.Set, point string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for faults.Fired(point) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("hook %s fired %d times, want >= %d", point, faults.Fired(point), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosHeuristicPanicDegrades (acceptance a): an injected heuristic
+// panic still answers 200, marked degraded with the heuristic named, the
+// panic counter ticks — and the degraded response is NOT cached, so the
+// next request after the fault clears gets the full answer.
+func TestChaosHeuristicPanicDegrades(t *testing.T) {
+	faults := faultinject.New()
+	faults.Inject("core/heuristic/HT", faultinject.Fault{Panic: "chaos: HT down"})
+	reg := obs.NewRegistry()
+	srv := newChaosServer(t, Config{Metrics: reg, CacheSize: 8, Faults: faults})
+
+	body := map[string]any{"html": paperdoc.Figure2, "ontology": "obituary"}
+	resp, decoded := post(t, srv, "/v1/discover", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, decoded["error"])
+	}
+	if got := str(t, decoded["separator"]); got != "hr" {
+		t.Errorf("separator = %q, want hr from surviving heuristics", got)
+	}
+	var degraded bool
+	if err := json.Unmarshal(decoded["degraded"], &degraded); err != nil || !degraded {
+		t.Errorf("degraded = %s, want true", decoded["degraded"])
+	}
+	var failed []string
+	if err := json.Unmarshal(decoded["failed_heuristics"], &failed); err != nil ||
+		len(failed) != 1 || failed[0] != "HT" {
+		t.Errorf("failed_heuristics = %s, want [HT]", decoded["failed_heuristics"])
+	}
+
+	_, metrics := getBody(t, srv.URL+"/metrics")
+	if !strings.Contains(metrics, `boundary_heuristic_panics_total{heuristic="HT"} 1`) {
+		t.Errorf("panic counter missing:\n%s", metrics)
+	}
+
+	// Clear the fault: the identical request must recompute (degraded
+	// answers are never cached) and come back whole.
+	faults.Remove("core/heuristic/HT")
+	resp, decoded = post(t, srv, "/v1/discover", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status after clearing fault = %d", resp.StatusCode)
+	}
+	if _, ok := decoded["degraded"]; ok {
+		t.Error("degraded response was served from cache after the fault cleared")
+	}
+}
+
+// TestChaosBatchCancelStopsDispatch (acceptance b): when the request
+// deadline expires mid-batch, dispatch stops — later documents come back
+// with code "not_attempted" instead of burning pipeline work. (TestMain
+// verifies the worker pool goroutines all unwound.)
+func TestChaosBatchCancelStopsDispatch(t *testing.T) {
+	faults := faultinject.New()
+	faults.Inject("httpapi/discover", faultinject.Fault{Delay: 100 * time.Millisecond})
+	srv := newChaosServer(t, Config{
+		Faults:         faults,
+		BatchWorkers:   1,
+		RequestTimeout: 250 * time.Millisecond,
+	})
+
+	docs := make([]map[string]any, 8)
+	for i := range docs {
+		docs[i] = map[string]any{
+			"html": fmt.Sprintf("<div><hr><b>doc %d</b> x<hr><b>B</b> y<hr></div>", i),
+		}
+	}
+	resp, decoded := post(t, srv, "/v1/discover/batch", map[string]any{"documents": docs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, decoded["error"])
+	}
+	var results []struct {
+		Separator string `json:"separator"`
+		Error     string `json:"error"`
+		Code      string `json:"code"`
+	}
+	if err := json.Unmarshal(decoded["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(docs) {
+		t.Fatalf("results = %d, want %d", len(results), len(docs))
+	}
+	if results[0].Error != "" {
+		t.Errorf("first document failed: %s", results[0].Error)
+	}
+	notAttempted := 0
+	for _, r := range results {
+		if r.Code == codeNotAttempted {
+			notAttempted++
+		}
+	}
+	if notAttempted == 0 {
+		t.Error("no documents marked not_attempted after mid-batch deadline")
+	}
+	if last := results[len(results)-1]; last.Code != codeNotAttempted {
+		t.Errorf("last document code = %q error = %q, want not_attempted", last.Code, last.Error)
+	}
+}
+
+// TestChaosMaxInFlightSheds (acceptance c): with the in-flight limit
+// saturated by a slow request, the next one is shed with 429 + Retry-After
+// and counted, while /healthz stays reachable.
+func TestChaosMaxInFlightSheds(t *testing.T) {
+	faults := faultinject.New()
+	faults.Inject("httpapi/discover", faultinject.Fault{Delay: time.Second, Times: 1})
+	reg := obs.NewRegistry()
+	srv := newChaosServer(t, Config{Metrics: reg, MaxInFlight: 1, Faults: faults})
+
+	slowDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/v1/discover", "application/json",
+			strings.NewReader(`{"html":"<div><hr><b>slow</b> x<hr><b>B</b> y<hr></div>"}`))
+		if err != nil {
+			slowDone <- 0
+			return
+		}
+		resp.Body.Close()
+		slowDone <- resp.StatusCode
+	}()
+	// The hook fires after the semaphore is acquired, so one firing means
+	// the slot is held and the delay is ticking.
+	waitFired(t, faults, "httpapi/discover", 1)
+
+	resp, err := http.Post(srv.URL+"/v1/discover", "application/json",
+		strings.NewReader(`{"html":"<div><hr><b>shed me</b> x<hr></div>"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+	if code, _ := getBody(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz = %d while saturated, want 200 (ops routes bypass shedding)", code)
+	}
+
+	if got := <-slowDone; got != http.StatusOK {
+		t.Errorf("slow request finished with %d, want 200", got)
+	}
+	_, metrics := getBody(t, srv.URL+"/metrics")
+	if !strings.Contains(metrics, "boundary_requests_shed_total 1") {
+		t.Errorf("shed counter missing:\n%s", metrics)
+	}
+}
+
+// TestChaosResourceLimits (acceptance d): per-document parse limits answer
+// typed statuses — 422 for structural limits, 413 for the byte limit.
+func TestChaosResourceLimits(t *testing.T) {
+	srv := newChaosServer(t, Config{
+		Limits: tagtree.Limits{MaxBytes: 4 << 10, MaxDepth: 4, MaxNodes: 64},
+	})
+
+	deep := strings.Repeat("<div>", 10) + "x" + strings.Repeat("</div>", 10)
+	resp, decoded := post(t, srv, "/v1/discover", map[string]any{"html": deep})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("deep document status = %d, want 422 (%s)", resp.StatusCode, decoded["error"])
+	}
+
+	wide := "<div>" + strings.Repeat("<b>x</b>", 100) + "</div>"
+	resp, decoded = post(t, srv, "/v1/discover", map[string]any{"html": wide})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("wide document status = %d, want 422 (%s)", resp.StatusCode, decoded["error"])
+	}
+
+	big := "<div><hr>" + strings.Repeat("padding ", 1024) + "<hr></div>"
+	resp, decoded = post(t, srv, "/v1/discover", map[string]any{"html": big})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized document status = %d, want 413 (%s)", resp.StatusCode, decoded["error"])
+	}
+}
+
+// TestChaosRequestTimeout: a request that outlives -request-timeout answers
+// 503, not a hang.
+func TestChaosRequestTimeout(t *testing.T) {
+	faults := faultinject.New()
+	faults.Inject("httpapi/discover", faultinject.Fault{Delay: 2 * time.Second})
+	srv := newChaosServer(t, Config{Faults: faults, RequestTimeout: 50 * time.Millisecond})
+
+	start := time.Now()
+	resp, decoded := post(t, srv, "/v1/discover", map[string]any{
+		"html": "<div><hr><b>A</b> x<hr><b>B</b> y<hr></div>",
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (%s)", resp.StatusCode, decoded["error"])
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("timed-out request took %v; the injected delay was not interrupted", elapsed)
+	}
+}
+
+// TestChaosSingleflightDedup: concurrent identical requests share one
+// pipeline run — followers wait on the leader and the dedup counter ticks.
+func TestChaosSingleflightDedup(t *testing.T) {
+	faults := faultinject.New()
+	// Only the leader is delayed (Times: 1), holding the in-flight window
+	// open while followers arrive.
+	faults.Inject("httpapi/discover", faultinject.Fault{Delay: 500 * time.Millisecond, Times: 1})
+	reg := obs.NewRegistry()
+	srv := newChaosServer(t, Config{Metrics: reg, CacheSize: 8, Faults: faults})
+
+	body := `{"html":"<div><hr><b>A</b> x<hr><b>B</b> y<hr></div>"}`
+	leaderDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/v1/discover", "application/json", strings.NewReader(body))
+		if err != nil {
+			leaderDone <- 0
+			return
+		}
+		resp.Body.Close()
+		leaderDone <- resp.StatusCode
+	}()
+	waitFired(t, faults, "httpapi/discover", 1)
+
+	const followers = 4
+	var wg sync.WaitGroup
+	codes := make([]int, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/v1/discover", "application/json", strings.NewReader(body))
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	if got := <-leaderDone; got != http.StatusOK {
+		t.Fatalf("leader status = %d", got)
+	}
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Errorf("follower %d status = %d", i, c)
+		}
+	}
+	_, metrics := getBody(t, srv.URL+"/metrics")
+	if !strings.Contains(metrics, "boundary_cache_inflight_dedup_total") {
+		t.Errorf("dedup counter missing after concurrent identical requests:\n%s", metrics)
+	}
+	// Exactly one pipeline run served all five requests.
+	if got := faults.Fired("httpapi/discover"); got != 1 {
+		t.Errorf("httpapi/discover fired %d times, want 1 (followers must not recompute)", got)
+	}
+}

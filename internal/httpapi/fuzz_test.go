@@ -1,0 +1,44 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzDiscoverRequest: arbitrary request bodies against /v1/discover must
+// never panic a handler or produce a 5xx — every malformed input is the
+// client's problem (400/413/422), and anything accepted answers 200. Runs
+// against the full middleware stack so the decoder, the ontology resolver,
+// and the pipeline's error mapping are all in the loop.
+func FuzzDiscoverRequest(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"html":"<div><hr><b>A</b> x<hr><b>B</b> y<hr></div>"}`,
+		`{"html":"<div><hr>x<hr></div>","ontology":"obituary"}`,
+		`{"xml":"<r><i>a</i><i>b</i></r>"}`,
+		`{"html":"x","xml":"y"}`,
+		`{"html":"<div>x</div>","ontology":"ontology X\nentity X\nobject A : one-to-one {\nkeyword ` + "`k`" + `\n}"}`,
+		`{"html":"<div>x</div>","separator_list":["hr","br"]}`,
+		`{"html":"<div>x</div>","unknown_field":1}`,
+		`{"html":`,
+		`[1,2,3]`,
+		`"just a string"`,
+		`{"html":"` + strings.Repeat("<div>", 50) + `"}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	handler := NewHandler(Config{CacheSize: 16})
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/discover", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("status %d for body %q: %s", rec.Code, body, rec.Body.String())
+		}
+	})
+}

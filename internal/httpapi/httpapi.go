@@ -19,20 +19,25 @@
 package httpapi
 
 import (
-	"crypto/sha256"
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strings"
+	"time"
 
 	"repro/internal/certainty"
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/dbgen"
+	"repro/internal/faultinject"
+	"repro/internal/htmlparse"
 	"repro/internal/obs"
 	"repro/internal/ontology"
+	"repro/internal/tagtree"
 )
 
 // MaxBodyBytes bounds request bodies; 1998-era pages were tens of
@@ -59,26 +64,82 @@ type Config struct {
 	// BatchWorkers bounds how many documents one /v1/discover/batch request
 	// processes concurrently. Zero or negative selects GOMAXPROCS.
 	BatchWorkers int
+	// MaxInFlight bounds concurrently-processing /v1/ requests; excess
+	// requests are shed with 429 + Retry-After (and counted in
+	// boundary_requests_shed_total). Zero or negative disables shedding.
+	MaxInFlight int
+	// RequestTimeout bounds one /v1/ request's processing; an expired
+	// request stops mid-pipeline and answers 503. Zero disables it.
+	RequestTimeout time.Duration
+	// Limits bounds per-document parse resources (document bytes beyond
+	// the MaxBodyBytes envelope cap, tag-tree depth, node count); exceeded
+	// limits answer 413/422. The zero value imposes no limits.
+	Limits tagtree.Limits
+	// Faults is the test-only fault-injection hook set threaded into the
+	// pipeline (see internal/faultinject); nil in production.
+	Faults *faultinject.Set
 }
 
 // server binds the handlers to one Config.
 type server struct {
-	cfg   Config
-	cache *resultCache
+	cfg      Config
+	cache    *resultCache
+	inflight chan struct{} // nil when shedding is off; else a semaphore
 }
 
 // NewHandler returns the full service handler: the routing table wrapped in
-// request-logging + metrics middleware, plus GET /metrics and
-// GET /debug/vars.
+// load shedding + request timeout (for /v1/ routes) and request-logging +
+// metrics middleware, plus GET /metrics and GET /debug/vars.
 func NewHandler(cfg Config) http.Handler {
-	mux := newMux(server{cfg: cfg, cache: newResultCache(cfg.CacheSize, cfg.Metrics)})
+	s := server{cfg: cfg, cache: newResultCache(cfg.CacheSize, cfg.Metrics)}
+	if cfg.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInFlight)
+	}
+	mux := newMux(s)
 	mux.Handle("GET /metrics", cfg.Metrics.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	route := func(r *http.Request) string {
 		_, pattern := mux.Handler(r)
 		return pattern
 	}
-	return obs.Middleware(mux, cfg.Logger, cfg.Metrics, route)
+	// Shedding sits inside the observability middleware so shed requests
+	// still show up in the request log and the per-route HTTP metrics.
+	return obs.Middleware(s.limit(mux), cfg.Logger, cfg.Metrics, route)
+}
+
+// limit wraps next with the serving-layer protections for /v1/ routes: a
+// bounded in-flight semaphore that sheds excess load with 429 + Retry-After,
+// and a per-request processing deadline. Non-API paths (/healthz, /metrics,
+// /debug/...) bypass both so the service stays observable while saturated.
+func (s server) limit(next http.Handler) http.Handler {
+	if s.inflight == nil && s.cfg.RequestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				s.cfg.Metrics.Counter("boundary_requests_shed_total",
+					"Requests rejected with 429 because the in-flight limit was saturated.").Inc()
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, http.StatusTooManyRequests,
+					fmt.Errorf("server is at its in-flight limit of %d requests; retry shortly", cap(s.inflight)))
+				return
+			}
+		}
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // NewServeMux returns the bare routing table with no middleware and no
@@ -104,12 +165,15 @@ func newMux(s server) *http.ServeMux {
 	return mux
 }
 
-// pipelineOptions threads the server's metrics into a discovery call.
+// pipelineOptions threads the server's metrics, resource limits, and fault
+// hooks into a discovery call.
 func (s server) pipelineOptions(ont *ontology.Ontology, separatorList []string) core.Options {
 	return core.Options{
 		Ontology:      ont,
 		SeparatorList: separatorList,
 		Metrics:       s.cfg.Metrics,
+		Limits:        s.cfg.Limits,
+		Faults:        s.cfg.Faults,
 	}
 }
 
@@ -197,6 +261,10 @@ type discoverResponse struct {
 	Rankings   map[string][]rankRow `json:"rankings"`
 	Candidates []candidateBody      `json:"candidates"`
 	Subtree    string               `json:"subtree"`
+	// Degraded and FailedHeuristics surface isolated heuristic failures:
+	// the answer was computed from the surviving heuristics only.
+	Degraded         bool     `json:"degraded,omitempty"`
+	FailedHeuristics []string `json:"failed_heuristics,omitempty"`
 }
 
 type scoreBody struct {
@@ -216,10 +284,12 @@ type candidateBody struct {
 
 func toDiscoverResponse(res *core.Result) *discoverResponse {
 	out := &discoverResponse{
-		Separator: res.Separator,
-		TopTags:   res.TopTags,
-		Subtree:   res.Subtree.Name,
-		Rankings:  map[string][]rankRow{},
+		Separator:        res.Separator,
+		TopTags:          res.TopTags,
+		Subtree:          res.Subtree.Name,
+		Rankings:         map[string][]rankRow{},
+		Degraded:         res.Degraded,
+		FailedHeuristics: res.FailedHeuristics,
 	}
 	for _, s := range res.Scores {
 		out.Scores = append(out.Scores, scoreBody{Tag: s.Tag, CF: s.CF})
@@ -243,10 +313,42 @@ type apiError struct {
 	err    error
 }
 
+// ctxRelated reports whether the error came from an expired or canceled
+// request context (as opposed to a property of the document itself).
+func ctxRelated(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// pipelineError maps a discovery-pipeline error to its HTTP status:
+// resource limits are the client's fault (413 for size, 422 for structure),
+// an expired deadline is the server saying "too slow right now" (503), and
+// everything else — ErrNoCandidates included — stays the long-standing 422.
+func pipelineError(err error) *apiError {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &apiError{http.StatusServiceUnavailable,
+			fmt.Errorf("processing deadline exceeded: %w", err)}
+	case errors.Is(err, context.Canceled):
+		// The client hung up; the status is written into the void, but a
+		// non-2xx keeps logs and metrics honest.
+		return &apiError{http.StatusServiceUnavailable,
+			fmt.Errorf("request canceled: %w", err)}
+	case errors.Is(err, htmlparse.ErrTooLarge):
+		return &apiError{http.StatusRequestEntityTooLarge, err}
+	case errors.Is(err, tagtree.ErrTooDeep), errors.Is(err, tagtree.ErrTooManyNodes):
+		return &apiError{http.StatusUnprocessableEntity, err}
+	default:
+		return &apiError{http.StatusUnprocessableEntity, err}
+	}
+}
+
 // discoverOne runs one discover request through the cache and, on a miss,
 // the full pipeline — the shared path behind /v1/discover and each document
-// of /v1/discover/batch.
-func (s server) discoverOne(req *request) (*discoverResponse, *apiError) {
+// of /v1/discover/batch. Concurrent identical requests are deduplicated:
+// one leader computes while followers wait on its result (see
+// resultCache.join), so a thundering herd for a hot document costs one
+// pipeline run instead of N.
+func (s server) discoverOne(ctx context.Context, req *request) (*discoverResponse, *apiError) {
 	if (req.HTML == "") == (req.XML == "") {
 		return nil, &apiError{http.StatusBadRequest,
 			errors.New("exactly one of html or xml is required")}
@@ -255,11 +357,43 @@ func (s server) discoverOne(req *request) (*discoverResponse, *apiError) {
 	if req.XML != "" {
 		mode, doc = "xml", req.XML
 	}
-	var key [sha256.Size]byte
-	if s.cache != nil {
-		key = cacheKey(mode, doc, req.Ontology, req.SeparatorList)
+	if s.cache == nil {
+		return s.computeDiscover(ctx, mode, doc, req)
+	}
+	key := cacheKey(mode, doc, req.Ontology, req.SeparatorList)
+	for {
 		if resp, ok := s.cache.get(key); ok {
 			return resp, nil
+		}
+		call, leader := s.cache.join(key)
+		if leader {
+			resp, apiErr := s.computeDiscover(ctx, mode, doc, req)
+			s.cache.complete(key, call, resp, apiErr)
+			return resp, apiErr
+		}
+		s.cache.metrics.Counter("boundary_cache_inflight_dedup_total",
+			"Discovery requests answered by waiting on an identical in-flight computation.").Inc()
+		select {
+		case <-call.done:
+			if call.err != nil && ctxRelated(call.err.err) && ctx.Err() == nil {
+				// The leader's own context died, not ours: its failure
+				// says nothing about the document. Take another lap —
+				// cache check, then leadership election.
+				continue
+			}
+			return call.resp, call.err
+		case <-ctx.Done():
+			return nil, pipelineError(ctx.Err())
+		}
+	}
+}
+
+// computeDiscover is the cache-miss path: resolve the ontology and run the
+// full pipeline under the request context.
+func (s server) computeDiscover(ctx context.Context, mode, doc string, req *request) (*discoverResponse, *apiError) {
+	if s.cfg.Faults != nil {
+		if err := s.cfg.Faults.FireCtx(ctx, "httpapi/discover"); err != nil {
+			return nil, pipelineError(err)
 		}
 	}
 	ont, err := req.resolveOntology()
@@ -269,16 +403,14 @@ func (s server) discoverOne(req *request) (*discoverResponse, *apiError) {
 	opts := s.pipelineOptions(ont, req.SeparatorList)
 	var res *core.Result
 	if mode == "html" {
-		res, err = core.Discover(doc, opts)
+		res, err = core.DiscoverContext(ctx, doc, opts)
 	} else {
-		res, err = core.DiscoverXML(doc, opts)
+		res, err = core.DiscoverXMLContext(ctx, doc, opts)
 	}
 	if err != nil {
-		return nil, &apiError{http.StatusUnprocessableEntity, err}
+		return nil, pipelineError(err)
 	}
-	resp := toDiscoverResponse(res)
-	s.cache.put(key, resp)
-	return resp, nil
+	return toDiscoverResponse(res), nil
 }
 
 func (s server) handleDiscover(w http.ResponseWriter, r *http.Request) {
@@ -286,7 +418,7 @@ func (s server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	resp, apiErr := s.discoverOne(req)
+	resp, apiErr := s.discoverOne(r.Context(), req)
 	if apiErr != nil {
 		writeErr(w, apiErr.status, apiErr.err)
 		return
@@ -315,9 +447,10 @@ func (s server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := core.Discover(req.HTML, s.pipelineOptions(ont, req.SeparatorList))
+	res, err := core.DiscoverContext(r.Context(), req.HTML, s.pipelineOptions(ont, req.SeparatorList))
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		apiErr := pipelineError(err)
+		writeErr(w, apiErr.status, apiErr.err)
 		return
 	}
 	var records []recordBody
@@ -348,9 +481,10 @@ func (s server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := core.Discover(req.HTML, s.pipelineOptions(ont, nil))
+	res, err := core.DiscoverContext(r.Context(), req.HTML, s.pipelineOptions(ont, nil))
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		apiErr := pipelineError(err)
+		writeErr(w, apiErr.status, apiErr.err)
 		return
 	}
 	db, err := dbgen.Populate(ont, res)

@@ -1,0 +1,11 @@
+package httpapi
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain fails the package's test run if handlers leak goroutines — batch
+// worker pools, singleflight followers, and shed requests must all unwind.
+func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }

@@ -1,0 +1,54 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the DSL parser must never panic on arbitrary input, and any
+// source it accepts must yield a validated ontology whose derived rule set
+// is safe to build — the recognizer consumes Rules() without further
+// checks, so a parse that "succeeds" into a broken ontology would move the
+// crash downstream into the pipeline's hot path.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"# only a comment\n",
+		ObituarySrc,
+		CarAdSrc,
+		JobAdSrc,
+		CourseSrc,
+		"ontology X\nentity X\nobject A : one-to-one {\nkeyword `k`\n}",
+		"ontology X\nentity X\nlexicon M { a b c }\nobject A : one-to-one {\nvalue `{M} [0-9]+`\n}",
+		"ontology X\nentity X\nobject A : one-to-one {\nvalue `[unclosed`\n}",
+		"ontology X\nentity X\nobject A : one-to-one {\nvalue `{Missing} x`\n}",
+		"ontology X\nobject A : one-to-one {\n",
+		"relationship R : A [1] B [1]",
+		"lexicon L { " + strings.Repeat("w ", 100) + "}",
+		"ontology X\r\nentity X\r\nobject A : one-to-one {\r\nkeyword `k`\r\n}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		ont, err := Parse(src)
+		if err != nil {
+			if ont != nil {
+				t.Fatal("Parse returned both an ontology and an error")
+			}
+			return
+		}
+		if ont == nil {
+			t.Fatal("Parse returned nil ontology without an error")
+		}
+		// Everything the pipeline consumes must be derivable without
+		// panicking: the compiled rule set and the record-identifying
+		// field selection.
+		for _, r := range ont.Rules() {
+			if r.Pattern == nil {
+				t.Fatalf("rule %s/%s has nil pattern", r.ObjectSet, r.Kind)
+			}
+		}
+		ont.RecordIdentifyingFields()
+	})
+}

@@ -1,0 +1,11 @@
+package recognizer
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain fails the package's test run if the chunk-scan worker pool leaks
+// goroutines, including on cancellation, fault, and panic paths.
+func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }

@@ -10,11 +10,14 @@
 package recognizer
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/ontology"
 	"repro/internal/tagtree"
 )
@@ -113,6 +116,25 @@ const parallelThreshold = 16 << 10
 // lists are sorted locally and concatenated in document order, which leaves
 // the table globally sorted without a final full-table sort.
 func Recognize(ont *ontology.Ontology, tree *tagtree.Tree, n *tagtree.Node) *Table {
+	t, err := RecognizeContext(context.Background(), ont, tree, n, nil)
+	if err != nil {
+		// Unreachable: a background context never cancels and a nil fault
+		// set never fires, so the scan cannot fail.
+		panic("recognizer: Recognize failed without context or faults: " + err.Error())
+	}
+	return t
+}
+
+// scanCheckEvery is how many chunks the serial scan processes between
+// context checks.
+const scanCheckEvery = 64
+
+// RecognizeContext is Recognize with cancellation and fault injection: the
+// scan — serial or fanned out across the worker pool — stops promptly when
+// ctx is canceled, a panicking chunk scan is contained and surfaced as an
+// error instead of crashing the process, and faults (nil in production)
+// arms the "recognizer/chunk" hook point fired once per scanned chunk.
+func RecognizeContext(ctx context.Context, ont *ontology.Ontology, tree *tagtree.Tree, n *tagtree.Node, faults *faultinject.Set) (*Table, error) {
 	rules := ont.Rules()
 
 	events := tree.SubtreeEvents(n)
@@ -130,13 +152,32 @@ func Recognize(ont *ontology.Ontology, tree *tagtree.Tree, n *tagtree.Node) *Tab
 		workers = len(chunks)
 	}
 	if total < parallelThreshold || workers <= 1 {
-		t := &Table{Entries: scanChunks(rules, chunks)}
+		entries, err := scanSerial(ctx, rules, chunks, faults)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{Entries: entries}
 		t.buildCounts()
-		return t
+		return t, nil
 	}
 
 	// Shard the chunk list into contiguous runs, one per worker, so each
-	// worker's output is already in document order.
+	// worker's output is already in document order. scanCtx carries both
+	// caller cancellation and the fail-fast cancel below, so every worker
+	// and the feeder unblock as soon as anything goes wrong.
+	scanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
 	perChunk := make([][]Entry, len(chunks))
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -144,16 +185,46 @@ func Recognize(ont *ontology.Ontology, tree *tagtree.Tree, n *tagtree.Node) *Tab
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				perChunk[i] = scanChunks(rules, chunks[i:i+1])
+			defer func() {
+				if r := recover(); r != nil {
+					fail(fmt.Errorf("recognizer: chunk scan panicked: %v", r))
+				}
+			}()
+			for {
+				select {
+				case i, ok := <-next:
+					if !ok {
+						return
+					}
+					if faults != nil {
+						if err := faults.FireCtx(scanCtx, "recognizer/chunk"); err != nil {
+							fail(err)
+							return
+						}
+					}
+					perChunk[i] = scanChunk(nil, rules, chunks[i])
+				case <-scanCtx.Done():
+					return
+				}
 			}
 		}()
 	}
+feed:
 	for i := range chunks {
-		next <- i
+		select {
+		case next <- i:
+		case <-scanCtx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	n2 := 0
 	for _, es := range perChunk {
@@ -165,33 +236,55 @@ func Recognize(ont *ontology.Ontology, tree *tagtree.Tree, n *tagtree.Node) *Tab
 	}
 	t := &Table{Entries: entries}
 	t.buildCounts()
-	return t
+	return t, nil
 }
 
-// scanChunks matches every rule against every chunk, returning entries
-// sorted by (Pos, ObjectSet, Kind). Chunks must be in ascending document
-// order; since chunk byte ranges are disjoint, sorting each chunk's matches
-// locally keeps the concatenation globally sorted.
-func scanChunks(rules []ontology.Rule, chunks []tagtree.Event) []Entry {
-	var entries []Entry
-	for _, ev := range chunks {
-		chunkStart := len(entries)
-		for _, r := range rules {
-			if !prefilterHit(r.Prefilter, ev.Text) {
-				continue
-			}
-			for _, m := range r.Pattern.FindAllStringIndex(ev.Text, -1) {
-				entries = append(entries, Entry{
-					ObjectSet: r.ObjectSet,
-					Kind:      r.Kind,
-					String:    ev.Text[m[0]:m[1]],
-					Pos:       ev.Pos + m[0],
-					End:       ev.Pos + m[1],
-				})
+// scanSerial matches every rule against every chunk on the calling
+// goroutine, honoring ctx, containing panics, and firing the per-chunk
+// fault hook. Entries come back sorted by (Pos, ObjectSet, Kind): chunks
+// are in ascending document order and their byte ranges are disjoint, so
+// sorting each chunk's matches locally keeps the concatenation globally
+// sorted.
+func scanSerial(ctx context.Context, rules []ontology.Rule, chunks []tagtree.Event, faults *faultinject.Set) (entries []Entry, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			entries, err = nil, fmt.Errorf("recognizer: chunk scan panicked: %v", r)
+		}
+	}()
+	for i, ev := range chunks {
+		if i%scanCheckEvery == scanCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
 		}
-		sortEntries(entries[chunkStart:])
+		if faults != nil {
+			if err := faults.FireCtx(ctx, "recognizer/chunk"); err != nil {
+				return nil, err
+			}
+		}
+		entries = scanChunk(entries, rules, ev)
 	}
+	return entries, nil
+}
+
+// scanChunk appends one chunk's matches to entries, locally sorted.
+func scanChunk(entries []Entry, rules []ontology.Rule, ev tagtree.Event) []Entry {
+	chunkStart := len(entries)
+	for _, r := range rules {
+		if !prefilterHit(r.Prefilter, ev.Text) {
+			continue
+		}
+		for _, m := range r.Pattern.FindAllStringIndex(ev.Text, -1) {
+			entries = append(entries, Entry{
+				ObjectSet: r.ObjectSet,
+				Kind:      r.Kind,
+				String:    ev.Text[m[0]:m[1]],
+				Pos:       ev.Pos + m[0],
+				End:       ev.Pos + m[1],
+			})
+		}
+	}
+	sortEntries(entries[chunkStart:])
 	return entries
 }
 

@@ -200,7 +200,10 @@ func TestRecognizeParallelMatchesSequential(t *testing.T) {
 			chunks = append(chunks, ev)
 		}
 	}
-	want := scanChunks(rules, chunks)
+	var want []Entry
+	for _, ev := range chunks {
+		want = scanChunk(want, rules, ev)
+	}
 
 	got := Recognize(ont, tree, tree.Root)
 	if len(got.Entries) != len(want) {

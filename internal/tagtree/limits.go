@@ -1,0 +1,38 @@
+package tagtree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Limits bounds the resources one parsed document may consume. The zero
+// value imposes no limits, so existing callers are unaffected; servers set
+// limits to keep adversarial inputs (pathological nesting, node bombs,
+// oversized bodies) from exhausting memory or stack.
+type Limits struct {
+	// MaxBytes bounds the raw document size; 0 means unlimited. Exceeding
+	// it yields htmlparse.ErrTooLarge.
+	MaxBytes int
+	// MaxDepth bounds element-nesting depth in the built tree; 0 means
+	// unlimited. Exceeding it yields ErrTooDeep.
+	MaxDepth int
+	// MaxNodes bounds the number of element nodes in the built tree; 0
+	// means unlimited. Exceeding it yields ErrTooManyNodes.
+	MaxNodes int
+}
+
+// Sentinel errors for exceeded limits; match with errors.Is. The HTTP layer
+// maps both to 422 Unprocessable Entity (the document is well-formed HTTP
+// but not a document this service will process).
+var (
+	ErrTooDeep      = errors.New("tagtree: tag tree exceeds depth limit")
+	ErrTooManyNodes = errors.New("tagtree: tag tree exceeds node limit")
+)
+
+func errTooDeep(limit int) error {
+	return fmt.Errorf("%w (limit %d)", ErrTooDeep, limit)
+}
+
+func errTooManyNodes(limit int) error {
+	return fmt.Errorf("%w (limit %d)", ErrTooManyNodes, limit)
+}

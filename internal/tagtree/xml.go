@@ -1,6 +1,10 @@
 package tagtree
 
-import "repro/internal/htmlparse"
+import (
+	"context"
+
+	"repro/internal/htmlparse"
+)
 
 // ParseXML builds a tag tree from an XML document (the paper's footnote 1
 // generalization). XML normalization is stricter than HTML's: there are no
@@ -10,6 +14,19 @@ import "repro/internal/htmlparse"
 func ParseXML(doc string) *Tree {
 	tokens := htmlparse.TokenizeXML(doc)
 	return build(NormalizeXML(tokens), func(string) bool { return false })
+}
+
+// ParseXMLContext is ParseXML with cancellation and resource limits, the
+// XML counterpart of ParseContext.
+func ParseXMLContext(ctx context.Context, doc string, lim Limits) (*Tree, error) {
+	if err := htmlparse.CheckSize(doc, lim.MaxBytes); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	norm := NormalizeXML(htmlparse.TokenizeXML(doc))
+	return buildContext(ctx, norm, func(string) bool { return false }, lim)
 }
 
 // NormalizeXML balances an XML token stream: comments, doctypes, and

@@ -1,0 +1,104 @@
+// Package testutil holds test-only helpers shared across packages. It must
+// not be imported by production code.
+package testutil
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// VerifyTestMain runs a package's tests and then fails the run if goroutines
+// started by the tests are still alive — a hand-rolled, stdlib-only take on
+// goroutine-leak detection. Use it as the package's TestMain:
+//
+//	func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }
+//
+// Goroutines are given a grace period to wind down (httptest servers and
+// worker pools exit asynchronously after their tests complete), and
+// well-known runtime/testing/net-internal stacks are ignored.
+func VerifyTestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := waitForDrain(5 * time.Second); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "goroutine leak: %d goroutine(s) still running after tests:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// waitForDrain polls until no unexpected goroutines remain or the deadline
+// passes, returning the stacks of any stragglers.
+func waitForDrain(timeout time.Duration) []string {
+	// Keep-alive connections pin net/http readLoop/writeLoop goroutines;
+	// drop them before judging.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(timeout)
+	for {
+		leaked := interestingStacks()
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// ignoredStackMarkers identify goroutines that are part of normal process
+// machinery rather than test leftovers.
+var ignoredStackMarkers = []string{
+	"testing.Main(",
+	"testing.(*M).",
+	"testing.tRunner(",
+	"runtime.goexit",
+	"runtime.gc",
+	"runtime.MHeap_Scavenger",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"signal.signal_recv",
+	"signal.loop",
+	"runtime.ensureSigM",
+	"GC sweep wait",
+	"GC scavenge wait",
+	"finalizer wait",
+	"os/signal.NotifyContext",
+	"runtime/trace.Start",
+	"created by runtime",
+}
+
+// interestingStacks returns the stack dumps of goroutines that are neither
+// this one nor recognizably process machinery.
+func interestingStacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var leaked []string
+	for i, g := range strings.Split(string(buf), "\n\n") {
+		if i == 0 {
+			continue // the goroutine calling runtime.Stack — ours
+		}
+		ignored := false
+		for _, marker := range ignoredStackMarkers {
+			if strings.Contains(g, marker) {
+				ignored = true
+				break
+			}
+		}
+		if !ignored {
+			leaked = append(leaked, g)
+		}
+	}
+	return leaked
+}
