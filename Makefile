@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test testshort race cover bench bench-smoke fuzz chaos experiments corpus examples clean
+.PHONY: all build test testshort race shuffle cover cover-pipeline bench bench-smoke fuzz chaos experiments corpus examples clean
 
 all: build test
 
@@ -21,9 +21,23 @@ testshort:
 race:
 	$(GO) test -race ./...
 
+# Shuffled double run: catches inter-test ordering dependencies and
+# leftover-state bugs that a fixed order hides. CI runs this on every push.
+shuffle:
+	$(GO) test -shuffle=on -count=2 ./...
+
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
+
+# Coverage gate for the bulk-ingestion engine: the resumability and retry
+# invariants live there, so its statement coverage must stay at or above 80%.
+cover-pipeline:
+	$(GO) test -coverprofile=pipeline_cover.out ./internal/pipeline/
+	@total=$$($(GO) tool cover -func=pipeline_cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/pipeline statement coverage: $$total%"; \
+	awk "BEGIN{exit !($$total >= 80.0)}" || { \
+		echo "FAIL: internal/pipeline coverage $$total% is below the 80% floor"; exit 1; }
 
 # Full benchmark run, archived as BENCH_<n>.json (next free index) via
 # cmd/benchjson so runs can be diffed across commits. CI runs the cheaper
@@ -79,4 +93,4 @@ examples:
 	$(GO) run ./examples/xmlfeed
 
 clean:
-	rm -rf corpus cover.out test_output.txt bench_output.txt
+	rm -rf corpus cover.out pipeline_cover.out test_output.txt bench_output.txt

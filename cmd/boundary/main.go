@@ -21,11 +21,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/ontology"
+)
+
+// The discovery entry points are package variables so tests can exercise the
+// degraded-exit path without arranging a real all-heuristic failure.
+var (
+	discoverHTML = core.Discover
+	discoverXML  = core.DiscoverXML
 )
 
 func main() {
@@ -68,9 +76,9 @@ func run(out io.Writer, ontName string, records, explain, xml, check, trace bool
 		}
 	}
 
-	discover := core.Discover
+	discover := discoverHTML
 	if xml {
-		discover = core.DiscoverXML
+		discover = discoverXML
 	}
 	opts := core.Options{Ontology: ont}
 	if trace {
@@ -79,6 +87,14 @@ func run(out io.Writer, ontName string, records, explain, xml, check, trace bool
 	res, err := discover(doc, opts)
 	if err != nil {
 		return err
+	}
+	// A degraded result that still names a separator is a usable (if
+	// lower-confidence) answer; a degraded result with no top tag is not —
+	// exiting 0 there would let scripts consume an empty separator as
+	// success.
+	if res.Degraded && len(res.TopTags) == 0 {
+		return fmt.Errorf("discovery degraded with no usable separator (failed heuristics: %s)",
+			strings.Join(res.FailedHeuristics, ", "))
 	}
 	if explain {
 		fmt.Fprint(out, core.Explain(res))

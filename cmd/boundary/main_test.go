@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/paperdoc"
 )
 
@@ -105,6 +106,54 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(&out, "", false, true, false, false, false, []string{writeTemp(t, "no tags")}); err == nil {
 		t.Error("tagless document should error")
+	}
+}
+
+// TestRunDegradedNoTopTagFails: a degraded result that names no separator at
+// all must exit non-zero and name the failed heuristics, not print an empty
+// answer with exit 0.
+func TestRunDegradedNoTopTagFails(t *testing.T) {
+	orig := discoverHTML
+	defer func() { discoverHTML = orig }()
+	discoverHTML = func(doc string, opts core.Options) (*core.Result, error) {
+		return &core.Result{
+			Degraded:         true,
+			FailedHeuristics: []string{"OM", "RP", "SD", "IT", "HT"},
+		}, nil
+	}
+	var out strings.Builder
+	err := run(&out, "", false, true, false, false, false, []string{writeTemp(t, paperdoc.Figure2)})
+	if err == nil {
+		t.Fatal("degraded result with no top tag must be an error")
+	}
+	for _, want := range []string{"degraded", "OM", "RP", "SD", "IT", "HT"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err.Error(), want)
+		}
+	}
+}
+
+// TestRunDegradedWithTopTagSucceeds: degradation with a surviving answer is
+// still a usable result and must keep exit status 0.
+func TestRunDegradedWithTopTagSucceeds(t *testing.T) {
+	orig := discoverHTML
+	defer func() { discoverHTML = orig }()
+	discoverHTML = func(doc string, opts core.Options) (*core.Result, error) {
+		res, err := core.Discover(doc, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Degraded = true
+		res.FailedHeuristics = []string{"SD"}
+		return res, nil
+	}
+	var out strings.Builder
+	err := run(&out, "", false, false, false, false, false, []string{writeTemp(t, paperdoc.Figure2)})
+	if err != nil {
+		t.Fatalf("degraded-with-answer should succeed: %v", err)
+	}
+	if !strings.Contains(out.String(), "separator: <hr>") {
+		t.Errorf("output:\n%s", out.String())
 	}
 }
 

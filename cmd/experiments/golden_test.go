@@ -1,0 +1,64 @@
+package main
+
+// Per-table golden snapshots. Each of Tables 1–10 is locked to its own
+// .golden file so a regression points at the exact table that moved, not
+// just "the output changed". The corpus and every evaluation are
+// deterministic, so the snapshots are stable across runs and platforms.
+//
+// To accept an intentional change, regenerate the snapshots:
+//
+//	go test ./cmd/experiments -run TestGoldenTables -update
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the per-table .golden snapshots")
+
+func TestGoldenTables(t *testing.T) {
+	for table := 1; table <= 10; table++ {
+		t.Run(fmt.Sprintf("table%d", table), func(t *testing.T) {
+			var out strings.Builder
+			if err := run(&out, table, false, false, false); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, fmt.Sprintf("table%d.golden", table), out.String())
+		})
+	}
+}
+
+// TestGoldenMangled locks the robustness report (-mangled) the same way: it
+// must render Table 10's numbers unchanged for every mangling seed.
+func TestGoldenMangled(t *testing.T) {
+	var out strings.Builder
+	if err := runMangled(&out); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "mangled.golden", out.String())
+}
+
+// checkGolden compares got with testdata/<name>, rewriting the file under
+// -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./cmd/experiments -run TestGolden -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverged from %s — if the change is intentional, regenerate with -update.\n"+
+			"got:\n%s\nwant:\n%s", path, got, want)
+	}
+}

@@ -1,0 +1,368 @@
+package repro
+
+// Differential conformance suite: every serving surface of the system must
+// give byte-for-byte the same discovery answer for the same document. For
+// each document of the 20-site test corpus the suite runs
+//
+//	core.Discover            (the library's synchronous entry point)
+//	core.DiscoverContext     (the cancellable entry point)
+//	POST /v1/discover        (both the cache miss and the cache hit)
+//	POST /v1/discover/batch  (the concurrent batch endpoint)
+//	POST /v1/discover/stream (the streaming bulk surface)
+//	pipeline.Engine          (the bulk engine cmd/bulk wires up)
+//
+// and requires the six answers to agree on separator, top tags, compound
+// certainty scores, per-heuristic rankings, and candidate sets. A
+// disagreement means one surface drifted from the shared pipeline —
+// exactly the regression class this suite pins down. Run under -race it
+// doubles as a concurrency check on the batch and stream paths.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/httpapi"
+	"repro/internal/pipeline"
+)
+
+// wireResult is the canonical cross-surface answer: the wire shape shared by
+// /v1/discover, batch, stream, and the bulk engine, with empty collections
+// normalized to nil so JSON round-trips compare equal to in-process results.
+type wireResult struct {
+	Separator  string               `json:"separator"`
+	TopTags    []string             `json:"top_tags"`
+	Scores     []wireScore          `json:"scores"`
+	Rankings   map[string][]wireRow `json:"rankings"`
+	Candidates []wireCand           `json:"candidates"`
+	Subtree    string               `json:"subtree"`
+	Degraded   bool                 `json:"degraded"`
+	Failed     []string             `json:"failed_heuristics"`
+}
+
+type wireScore struct {
+	Tag string  `json:"tag"`
+	CF  float64 `json:"cf"`
+}
+
+type wireRow struct {
+	Tag  string `json:"tag"`
+	Rank int    `json:"rank"`
+}
+
+type wireCand struct {
+	Tag   string `json:"tag"`
+	Count int    `json:"count"`
+}
+
+// normalize maps empty collections to nil, in place.
+func (w *wireResult) normalize() *wireResult {
+	if len(w.TopTags) == 0 {
+		w.TopTags = nil
+	}
+	if len(w.Scores) == 0 {
+		w.Scores = nil
+	}
+	if len(w.Rankings) == 0 {
+		w.Rankings = nil
+	}
+	for k, rows := range w.Rankings {
+		if len(rows) == 0 {
+			delete(w.Rankings, k)
+		}
+	}
+	if len(w.Candidates) == 0 {
+		w.Candidates = nil
+	}
+	if len(w.Failed) == 0 {
+		w.Failed = nil
+	}
+	return w
+}
+
+// fromCore converts a core.Result into the canonical wire shape.
+func fromCore(res *core.Result) *wireResult {
+	w := &wireResult{
+		Separator: res.Separator,
+		TopTags:   append([]string(nil), res.TopTags...),
+		Subtree:   res.Subtree.Name,
+		Degraded:  res.Degraded,
+		Failed:    append([]string(nil), res.FailedHeuristics...),
+	}
+	for _, s := range res.Scores {
+		w.Scores = append(w.Scores, wireScore{Tag: s.Tag, CF: s.CF})
+	}
+	if len(res.Rankings) > 0 {
+		w.Rankings = make(map[string][]wireRow, len(res.Rankings))
+		for name, ranking := range res.Rankings {
+			rows := make([]wireRow, 0, len(ranking))
+			for _, e := range ranking {
+				rows = append(rows, wireRow{Tag: e.Tag, Rank: e.Rank})
+			}
+			w.Rankings[name] = rows
+		}
+	}
+	for _, c := range res.Candidates {
+		w.Candidates = append(w.Candidates, wireCand{Tag: c.Name, Count: c.Count})
+	}
+	return w.normalize()
+}
+
+// decodeWire parses one surface's JSON answer into the canonical shape.
+func decodeWire(t *testing.T, data []byte) *wireResult {
+	t.Helper()
+	var w wireResult
+	if err := json.Unmarshal(data, &w); err != nil {
+		t.Fatalf("decode %s: %v", data, err)
+	}
+	return w.normalize()
+}
+
+// conformanceServer runs the full HTTP handler with the cache enabled, so
+// the cached path is part of the matrix.
+func conformanceServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(httpapi.NewHandler(httpapi.Config{CacheSize: 64}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func conformancePost(t *testing.T, url string, body any) []byte {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, buf.Bytes())
+	}
+	return buf.Bytes()
+}
+
+// TestConformanceAcrossSurfaces is the differential suite over the full
+// 20-site test corpus.
+func TestConformanceAcrossSurfaces(t *testing.T) {
+	docs := corpus.TestDocuments()
+	srv := conformanceServer(t)
+
+	// Reference answers: the synchronous library entry point.
+	want := make([]*wireResult, len(docs))
+	for i, d := range docs {
+		res, err := core.Discover(d.HTML, core.Options{
+			Ontology: BuiltinOntology(string(d.Site.Domain)),
+		})
+		if err != nil {
+			t.Fatalf("%s: Discover: %v", d.Site.Name, err)
+		}
+		want[i] = fromCore(res)
+	}
+
+	t.Run("DiscoverContext", func(t *testing.T) {
+		for i, d := range docs {
+			res, err := core.DiscoverContext(context.Background(), d.HTML, core.Options{
+				Ontology: BuiltinOntology(string(d.Site.Domain)),
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", d.Site.Name, err)
+			}
+			if got := fromCore(res); !reflect.DeepEqual(got, want[i]) {
+				t.Errorf("%s: DiscoverContext disagrees with Discover:\n got %+v\nwant %+v",
+					d.Site.Name, got, want[i])
+			}
+		}
+	})
+
+	t.Run("HTTPMissAndHit", func(t *testing.T) {
+		for _, label := range []string{"miss", "hit"} {
+			for i, d := range docs {
+				body := conformancePost(t, srv.URL+"/v1/discover", map[string]any{
+					"html": d.HTML, "ontology": string(d.Site.Domain),
+				})
+				if got := decodeWire(t, body); !reflect.DeepEqual(got, want[i]) {
+					t.Errorf("%s: /v1/discover (%s) disagrees:\n got %+v\nwant %+v",
+						d.Site.Name, label, got, want[i])
+				}
+			}
+		}
+	})
+
+	t.Run("Batch", func(t *testing.T) {
+		var documents []map[string]any
+		for _, d := range docs {
+			documents = append(documents, map[string]any{
+				"html": d.HTML, "ontology": string(d.Site.Domain),
+			})
+		}
+		body := conformancePost(t, srv.URL+"/v1/discover/batch", map[string]any{"documents": documents})
+		var parsed struct {
+			Results []json.RawMessage `json:"results"`
+		}
+		if err := json.Unmarshal(body, &parsed); err != nil {
+			t.Fatal(err)
+		}
+		if len(parsed.Results) != len(docs) {
+			t.Fatalf("batch returned %d results, want %d", len(parsed.Results), len(docs))
+		}
+		for i, raw := range parsed.Results {
+			if got := decodeWire(t, raw); !reflect.DeepEqual(got, want[i]) {
+				t.Errorf("%s: batch disagrees:\n got %+v\nwant %+v",
+					docs[i].Site.Name, got, want[i])
+			}
+		}
+	})
+
+	t.Run("Stream", func(t *testing.T) {
+		var in bytes.Buffer
+		for _, d := range docs {
+			line, err := json.Marshal(map[string]any{
+				"html": d.HTML, "ontology": string(d.Site.Domain),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			in.Write(line)
+			in.WriteByte('\n')
+		}
+		resp, err := http.Post(srv.URL+"/v1/discover/stream", "application/x-ndjson", &in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream status = %d", resp.StatusCode)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		i := 0
+		for sc.Scan() {
+			if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+				continue
+			}
+			if i >= len(docs) {
+				t.Fatalf("stream returned more lines than documents: %s", sc.Text())
+			}
+			if got := decodeWire(t, sc.Bytes()); !reflect.DeepEqual(got, want[i]) {
+				t.Errorf("%s: stream disagrees:\n got %+v\nwant %+v",
+					docs[i].Site.Name, got, want[i])
+			}
+			i++
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if i != len(docs) {
+			t.Fatalf("stream returned %d lines, want %d", i, len(docs))
+		}
+	})
+
+	t.Run("BulkEngine", func(t *testing.T) {
+		var tasks []*pipeline.Task
+		for _, d := range docs {
+			tasks = append(tasks, &pipeline.Task{
+				Mode:     "html",
+				Doc:      d.HTML,
+				Ontology: string(d.Site.Domain),
+			})
+		}
+		var out bytes.Buffer
+		eng := pipeline.New(pipeline.Config{Workers: 4})
+		stats, err := eng.Run(context.Background(),
+			pipeline.NewSliceSource(tasks), pipeline.NewWriterSink(&out, nil), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.OK != len(docs) {
+			t.Fatalf("bulk stats = %+v", stats)
+		}
+		i := 0
+		for _, line := range bytes.Split(bytes.TrimSpace(out.Bytes()), []byte("\n")) {
+			if len(line) == 0 {
+				continue
+			}
+			if got := decodeWire(t, line); !reflect.DeepEqual(got, want[i]) {
+				t.Errorf("%s: bulk engine disagrees:\n got %+v\nwant %+v",
+					docs[i].Site.Name, got, want[i])
+			}
+			i++
+		}
+		if i != len(docs) {
+			t.Fatalf("bulk engine returned %d outcomes, want %d", i, len(docs))
+		}
+	})
+}
+
+// TestConformanceXML extends the matrix to the XML mode on a synthetic feed:
+// library, HTTP, stream, and bulk engine must agree there too.
+func TestConformanceXML(t *testing.T) {
+	feed := `<catalog>` + strings.Repeat(`<item><title>t</title><price>p</price></item>`, 6) + `</catalog>`
+	srv := conformanceServer(t)
+
+	res, err := DiscoverXML(feed, Options{SeparatorList: []string{"item"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fromCore(res)
+
+	body := conformancePost(t, srv.URL+"/v1/discover", map[string]any{
+		"xml": feed, "separator_list": []string{"item"},
+	})
+	if got := decodeWire(t, body); !reflect.DeepEqual(got, want) {
+		t.Errorf("/v1/discover (xml) disagrees:\n got %+v\nwant %+v", got, want)
+	}
+
+	line, _ := json.Marshal(map[string]any{"xml": feed, "separator_list": []string{"item"}})
+	resp, err := http.Post(srv.URL+"/v1/discover/stream", "application/x-ndjson",
+		bytes.NewReader(append(line, '\n')))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeWire(t, bytes.TrimSpace(buf.Bytes())); !reflect.DeepEqual(got, want) {
+		t.Errorf("stream (xml) disagrees:\n got %+v\nwant %+v", got, want)
+	}
+
+	var out bytes.Buffer
+	eng := pipeline.New(pipeline.Config{})
+	if _, err := eng.Run(context.Background(),
+		pipeline.NewSliceSource([]*pipeline.Task{{
+			Mode: "xml", Doc: feed, SeparatorList: []string{"item"},
+		}}),
+		pipeline.NewWriterSink(&out, nil), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeWire(t, bytes.TrimSpace(out.Bytes())); !reflect.DeepEqual(got, want) {
+		t.Errorf("bulk engine (xml) disagrees:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// failDiff is a debugging aid: render a wireResult compactly when the
+// conformance suite reports a disagreement.
+func (w *wireResult) String() string {
+	data, err := json.Marshal(w)
+	if err != nil {
+		return fmt.Sprintf("%#v", *w)
+	}
+	return string(data)
+}

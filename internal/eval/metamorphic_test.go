@@ -1,0 +1,118 @@
+package eval
+
+// Metamorphic suite: record-boundary discovery must be invariant under
+// markup manglings that preserve a document's logical structure — random
+// tag/attribute case, shuffled attribute order, dropped omissible end-tags,
+// injected comments, and whitespace noise (see corpus.Mangle). Unlike
+// TestDiscoveryInvariantUnderMangling, which checks correctness against
+// ground truth on the 20 test documents, this suite checks the metamorphic
+// relation itself — mangled output equals original output — over the FULL
+// corpus (220 documents: 200 training + 20 test), so it holds even for
+// documents where the compound's answer happens to be wrong. Run under
+// -race it also exercises the parallel evaluation path.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// fullCorpus returns every generated document: all training sets plus the
+// test set.
+func fullCorpus() []*corpus.Document {
+	var docs []*corpus.Document
+	for _, d := range corpus.AllDomains {
+		docs = append(docs, corpus.TrainingDocuments(d)...)
+	}
+	return append(docs, corpus.TestDocuments()...)
+}
+
+func TestManglingInvarianceFullCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus metamorphic sweep is slow")
+	}
+	docs := fullCorpus()
+	seeds := []int64{1, 2}
+
+	type job struct {
+		doc  *corpus.Document
+		seed int64
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failures int
+
+	workers := runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				orig, err := core.Discover(j.doc.HTML, core.Options{})
+				if err != nil {
+					t.Errorf("%s/%d: original discovery failed: %v",
+						j.doc.Site.Name, j.doc.Index, err)
+					continue
+				}
+				mangled := corpus.Mangle(j.doc.HTML, j.seed)
+				res, err := core.Discover(mangled, core.Options{})
+				if err != nil {
+					t.Errorf("%s/%d seed %d: mangled discovery failed: %v",
+						j.doc.Site.Name, j.doc.Index, j.seed, err)
+					continue
+				}
+				if res.Separator != orig.Separator {
+					mu.Lock()
+					failures++
+					mu.Unlock()
+					t.Errorf("%s/%d seed %d: separator changed under mangling: %q → %q",
+						j.doc.Site.Name, j.doc.Index, j.seed, orig.Separator, res.Separator)
+				}
+				if res.Subtree.Name != orig.Subtree.Name {
+					t.Errorf("%s/%d seed %d: fan-out subtree changed under mangling: %q → %q",
+						j.doc.Site.Name, j.doc.Index, j.seed, orig.Subtree.Name, res.Subtree.Name)
+				}
+			}
+		}()
+	}
+	for _, d := range docs {
+		for _, seed := range seeds {
+			jobs <- job{doc: d, seed: seed}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	t.Logf("checked %d documents × %d seeds (%d discoveries)",
+		len(docs), len(seeds), len(docs)*len(seeds)*2)
+}
+
+// TestManglingPreservesCorrectness keeps the stronger ground-truth check on
+// the test corpus: the compound must still rank a CORRECT separator first
+// after mangling, seed-swept wider than the original fixture test and with
+// attribute shuffling in the mix.
+func TestManglingPreservesCorrectness(t *testing.T) {
+	docs := corpus.TestDocuments()
+	var mangledDocs []*corpus.Document
+	for seed := int64(3); seed < 6; seed++ {
+		for _, d := range docs {
+			m := *d
+			m.HTML = corpus.Mangle(d.HTML, seed)
+			mangledDocs = append(mangledDocs, &m)
+		}
+	}
+	results, err := EvaluateAllParallel(mangledDocs, core.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, dr := range results {
+		if dr.Success != 1.0 {
+			d := mangledDocs[i]
+			t.Errorf("%s %s: compound failed on mangled HTML (sc=%.2f)",
+				d.Site.Name, d.Site.Domain, dr.Success)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 //
 //	POST /v1/discover  {html|xml, ontology?}     → separator, scores, rankings
 //	POST /v1/discover/batch  {documents: [...]}   → per-document results, in order
+//	POST /v1/discover/stream  NDJSON tasks        → NDJSON outcomes, streamed in order
 //	POST /v1/records   {html, ontology?}          → cleaned record chunks
 //	POST /v1/extract   {html, ontology}           → populated database
 //	POST /v1/classify  {html, ontology}           → document kind + evidence
@@ -153,6 +154,7 @@ func newMux(s server) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/discover", s.handleDiscover)
 	mux.HandleFunc("POST /v1/discover/batch", s.handleDiscoverBatch)
+	mux.HandleFunc("POST /v1/discover/stream", s.handleDiscoverStream)
 	mux.HandleFunc("POST /v1/records", s.handleRecords)
 	mux.HandleFunc("POST /v1/extract", s.handleExtract)
 	mux.HandleFunc("POST /v1/classify", s.handleClassify)

@@ -1,0 +1,55 @@
+package httpapi
+
+import (
+	"net/http"
+
+	"repro/internal/pipeline"
+)
+
+// handleDiscoverStream is the bulk engine's serving surface: the request
+// body is an NDJSON task stream (the /v1/discover envelope plus optional
+// "id" and "shard" labels, one document per line) and the response streams
+// one NDJSON outcome per document, in input order, flushed as each completes.
+//
+// Backpressure is structural: the engine reads the body only as fast as its
+// worker pool and reorder window allow, so a slow server throttles the
+// sender through TCP instead of buffering the corpus; the stream occupies
+// one slot of the -max-inflight limiter for its whole life. Documents fail
+// inline (an "error" field on that line) — one bad document never ends the
+// stream. Per-line size is bounded by the same limit as whole bodies
+// elsewhere (MaxBodyBytes); an oversized line fails inline too. Responses
+// are not cached: the path is built for one pass over a large corpus, not
+// for hot-document reuse.
+//
+// The response status is committed (200) before the first document is
+// processed — per-document failures are in-band, and a broken input stream
+// surfaces as an error line followed by end-of-stream.
+func (s server) handleDiscoverStream(w http.ResponseWriter, r *http.Request) {
+	eng := pipeline.New(pipeline.Config{
+		Workers: s.cfg.BatchWorkers,
+		Metrics: s.cfg.Metrics,
+		Limits:  s.cfg.Limits,
+		Faults:  s.cfg.Faults,
+	})
+	var flush func()
+	if f, ok := w.(http.Flusher); ok {
+		flush = f.Flush
+	}
+	// The endpoint reads the request body while writing the response; on
+	// HTTP/1.x the server closes the body at the first write unless full
+	// duplex is enabled (HTTP/2 streams are always full duplex, where this
+	// is a no-op; on servers that cannot support it the stream still works
+	// for bodies small enough to be buffered).
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+
+	src := pipeline.NewNDJSONSource(r.Body, MaxBodyBytes)
+	sink := pipeline.NewWriterSink(w, flush)
+	// Per-document problems were already reported inline; a run-level error
+	// (body read failure, server-side cancel) gets a final error line when
+	// the connection is still alive, then the stream ends.
+	if _, err := eng.Run(r.Context(), src, sink, nil); err != nil && r.Context().Err() == nil {
+		_, _, _ = sink.Write(&pipeline.Outcome{Seq: -1, Error: "stream aborted: " + err.Error()})
+	}
+}

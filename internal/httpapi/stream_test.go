@@ -1,0 +1,143 @@
+package httpapi
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/paperdoc"
+)
+
+// streamLines posts NDJSON to /v1/discover/stream and returns the decoded
+// response lines.
+func streamLines(t *testing.T, body string) (*http.Response, []map[string]json.RawMessage) {
+	t.Helper()
+	srv, _ := cachedServer(t, 0)
+	resp, err := http.Post(srv.URL+"/v1/discover/stream", "application/x-ndjson",
+		strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var lines []map[string]json.RawMessage
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if len(strings.TrimSpace(sc.Text())) == 0 {
+			continue
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad response line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp, lines
+}
+
+func seqOf(t *testing.T, raw json.RawMessage) int {
+	t.Helper()
+	var n int
+	if err := json.Unmarshal(raw, &n); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestStreamEndpointOrderAndContentType(t *testing.T) {
+	body := strings.Join([]string{
+		`{"id":"plain","html":"<div><hr><b>A</b> one<hr><b>B</b> two<hr><b>C</b> three</div>"}`,
+		mustLine(t, map[string]any{"id": "fig2", "html": paperdoc.Figure2, "ontology": "obituary"}),
+		`{"id":"feed","xml":"<feed><entry>a b</entry><entry>c d</entry><entry>e f</entry></feed>"}`,
+	}, "\n")
+	resp, lines := streamLines(t, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	for i, want := range []string{"hr", "hr", "entry"} {
+		if got := seqOf(t, lines[i]["seq"]); got != i {
+			t.Errorf("line %d seq = %d; stream must preserve input order", i, got)
+		}
+		if got := str(t, lines[i]["separator"]); got != want {
+			t.Errorf("line %d separator = %q, want %q", i, got, want)
+		}
+	}
+	for i, want := range []string{"plain", "fig2", "feed"} {
+		if got := str(t, lines[i]["id"]); got != want {
+			t.Errorf("line %d id = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestStreamEndpointInlineErrors(t *testing.T) {
+	body := strings.Join([]string{
+		`{"html":"<div><hr><b>A</b> one<hr><b>B</b> two<hr><b>C</b> three</div>"}`,
+		`this line is not JSON`,
+		`{"html":"plain text, no tags"}`,
+		`{"html":"<div><hr><b>A</b> one<hr><b>B</b> two<hr><b>C</b> three</div>"}`,
+	}, "\n")
+	resp, lines := streamLines(t, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d; per-document failures must stay in-band", resp.StatusCode)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	for _, i := range []int{1, 2} {
+		if lines[i]["error"] == nil {
+			t.Errorf("line %d should carry an inline error: %v", i, lines[i])
+		}
+	}
+	for _, i := range []int{0, 3} {
+		if lines[i]["error"] != nil {
+			t.Errorf("line %d should succeed: %s", i, lines[i]["error"])
+		}
+		if got := str(t, lines[i]["separator"]); got != "hr" {
+			t.Errorf("line %d separator = %q", i, got)
+		}
+	}
+}
+
+func TestStreamEndpointEmptyBody(t *testing.T) {
+	resp, lines := streamLines(t, "")
+	if resp.StatusCode != http.StatusOK || len(lines) != 0 {
+		t.Fatalf("empty stream: status %d, %d lines", resp.StatusCode, len(lines))
+	}
+}
+
+func TestStreamEndpointMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := httptest.NewServer(NewHandler(Config{Metrics: reg}))
+	t.Cleanup(srv.Close)
+	resp, err := http.Post(srv.URL+"/v1/discover/stream", "application/x-ndjson",
+		strings.NewReader(`{"html":"<div><hr><b>A</b> x<hr><b>B</b> y<hr></div>"}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := reg.Counter("boundary_bulk_documents_total", "", "outcome", "ok").Value(); got != 1 {
+		t.Errorf("boundary_bulk_documents_total{outcome=ok} = %v, want 1", got)
+	}
+}
+
+func mustLine(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}

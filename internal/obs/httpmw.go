@@ -41,6 +41,11 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// Unwrap exposes the wrapped writer to http.ResponseController, so handlers
+// behind the middleware can reach controller features the wrapper does not
+// re-implement (EnableFullDuplex, deadlines, hijacking).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // Middleware wraps next with structured request logging, per-route metrics,
 // and X-Request-ID propagation. route maps a request to its bounded-
 // cardinality route label (e.g. the mux pattern that matched); nil or an

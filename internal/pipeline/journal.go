@@ -1,0 +1,120 @@
+package pipeline
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal is the append-only checkpoint log that makes a bulk run resumable.
+// One entry is appended after each outcome's bytes reach its output file, so
+// on restart the set of journaled sequence numbers is exactly the set of
+// documents whose results are already durable — those are skipped — and the
+// per-file end offsets let the sink truncate away any torn write that
+// happened after the final checkpoint. A document is therefore never
+// processed twice, and a resumed run's output is byte-identical to an
+// uninterrupted one.
+//
+// The format is NDJSON, one entry per line:
+//
+//	{"seq":17,"file":"results-carad.ndjson","offset":8831}
+//
+// Loading tolerates a trailing partial line (the run was killed mid-append):
+// that entry's document simply runs again.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	done    map[int]bool
+	offsets map[string]int64
+}
+
+// journalEntry is one checkpoint line.
+type journalEntry struct {
+	Seq    int    `json:"seq"`
+	File   string `json:"file,omitempty"`
+	Offset int64  `json:"offset,omitempty"`
+}
+
+// OpenJournal opens (creating if absent) the journal at path and replays its
+// entries.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, done: make(map[int]bool), offsets: make(map[string]int64)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var e journalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			// A torn final line from a killed run: ignore it (and anything
+			// after it — there is nothing after a torn tail by construction).
+			break
+		}
+		j.done[e.Seq] = true
+		if e.File != "" && e.Offset > j.offsets[e.File] {
+			j.offsets[e.File] = e.Offset
+		}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pipeline: reading journal %s: %w", path, err)
+	}
+	return j, nil
+}
+
+// Done reports whether seq was checkpointed by a previous run.
+func (j *Journal) Done(seq int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done[seq]
+}
+
+// DoneCount returns how many documents the journal records as complete.
+func (j *Journal) DoneCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Offsets returns the per-file end offsets of the journaled results — the
+// truncation map for ShardedFileSink.Truncate.
+func (j *Journal) Offsets() map[string]int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string]int64, len(j.offsets))
+	for k, v := range j.offsets {
+		out[k] = v
+	}
+	return out
+}
+
+// Append checkpoints one completed document. The entry is written with a
+// single Write call so a kill can tear at most the final line.
+func (j *Journal) Append(seq int, file string, offset int64) error {
+	line, err := json.Marshal(journalEntry{Seq: seq, File: file, Offset: offset})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("pipeline: appending journal entry: %w", err)
+	}
+	j.done[seq] = true
+	if file != "" && offset > j.offsets[file] {
+		j.offsets[file] = offset
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

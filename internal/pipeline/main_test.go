@@ -1,0 +1,9 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }

@@ -1,0 +1,119 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Task is one document queued for bulk discovery. Seq is its dense 0-based
+// position in the input stream; the engine uses it both to restore input
+// order on output and as the checkpoint key, so the same input must always
+// produce the same Seq assignment (sources guarantee this).
+type Task struct {
+	// Seq is assigned by the source in input order, starting at 0.
+	Seq int
+	// ID is the caller's label for the document ("doc-<seq>" when absent).
+	ID string
+	// Mode is "html" or "xml".
+	Mode string
+	// Doc is the document source.
+	Doc string
+	// Ontology is a built-in ontology name or full DSL source; empty
+	// disables OM, exactly as on the HTTP surface.
+	Ontology string
+	// SeparatorList optionally overrides IT's identifiable-separator list.
+	SeparatorList []string
+	// Shard routes the result to an output shard (e.g. the document's
+	// domain); empty lands in the default shard.
+	Shard string
+
+	// invalid carries a per-line input error (malformed JSON, oversized
+	// line, bad envelope). The engine emits it as an error outcome without
+	// running the pipeline, so one bad line cannot sink a corpus.
+	invalid error
+}
+
+// taskID returns the task's label, defaulting to its sequence position.
+func (t *Task) taskID() string {
+	if t.ID != "" {
+		return t.ID
+	}
+	return fmt.Sprintf("doc-%d", t.Seq)
+}
+
+// Score is one compound certainty score on the wire.
+type Score struct {
+	Tag string  `json:"tag"`
+	CF  float64 `json:"cf"`
+}
+
+// RankEntry is one heuristic ranking row on the wire.
+type RankEntry struct {
+	Tag  string `json:"tag"`
+	Rank int    `json:"rank"`
+}
+
+// Candidate is one candidate separator tag with its count on the wire.
+type Candidate struct {
+	Tag   string `json:"tag"`
+	Count int    `json:"count"`
+}
+
+// Outcome is one document's bulk-discovery result as written to the output
+// stream — the same shape as the /v1/discover response body plus the bulk
+// envelope (seq, id, shard, attempts, error). Exactly one of Separator or
+// Error is meaningful.
+type Outcome struct {
+	Seq   int    `json:"seq"`
+	ID    string `json:"id"`
+	Shard string `json:"shard,omitempty"`
+	// Attempts is recorded only when retries happened (>1).
+	Attempts int `json:"attempts,omitempty"`
+
+	Separator  string                 `json:"separator,omitempty"`
+	TopTags    []string               `json:"top_tags,omitempty"`
+	Scores     []Score                `json:"scores,omitempty"`
+	Rankings   map[string][]RankEntry `json:"rankings,omitempty"`
+	Candidates []Candidate            `json:"candidates,omitempty"`
+	Subtree    string                 `json:"subtree,omitempty"`
+
+	Degraded         bool     `json:"degraded,omitempty"`
+	FailedHeuristics []string `json:"failed_heuristics,omitempty"`
+
+	// Error carries the per-document failure; the run itself keeps going,
+	// mirroring the batch endpoint's inline-error contract.
+	Error string `json:"error,omitempty"`
+
+	// skipped marks a task the checkpoint journal proved already done; the
+	// emitter advances past it without writing or journaling.
+	skipped bool
+	// canceled marks a task abandoned because the run context ended; it is
+	// never written or journaled, so a resumed run re-processes it.
+	canceled bool
+}
+
+// fillResult copies a discovery result into the outcome's wire fields.
+func (o *Outcome) fillResult(res *core.Result) {
+	o.Separator = res.Separator
+	o.TopTags = res.TopTags
+	o.Subtree = res.Subtree.Name
+	o.Degraded = res.Degraded
+	o.FailedHeuristics = res.FailedHeuristics
+	for _, s := range res.Scores {
+		o.Scores = append(o.Scores, Score{Tag: s.Tag, CF: s.CF})
+	}
+	if len(res.Rankings) > 0 {
+		o.Rankings = make(map[string][]RankEntry, len(res.Rankings))
+		for name, ranking := range res.Rankings {
+			rows := make([]RankEntry, 0, len(ranking))
+			for _, e := range ranking {
+				rows = append(rows, RankEntry{Tag: e.Tag, Rank: e.Rank})
+			}
+			o.Rankings[name] = rows
+		}
+	}
+	for _, c := range res.Candidates {
+		o.Candidates = append(o.Candidates, Candidate{Tag: c.Name, Count: c.Count})
+	}
+}
