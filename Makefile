@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test testshort race shuffle cover cover-pipeline bench bench-smoke fuzz chaos experiments corpus examples clean
+.PHONY: all build test testshort race shuffle cover cover-pipeline bench bench-smoke bench-gate cluster fuzz chaos experiments corpus examples clean
 
 all: build test
 
@@ -57,6 +57,26 @@ bench:
 # without paying for a full measurement.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Perf-regression gate: a fresh measurement of the core benchmarks compared
+# against the newest committed BENCH_<n>.json; any benchmark more than 30%
+# slower than the baseline fails (speed-ups and new benchmarks are
+# informational). BENCH_BASELINE / BENCH_TOLERANCE override the defaults.
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+BENCH_TOLERANCE ?= 0.30
+bench-gate:
+	@test -n "$(BENCH_BASELINE)" || { echo "no BENCH_<n>.json baseline committed"; exit 1; }
+	@echo "comparing against $(BENCH_BASELINE) (tolerance $(BENCH_TOLERANCE))"
+	$(GO) test -bench=. -benchmem -run='^$$' . ./internal/core/ ./internal/heuristic/ | \
+		$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) -tolerance $(BENCH_TOLERANCE)
+
+# The cluster-mode serving tier (see docs/SCALING.md) under the race
+# detector: routing/conformance suites, the chaos scenarios (hedging, peer
+# death, total backend loss), and the cmd/serve cluster-mode boot test.
+cluster:
+	$(GO) test -race ./internal/cluster/
+	$(GO) test -race -run 'TestClusterConformance' -v .
+	$(GO) test -race -run 'TestServeCluster' ./cmd/serve/
 
 # Brief fuzz sessions over every fuzz target (seeds always run under `test`).
 fuzz:

@@ -6,10 +6,22 @@
 //
 //	go test -bench=. -benchmem ./... | benchjson -out BENCH_2.json
 //	benchjson -in bench_output.txt
+//	go test -bench=. ./... | benchjson -compare BENCH_2.json -tolerance 0.30
 //
 // -in "-" reads stdin, -out "-" writes stdout (both defaults). Non-benchmark
 // lines (test chatter, PASS/ok) are ignored; goos/goarch/cpu/pkg headers are
 // captured as environment metadata.
+//
+// -compare switches to regression-gate mode: instead of emitting JSON, the
+// parsed run is diffed against a committed BENCH_<n>.json baseline and the
+// command fails when any benchmark's ns/op slowed by more than -tolerance
+// (a fraction; 0.30 allows +30%). Speed-ups, benchmarks present on only
+// one side, and benchmarks faster than the -min-ns noise floor are
+// reported informationally, never as failures — the gate catches real
+// regressions, not improvements, suite growth, or scheduling jitter on
+// sub-microsecond loops. Benchmarks are matched by package and name with
+// the -GOMAXPROCS suffix stripped, so baselines transfer across machines
+// with different core counts.
 package main
 
 import (
@@ -55,8 +67,17 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	in := fs.String("in", "-", `input file ("-" for stdin)`)
 	out := fs.String("out", "-", `output file ("-" for stdout)`)
+	baseline := fs.String("compare", "",
+		"baseline BENCH_<n>.json; fail when any benchmark slows beyond -tolerance")
+	tolerance := fs.Float64("tolerance", 0.30,
+		"allowed fractional ns/op slowdown against the -compare baseline")
+	minNs := fs.Float64("min-ns", 10000,
+		"noise floor: benchmarks whose baseline ns/op is below this are reported but never gated")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *tolerance <= 0 {
+		return fmt.Errorf("-tolerance must be > 0, got %v", *tolerance)
 	}
 
 	r := stdin
@@ -74,6 +95,27 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if len(report.Benchmarks) == 0 {
 		return errors.New("no benchmark lines in input")
+	}
+
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			return err
+		}
+		base := &Report{}
+		if err := json.Unmarshal(data, base); err != nil {
+			return fmt.Errorf("baseline %s: %w", *baseline, err)
+		}
+		w := io.Writer(stdout)
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return compare(base, report, *tolerance, *minNs, w)
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -117,6 +159,78 @@ func parse(r io.Reader) (*Report, error) {
 		}
 	}
 	return report, sc.Err()
+}
+
+// baseName strips the -GOMAXPROCS suffix go test appends to benchmark
+// names, so runs from machines with different core counts still match.
+func baseName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// compare diffs the current run against a baseline report and writes one
+// line per benchmark. It returns an error naming every benchmark whose
+// ns/op slowed by more than tolerance; speed-ups, one-sided benchmarks,
+// and benchmarks faster than the minNs noise floor (sub-microsecond loops
+// drift far more than tolerance from scheduling alone) are informational
+// only.
+func compare(base, current *Report, tolerance, minNs float64, w io.Writer) error {
+	type key struct{ pkg, name string }
+	baseline := make(map[key]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[key{b.Package, baseName(b.Name)}] = b
+	}
+
+	var regressions []string
+	matched := make(map[key]bool)
+	for _, c := range current.Benchmarks {
+		k := key{c.Package, baseName(c.Name)}
+		b, ok := baseline[k]
+		if !ok {
+			fmt.Fprintf(w, "new       %-44s %12.0f ns/op (no baseline)\n", c.Name, c.NsPerOp)
+			continue
+		}
+		matched[k] = true
+		if b.NsPerOp == 0 {
+			fmt.Fprintf(w, "skip      %-44s baseline has zero ns/op\n", c.Name)
+			continue
+		}
+		delta := c.NsPerOp/b.NsPerOp - 1
+		status := "ok"
+		switch {
+		case b.NsPerOp < minNs:
+			status = "tiny"
+			if delta < -tolerance {
+				status = "faster"
+			}
+		case delta > tolerance:
+			status = "SLOWER"
+			regressions = append(regressions,
+				fmt.Sprintf("%s (%s): %.0f -> %.0f ns/op (%+.1f%%)",
+					baseName(c.Name), c.Package, b.NsPerOp, c.NsPerOp, delta*100))
+		case delta < -tolerance:
+			status = "faster"
+		}
+		fmt.Fprintf(w, "%-9s %-44s %12.0f -> %12.0f ns/op  %+6.1f%%\n",
+			status, c.Name, b.NsPerOp, c.NsPerOp, delta*100)
+	}
+	for _, b := range base.Benchmarks {
+		if k := (key{b.Package, baseName(b.Name)}); !matched[k] {
+			fmt.Fprintf(w, "gone      %-44s was %.0f ns/op in the baseline\n", b.Name, b.NsPerOp)
+		}
+	}
+
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond the %.0f%% tolerance:\n  %s",
+			len(regressions), tolerance*100, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(w, "no gated benchmark regressed beyond %.0f%% of the baseline (%d matched, noise floor %.0f ns)\n",
+		tolerance*100, len(matched), minNs)
+	return nil
 }
 
 func parseLine(line string) (Benchmark, error) {

@@ -99,3 +99,165 @@ func TestRunEmptyInputErrors(t *testing.T) {
 		t.Error("input with no benchmarks accepted")
 	}
 }
+
+// writeBaseline marshals a Report to a temp BENCH json file.
+func writeBaseline(t *testing.T, report Report) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_0.json")
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBaseName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFigure2Document-4":  "BenchmarkFigure2Document",
+		"BenchmarkFigure2Document-16": "BenchmarkFigure2Document",
+		"BenchmarkFigure2Document":    "BenchmarkFigure2Document",
+		"BenchmarkUTF-8":              "BenchmarkUTF",
+		"Benchmark-NotACount-x":       "Benchmark-NotACount-x",
+	} {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestCompareWithinTolerance: a run matching the baseline (modulo the
+// GOMAXPROCS suffix and small drift) passes and says so.
+func TestCompareWithinTolerance(t *testing.T) {
+	baseline := writeBaseline(t, Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFigure2Document", Package: "repro", NsPerOp: 500000},
+		{Name: "BenchmarkSplitRecords", Package: "repro", NsPerOp: 60000},
+	}})
+	input := "pkg: repro\n" +
+		"BenchmarkFigure2Document-4 100 510679 ns/op\n" +
+		"BenchmarkSplitRecords-4 100 60055 ns/op\n"
+	var out strings.Builder
+	err := run([]string{"-compare", baseline}, strings.NewReader(input), &out)
+	if err != nil {
+		t.Fatalf("within-tolerance run failed: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no gated benchmark regressed beyond 30%") {
+		t.Errorf("missing pass summary:\n%s", out.String())
+	}
+}
+
+// TestCompareNoiseFloor: a benchmark under the -min-ns floor may drift far
+// beyond the tolerance without failing the gate — sub-microsecond loops
+// move that much from scheduling alone.
+func TestCompareNoiseFloor(t *testing.T) {
+	baseline := writeBaseline(t, Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkTinyLoop", Package: "repro/internal/lru", NsPerOp: 95},
+		{Name: "BenchmarkFigure2Document", Package: "repro", NsPerOp: 500000},
+	}})
+	input := "pkg: repro/internal/lru\n" +
+		"BenchmarkTinyLoop-4 100 250 ns/op\n" + // +163%, below the floor
+		"pkg: repro\n" +
+		"BenchmarkFigure2Document-4 100 510000 ns/op\n"
+	var out strings.Builder
+	if err := run([]string{"-compare", baseline}, strings.NewReader(input), &out); err != nil {
+		t.Fatalf("noise-floor drift failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "tiny") {
+		t.Errorf("report should mark the sub-floor benchmark:\n%s", out.String())
+	}
+	// Raising the floor's reach by lowering it puts the tiny benchmark back
+	// under the gate.
+	if err := run([]string{"-compare", baseline, "-min-ns", "10"},
+		strings.NewReader(input), &strings.Builder{}); err == nil {
+		t.Error("-min-ns 10 should gate the tiny benchmark's +163%")
+	}
+}
+
+// TestCompareRegressionFails: a benchmark beyond the tolerance fails the run
+// and the error names it with both measurements.
+func TestCompareRegressionFails(t *testing.T) {
+	baseline := writeBaseline(t, Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFigure2Document", Package: "repro", NsPerOp: 500000},
+		{Name: "BenchmarkSplitRecords", Package: "repro", NsPerOp: 60000},
+	}})
+	input := "pkg: repro\n" +
+		"BenchmarkFigure2Document-4 100 800000 ns/op\n" + // +60%
+		"BenchmarkSplitRecords-4 100 60055 ns/op\n"
+	var out strings.Builder
+	err := run([]string{"-compare", baseline}, strings.NewReader(input), &out)
+	if err == nil {
+		t.Fatalf("60%% regression passed the 30%% gate:\n%s", out.String())
+	}
+	for _, want := range []string{"1 benchmark(s) regressed", "BenchmarkFigure2Document", "+60.0%"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if !strings.Contains(out.String(), "SLOWER") {
+		t.Errorf("report should flag the slow benchmark:\n%s", out.String())
+	}
+}
+
+// TestCompareImprovementAndChurnAreInformational: large speed-ups, new
+// benchmarks, and retired benchmarks never fail the gate.
+func TestCompareImprovementAndChurnAreInformational(t *testing.T) {
+	baseline := writeBaseline(t, Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFigure2Document", Package: "repro", NsPerOp: 500000},
+		{Name: "BenchmarkRetired", Package: "repro", NsPerOp: 1000},
+	}})
+	input := "pkg: repro\n" +
+		"BenchmarkFigure2Document-4 100 100000 ns/op\n" + // -80%
+		"BenchmarkBrandNew-4 100 42 ns/op\n"
+	var out strings.Builder
+	if err := run([]string{"-compare", baseline}, strings.NewReader(input), &out); err != nil {
+		t.Fatalf("improvements/churn failed the gate: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"faster", "new", "BenchmarkBrandNew", "gone", "BenchmarkRetired"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestCompareToleranceFlag: -tolerance rescales the gate and must be
+// positive.
+func TestCompareToleranceFlag(t *testing.T) {
+	baseline := writeBaseline(t, Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFigure2Document", Package: "repro", NsPerOp: 500000},
+	}})
+	input := "pkg: repro\nBenchmarkFigure2Document-4 100 600000 ns/op\n" // +20%
+	if err := run([]string{"-compare", baseline, "-tolerance", "0.10"},
+		strings.NewReader(input), &strings.Builder{}); err == nil {
+		t.Error("+20% passed a 10% gate")
+	}
+	if err := run([]string{"-compare", baseline, "-tolerance", "0.25"},
+		strings.NewReader(input), &strings.Builder{}); err != nil {
+		t.Errorf("+20%% failed a 25%% gate: %v", err)
+	}
+	if err := run([]string{"-tolerance", "0"}, strings.NewReader(input), &strings.Builder{}); err == nil {
+		t.Error("-tolerance 0 accepted")
+	}
+}
+
+// TestCompareAgainstCommittedBaseline: the checked-in BENCH_<n>.json at the
+// repo root parses and self-compares cleanly — guarding the file the CI
+// perf gate depends on.
+func TestCompareAgainstCommittedBaseline(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_2.json")
+	if err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	var report Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("committed baseline is not valid: %v", err)
+	}
+	if len(report.Benchmarks) == 0 {
+		t.Fatal("committed baseline has no benchmarks")
+	}
+	var out strings.Builder
+	if err := compare(&report, &report, 0.30, 10000, &out); err != nil {
+		t.Errorf("baseline does not equal itself: %v", err)
+	}
+}

@@ -9,6 +9,8 @@
 //	      [-cache-size 1024] [-batch-parallelism 0]
 //	      [-max-inflight 0] [-request-timeout 0]
 //	      [-max-doc-bytes 0] [-max-tree-depth 0] [-max-nodes 0]
+//	      [-cluster 0] [-peers URL,URL,...] [-hedge-after 0]
+//	      [-peer-queue-depth 32] [-health-interval 1s]
 //
 // -ops-addr starts a second, operations-only listener carrying the
 // net/http/pprof profiling handlers (plus /metrics and /debug/vars again) so
@@ -24,6 +26,18 @@
 // Retry-After; -request-timeout aborts a /v1/ request's pipeline work after
 // the duration and answers 503; -max-doc-bytes (413), -max-tree-depth (422),
 // and -max-nodes (422) bound per-document parse resources.
+//
+// Cluster mode (see docs/SCALING.md): -cluster N runs N in-process replica
+// backends — each a full single-node service with its own result cache —
+// behind a consistent-hash router, and -peers adds remote replicas (base
+// URLs speaking the same HTTP API). Discover traffic is routed by document
+// fingerprint for cache affinity; /v1/discover/batch and /v1/discover/stream
+// scatter-gather across the replica set. -hedge-after launches a second
+// attempt on the next peer when the primary is slower than the duration
+// (0 disables hedging); -peer-queue-depth bounds each replica's queue
+// (saturation sheds interactive requests with 429 and throttles bulk
+// fan-out); -health-interval paces the /healthz probes that eject and
+// readmit replicas.
 //
 // Example:
 //
@@ -46,9 +60,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/httpapi"
 	"repro/internal/obs"
 	"repro/internal/tagtree"
@@ -87,6 +103,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"max tag-tree nesting depth (422 beyond it); 0 disables")
 	maxNodes := fs.Int("max-nodes", 0,
 		"max tag-tree node count (422 beyond it); 0 disables")
+	clusterN := fs.Int("cluster", 0,
+		"run N in-process replica backends behind the consistent-hash router; 0 disables cluster mode unless -peers is set")
+	peerList := fs.String("peers", "",
+		"comma-separated base URLs of remote replicas speaking the same HTTP API")
+	hedgeAfter := fs.Duration("hedge-after", 0,
+		"hedge a discover request on the next peer when the primary is slower than this; 0 disables")
+	peerQueueDepth := fs.Int("peer-queue-depth", 32,
+		"max in-flight requests per replica; beyond it interactive requests shed 429 and bulk fan-out throttles")
+	healthInterval := fs.Duration("health-interval", time.Second,
+		"period of the per-replica /healthz probes driving ejection and readmission")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,28 +133,71 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *requestTimeout < 0 {
 		return fmt.Errorf("-request-timeout must be >= 0, got %v", *requestTimeout)
 	}
+	if *clusterN < 0 {
+		return fmt.Errorf("-cluster must be >= 0, got %d", *clusterN)
+	}
 
 	logger := slog.New(slog.NewJSONHandler(out, nil))
 	metrics := obs.NewRegistry()
+	limits := tagtree.Limits{
+		MaxBytes: *maxDocBytes,
+		MaxDepth: *maxTreeDepth,
+		MaxNodes: *maxNodes,
+	}
+
+	handler := http.Handler(httpapi.NewHandler(httpapi.Config{
+		Logger:         logger,
+		Metrics:        metrics,
+		CacheSize:      *cacheSize,
+		BatchWorkers:   *batchParallelism,
+		MaxInFlight:    *maxInflight,
+		RequestTimeout: *requestTimeout,
+		Limits:         limits,
+	}))
+	if *clusterN > 0 || *peerList != "" {
+		var peers []cluster.Peer
+		for i := 0; i < *clusterN; i++ {
+			// Each replica is a full single-node service with its own result
+			// cache. Replicas skip the request log and in-flight limiter —
+			// the router logs each request once and its per-peer queues are
+			// the cluster's backpressure.
+			peers = append(peers, cluster.NewLocalPeer(fmt.Sprintf("local-%d", i),
+				httpapi.NewHandler(httpapi.Config{
+					Metrics:        metrics,
+					CacheSize:      *cacheSize,
+					BatchWorkers:   *batchParallelism,
+					RequestTimeout: *requestTimeout,
+					Limits:         limits,
+				})))
+		}
+		for _, raw := range strings.Split(*peerList, ",") {
+			if u := strings.TrimSpace(raw); u != "" {
+				peers = append(peers, cluster.NewHTTPPeer(u, nil))
+			}
+		}
+		router, err := cluster.NewRouter(cluster.Config{
+			Peers:          peers,
+			HedgeAfter:     *hedgeAfter,
+			QueueDepth:     *peerQueueDepth,
+			HealthInterval: *healthInterval,
+			Metrics:        metrics,
+			Logger:         logger,
+			Fallback:       handler,
+		})
+		if err != nil {
+			return err
+		}
+		defer router.Close()
+		handler = router
+		fmt.Fprintf(out, "cluster mode: %d replicas (%d in-process)\n", len(peers), *clusterN)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{
-		Handler: httpapi.NewHandler(httpapi.Config{
-			Logger:         logger,
-			Metrics:        metrics,
-			CacheSize:      *cacheSize,
-			BatchWorkers:   *batchParallelism,
-			MaxInFlight:    *maxInflight,
-			RequestTimeout: *requestTimeout,
-			Limits: tagtree.Limits{
-				MaxBytes: *maxDocBytes,
-				MaxDepth: *maxTreeDepth,
-				MaxNodes: *maxNodes,
-			},
-		}),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,

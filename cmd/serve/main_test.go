@@ -188,6 +188,69 @@ func TestServeCacheAndBatchFlags(t *testing.T) {
 	}
 }
 
+// TestServeClusterMode boots the service with -cluster 3 and checks routed
+// discover traffic, scatter-gather batch, cluster metrics, and that the
+// fallback still serves non-discover routes.
+func TestServeClusterMode(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	buf := &lockedBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-cluster", "3",
+			"-peer-queue-depth", "8",
+			"-hedge-after", "250ms",
+			"-shutdown-timeout", "2s",
+		}, buf)
+	}()
+	addr := waitFor(t, buf, `service listening on ([0-9.:]+)`)
+	if !strings.Contains(buf.String(), "cluster mode: 3 replicas (3 in-process)") {
+		t.Errorf("missing cluster banner; output:\n%s", buf.String())
+	}
+
+	doc := `{"html":"<div><hr><b>A</b> x<hr><b>B</b> y<hr><b>C</b> z</div>"}`
+	if code, body := post(t, "http://"+addr+"/v1/discover", doc); code != 200 ||
+		!strings.Contains(body, `"separator": "hr"`) {
+		t.Fatalf("routed discover = %d %q", code, body)
+	}
+	if code, body := post(t, "http://"+addr+"/v1/discover/batch",
+		`{"documents":[`+doc+`,{"xml":"<f><e>a b</e><e>c d</e><e>e f</e></f>"}]}`); code != 200 ||
+		!strings.Contains(body, `"separator": "hr"`) || !strings.Contains(body, `"separator": "e"`) {
+		t.Fatalf("routed batch = %d %q", code, body)
+	}
+	if code, body := get(t, "http://"+addr+"/metrics"); code != 200 ||
+		!strings.Contains(body, "boundary_cluster_requests_total") ||
+		!strings.Contains(body, "boundary_cluster_peers_healthy 3") {
+		t.Errorf("/metrics should show cluster series with 3 healthy peers; got %d:\n%s", code, body)
+	}
+	if code, body := get(t, "http://"+addr+"/v1/ontologies"); code != 200 ||
+		!strings.Contains(body, "obituary") {
+		t.Errorf("fallback /v1/ontologies = %d %q", code, body)
+	}
+	if code, _ := get(t, "http://"+addr+"/healthz"); code != 200 {
+		t.Errorf("cluster /healthz = %d", code)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v after cancel", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cluster-mode run did not return after cancel")
+	}
+}
+
+// TestServeClusterFlagValidation checks cluster flag errors surface.
+func TestServeClusterFlagValidation(t *testing.T) {
+	if err := run(context.Background(), []string{"-cluster", "-1"}, &lockedBuffer{}); err == nil {
+		t.Error("run accepted -cluster -1")
+	}
+}
+
 // TestServeAddrInUse checks a bind failure is reported as an error.
 func TestServeAddrInUse(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())

@@ -16,6 +16,12 @@ package repro
 // disagreement means one surface drifted from the shared pipeline —
 // exactly the regression class this suite pins down. Run under -race it
 // doubles as a concurrency check on the batch and stream paths.
+//
+// TestClusterConformance extends the matrix to the scale-out tier: a
+// consistent-hash router over three replicas (in-process backends in one
+// topology, real HTTP servers in the other) must be byte-for-byte
+// indistinguishable from a single node on the interactive, cached, batch,
+// and stream surfaces.
 
 import (
 	"bufio"
@@ -28,7 +34,9 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/httpapi"
@@ -365,4 +373,136 @@ func (w *wireResult) String() string {
 		return fmt.Sprintf("%#v", *w)
 	}
 	return string(data)
+}
+
+// newClusterServer serves a consistent-hash router over the given replicas.
+func newClusterServer(t *testing.T, peers []cluster.Peer) *httptest.Server {
+	t.Helper()
+	router, err := cluster.NewRouter(cluster.Config{
+		Peers:          peers,
+		HealthInterval: time.Minute, // conformance never exercises health transitions
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(router.Close)
+	srv := httptest.NewServer(router)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// postRaw posts pre-marshaled bytes and returns status and body verbatim.
+func postRaw(t *testing.T, url, contentType string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestClusterConformance is the cluster layer of the differential suite: a
+// router over three replicas — in-process backends in one topology, real
+// HTTP servers in the other — must answer byte-for-byte what a single node
+// answers, for every corpus document, on the interactive (cache miss AND
+// hit), batch, and stream surfaces. The cluster being routed, hashed, and
+// hedge-capable must be invisible in the bytes.
+func TestClusterConformance(t *testing.T) {
+	docs := corpus.TestDocuments()
+	single := conformanceServer(t)
+
+	topologies := map[string]func(t *testing.T) *httptest.Server{
+		"InProcessReplicas": func(t *testing.T) *httptest.Server {
+			var peers []cluster.Peer
+			for i := 0; i < 3; i++ {
+				peers = append(peers, cluster.NewLocalPeer(fmt.Sprintf("replica-%d", i),
+					httpapi.NewHandler(httpapi.Config{CacheSize: 64})))
+			}
+			return newClusterServer(t, peers)
+		},
+		"HTTPPeers": func(t *testing.T) *httptest.Server {
+			var peers []cluster.Peer
+			for i := 0; i < 3; i++ {
+				backend := httptest.NewServer(httpapi.NewHandler(httpapi.Config{CacheSize: 64}))
+				t.Cleanup(backend.Close)
+				peers = append(peers, cluster.NewHTTPPeer(backend.URL, nil))
+			}
+			return newClusterServer(t, peers)
+		},
+	}
+
+	// One marshaling of every request, shared by both sides of each diff.
+	bodies := make([][]byte, len(docs))
+	for i, d := range docs {
+		b, err := json.Marshal(map[string]any{
+			"html": d.HTML, "ontology": string(d.Site.Domain),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = b
+	}
+
+	for name, build := range topologies {
+		t.Run(name, func(t *testing.T) {
+			srv := build(t)
+
+			t.Run("DiscoverMissAndHit", func(t *testing.T) {
+				for _, label := range []string{"miss", "hit"} {
+					for i, d := range docs {
+						wantCode, want := postRaw(t, single.URL+"/v1/discover", "application/json", bodies[i])
+						gotCode, got := postRaw(t, srv.URL+"/v1/discover", "application/json", bodies[i])
+						if gotCode != wantCode {
+							t.Fatalf("%s (%s): cluster status %d, single node %d",
+								d.Site.Name, label, gotCode, wantCode)
+						}
+						if !bytes.Equal(got, want) {
+							t.Errorf("%s (%s): cluster bytes differ from single node:\n got %s\nwant %s",
+								d.Site.Name, label, got, want)
+						}
+					}
+				}
+			})
+
+			t.Run("Batch", func(t *testing.T) {
+				var documents []json.RawMessage
+				for i := range docs {
+					documents = append(documents, bodies[i])
+				}
+				batch, err := json.Marshal(map[string]any{"documents": documents})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantCode, want := postRaw(t, single.URL+"/v1/discover/batch", "application/json", batch)
+				gotCode, got := postRaw(t, srv.URL+"/v1/discover/batch", "application/json", batch)
+				if gotCode != wantCode || wantCode != http.StatusOK {
+					t.Fatalf("batch: cluster status %d, single node %d", gotCode, wantCode)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("batch: cluster bytes differ from single node:\n got %s\nwant %s", got, want)
+				}
+			})
+
+			t.Run("Stream", func(t *testing.T) {
+				var in bytes.Buffer
+				for i := range docs {
+					in.Write(bodies[i])
+					in.WriteByte('\n')
+				}
+				wantCode, want := postRaw(t, single.URL+"/v1/discover/stream", "application/x-ndjson", in.Bytes())
+				gotCode, got := postRaw(t, srv.URL+"/v1/discover/stream", "application/x-ndjson", in.Bytes())
+				if gotCode != wantCode || wantCode != http.StatusOK {
+					t.Fatalf("stream: cluster status %d, single node %d", gotCode, wantCode)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("stream: cluster bytes differ from single node:\n got %s\nwant %s", got, want)
+				}
+			})
+		})
+	}
 }

@@ -279,3 +279,80 @@ func TestCompoundMonotoneInRank(t *testing.T) {
 		prev = cf
 	}
 }
+
+// TestCompoundEdgeCases drives the combiner through its degenerate inputs in
+// one table: every heuristic declining, no candidate tags at all, an empty
+// combination, ranks beyond the calibrated table, and exact ties — each must
+// produce zero factors (never an error) with deterministic name-ordered
+// output.
+func TestCompoundEdgeCases(t *testing.T) {
+	cases := []struct {
+		name        string
+		combination Combination
+		rankings    map[string]map[string]int
+		tags        []string
+		want        []Score
+	}{
+		{
+			name:        "AllHeuristicsDeclined",
+			combination: Combination(AllHeuristics),
+			rankings:    map[string]map[string]int{},
+			tags:        []string{"b", "a"},
+			want:        []Score{{Tag: "a", CF: 0}, {Tag: "b", CF: 0}},
+		},
+		{
+			name:        "NoCandidateTags",
+			combination: Combination(AllHeuristics),
+			rankings:    map[string]map[string]int{IT: {"hr": 1}},
+			tags:        nil,
+			want:        []Score{},
+		},
+		{
+			name:        "EmptyCombination",
+			combination: Combination{},
+			rankings:    map[string]map[string]int{IT: {"hr": 1}},
+			tags:        []string{"hr"},
+			want:        []Score{{Tag: "hr", CF: 0}},
+		},
+		{
+			name:        "SingleTagSingleAnswer",
+			combination: Combination{IT},
+			rankings:    map[string]map[string]int{IT: {"p": 1}},
+			tags:        []string{"p"},
+			want:        []Score{{Tag: "p", CF: 0.96}},
+		},
+		{
+			name:        "RankBeyondTable",
+			combination: Combination{IT},
+			rankings:    map[string]map[string]int{IT: {"p": 9}},
+			tags:        []string{"p"},
+			want:        []Score{{Tag: "p", CF: 0}},
+		},
+		{
+			name:        "TwoTagTieSortsByName",
+			combination: Combination{SD, HT},
+			rankings: map[string]map[string]int{
+				SD: {"x": 1, "y": 1},
+				HT: {"x": 1, "y": 1},
+			},
+			tags: []string{"y", "x"},
+			want: []Score{
+				{Tag: "x", CF: Combine(0.655, 0.49)},
+				{Tag: "y", CF: Combine(0.655, 0.49)},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Compound(PaperTable, tc.combination, tc.rankings, tc.tags)
+			if len(got) != len(tc.want) {
+				t.Fatalf("Compound returned %d scores, want %d: %v", len(got), len(tc.want), got)
+			}
+			for i := range got {
+				if got[i].Tag != tc.want[i].Tag || !almostEqual(got[i].CF, tc.want[i].CF) {
+					t.Errorf("score[%d] = %v, want %v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}

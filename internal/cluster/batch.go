@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/httpapi"
+)
+
+// batchEnvelope is decoded strictly (unknown fields rejected) purely to
+// replicate the single node's validation wording; the documents themselves
+// travel on as raw bytes.
+type batchEnvelope struct {
+	Documents []discoverEnvelope `json:"documents"`
+}
+
+// rawBatch re-decodes the same body for forwarding: each document's original
+// bytes, untouched, so the peer sees exactly what the client sent.
+type rawBatch struct {
+	Documents []json.RawMessage `json:"documents"`
+}
+
+// codeNotAttempted mirrors the single-node batch contract for documents the
+// request's end cut off before dispatch.
+const codeNotAttempted = "not_attempted"
+
+// batchErrorItem is a per-document failure row; field order matches the
+// single node's batchItem (result fields, then error, then code) so the
+// reassembled response is byte-identical.
+type batchErrorItem struct {
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+}
+
+// handleBatch scatter-gathers one batch across the cluster: each document is
+// routed independently by its own fingerprint (different documents land on
+// different replicas — this is where the cluster's parallelism comes from)
+// and the per-document response bytes are merged back in input order.
+// Validation mirrors the single node exactly; per-document results are the
+// peers' bytes verbatim, re-indented uniformly by the outer encoder.
+func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
+	body, ok := readBody(w, req)
+	if !ok {
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var env batchEnvelope
+	if err := dec.Decode(&env); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(env.Documents) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("documents must be non-empty"))
+		return
+	}
+	if len(env.Documents) > httpapi.MaxBatchDocuments {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("batch has %d documents, limit is %d", len(env.Documents), httpapi.MaxBatchDocuments))
+		return
+	}
+	var raw rawBatch
+	if err := json.Unmarshal(body, &raw); err != nil || len(raw.Documents) != len(env.Documents) {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+
+	ctx := req.Context()
+	workers := r.cfg.workers(len(r.peers))
+	if workers > len(raw.Documents) {
+		workers = len(raw.Documents)
+	}
+
+	attempted := make([]bool, len(raw.Documents))
+	items := make([]json.RawMessage, len(raw.Documents))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case i, ok := <-next:
+					if !ok {
+						return
+					}
+					attempted[i] = true
+					items[i] = r.batchDocument(ctx, i, raw.Documents[i])
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := range raw.Documents {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	for i := range items {
+		if !attempted[i] {
+			items[i] = mustMarshal(batchErrorItem{
+				Error: "batch request ended before this document was attempted",
+				Code:  codeNotAttempted,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": items})
+}
+
+// batchDocument routes one document and converts the peer's answer into the
+// batch item shape: a 200 body passes through verbatim; a peer error becomes
+// the single node's inline {"error": ...} row.
+func (r *Router) batchDocument(ctx context.Context, seq int, doc json.RawMessage) json.RawMessage {
+	status, resp, _, err := r.routeWithRetry(ctx, seq, routingKey(doc), "/v1/discover", doc)
+	if err != nil {
+		return mustMarshal(batchErrorItem{Error: err.Error()})
+	}
+	if status == http.StatusOK {
+		return json.RawMessage(resp)
+	}
+	var peerErr errorBody
+	if jsonErr := json.Unmarshal(resp, &peerErr); jsonErr != nil || peerErr.Error == "" {
+		peerErr.Error = fmt.Sprintf("peer answered status %d", status)
+	}
+	return mustMarshal(batchErrorItem{Error: peerErr.Error})
+}
+
+// mustMarshal marshals a value that cannot fail (plain structs of strings).
+func mustMarshal(v any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err) // unreachable: inputs are fixed-shape structs
+	}
+	return b
+}

@@ -1,0 +1,367 @@
+// Package cluster is the horizontal scale-out tier: a router/frontend that
+// consistent-hash routes discovery requests across N backend replicas —
+// in-process worker backends (LocalPeer) or remote peers speaking the
+// existing single-node HTTP API (HTTPPeer) — so the system serves traffic no
+// single node could.
+//
+// The design leans on the pipeline being embarrassingly shardable: each
+// document's boundary discovery (tag tree → highest-fan-out subtree → five
+// heuristics → certainty combination) is independent of every other
+// document, so any replica can serve any request and routing is purely a
+// performance decision. The router makes that decision with a consistent
+// hash over httpapi.RequestFingerprint — the same fingerprint the replicas
+// use as their LRU result-cache key — which gives each replica a stable key
+// range and keeps its cache hot for exactly that range.
+//
+// Around the hash ring sit the serving-tier protections:
+//
+//   - per-peer health checking (active /healthz probes plus passive
+//     transport-failure signals) with ejection and readmission, so a dead
+//     replica's key range reroutes to its ring successor and snaps back,
+//     caches intact, when it recovers;
+//   - bounded per-peer queues, so one saturated replica applies
+//     backpressure (batch/stream fan-out waits; interactive requests
+//     reroute, then shed with 429) instead of queueing unboundedly;
+//   - hedged requests: when the primary has not answered within
+//     Config.HedgeAfter, a second attempt fires at the next peer on the
+//     ring and the first result wins — cutting tail latency when one
+//     replica stalls;
+//   - scatter-gather fan-out for /v1/discover/batch and
+//     /v1/discover/stream with in-order merge, reusing the bulk engine's
+//     retry/backoff machinery (pipeline.RetryPolicy) for transient peer
+//     failures.
+//
+// Every surface is conformance-tested byte-identical to the single-node
+// service (see conformance_test.go at the repo root): the router forwards
+// request bytes verbatim and returns replica response bytes verbatim, so a
+// cluster is indistinguishable from one node except in throughput.
+//
+// Observability: boundary_cluster_* metrics (per-peer requests, hedges
+// fired/won, ejections, queue depth) in Config.Metrics, per-hop trace spans
+// in Config.Trace, and the same request-logging middleware as the
+// single-node surface. Chaos hooks cluster/route, cluster/peer[/<name>],
+// and cluster/hedge arm the fault-injection tests (internal/faultinject).
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/lru"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// Config tunes one Router.
+type Config struct {
+	// Peers are the backend replicas; at least one is required and names
+	// must be unique (they seed the hash ring).
+	Peers []Peer
+	// HedgeAfter is how long the primary peer may go unanswered before a
+	// hedged second attempt fires at the next peer on the ring. Zero
+	// disables hedging.
+	HedgeAfter time.Duration
+	// QueueDepth bounds each peer's in-flight requests from this router;
+	// <= 0 selects 32. A full queue reroutes interactive requests (429 when
+	// every peer is full) and throttles batch/stream fan-out.
+	QueueDepth int
+	// HealthInterval is the active /healthz probe period; <= 0 selects 1s.
+	HealthInterval time.Duration
+	// FailAfter is how many consecutive failures (probe or transport) eject
+	// a peer from the rotation; <= 0 selects 2. One success readmits it.
+	FailAfter int
+	// Workers bounds the batch/stream scatter-gather pool; <= 0 selects
+	// 4 × len(Peers).
+	Workers int
+	// Retry governs re-routing retries for batch and stream documents whose
+	// routing failed on every currently-available peer (transient windows:
+	// a peer died but is not yet ejected). Zero-value selects 3 attempts
+	// with the bulk engine's default backoff.
+	Retry pipeline.RetryPolicy
+	// Metrics receives the boundary_cluster_* series and the router's HTTP
+	// middleware metrics; nil disables both.
+	Metrics *obs.Registry
+	// Logger receives one structured "request" record per routed request;
+	// nil disables request logging.
+	Logger *slog.Logger
+	// Trace, when non-nil, receives one per-hop span per peer attempt
+	// (cluster/peer/<name>) plus a cluster/route span per routing decision.
+	Trace *obs.Trace
+	// Faults is the test-only fault-injection hook set; nil in production.
+	Faults *faultinject.Set
+	// Fallback serves every route the router does not own (/v1/records,
+	// /v1/extract, /metrics, ...). Nil answers 404 for those routes —
+	// the pure-frontend configuration.
+	Fallback http.Handler
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return 32
+	}
+	return c.QueueDepth
+}
+
+func (c Config) healthInterval() time.Duration {
+	if c.HealthInterval <= 0 {
+		return time.Second
+	}
+	return c.HealthInterval
+}
+
+func (c Config) failAfter() int {
+	if c.FailAfter <= 0 {
+		return 2
+	}
+	return c.FailAfter
+}
+
+func (c Config) workers(peers int) int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return 4 * peers
+}
+
+func (c Config) retry() pipeline.RetryPolicy {
+	r := c.Retry
+	if r.MaxAttempts == 0 {
+		r.MaxAttempts = 3
+	}
+	return r
+}
+
+// hedgeWinnerCacheSize bounds the router's memory of hedge outcomes (see
+// Router.winners).
+const hedgeWinnerCacheSize = 4096
+
+// Router is the cluster frontend: an http.Handler owning POST /v1/discover,
+// /v1/discover/batch, /v1/discover/stream, and GET /healthz, delegating
+// everything else to Config.Fallback. Close it when done — it runs a health
+// checker goroutine.
+type Router struct {
+	cfg   Config
+	peers []*peerState
+	ring  *ring
+
+	// winners remembers, per routing key, the peer that won a hedge — so a
+	// hot document on a persistently slow primary is routed straight to the
+	// replica that actually answered (and whose cache now holds the result)
+	// instead of paying the hedge delay again. Bounded LRU; entries for
+	// ejected peers are ignored at lookup.
+	winners *lru.Cache[fingerprint, int]
+
+	handler   http.Handler // observability-wrapped mux for owned routes
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewRouter validates cfg, builds the ring, and starts the health checker.
+// The caller must Close the router to stop that goroutine.
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("cluster: at least one peer is required")
+	}
+	names := make([]string, len(cfg.Peers))
+	seen := make(map[string]bool, len(cfg.Peers))
+	for i, p := range cfg.Peers {
+		name := p.Name()
+		if name == "" {
+			return nil, fmt.Errorf("cluster: peer %d has an empty name", i)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate peer name %q", name)
+		}
+		seen[name] = true
+		names[i] = name
+	}
+
+	r := &Router{
+		cfg:     cfg,
+		ring:    newRing(names),
+		winners: lru.New[fingerprint, int](hedgeWinnerCacheSize),
+		done:    make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		r.peers = append(r.peers, &peerState{
+			peer:  p,
+			slots: make(chan struct{}, cfg.queueDepth()),
+		})
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/discover", r.handleDiscover)
+	mux.HandleFunc("POST /v1/discover/batch", r.handleBatch)
+	mux.HandleFunc("POST /v1/discover/stream", r.handleStream)
+	mux.HandleFunc("GET /healthz", r.handleHealthz)
+	route := func(req *http.Request) string {
+		_, pattern := mux.Handler(req)
+		return pattern
+	}
+	r.handler = obs.Middleware(mux, cfg.Logger, cfg.Metrics, route)
+
+	r.healthyGauge().Set(float64(len(r.peers)))
+	r.wg.Add(1)
+	go r.healthLoop()
+	return r, nil
+}
+
+// ServeHTTP dispatches owned routes through the router (with its own
+// logging/metrics middleware) and everything else to the fallback.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if r.owned(req) {
+		r.handler.ServeHTTP(w, req)
+		return
+	}
+	if r.cfg.Fallback != nil {
+		r.cfg.Fallback.ServeHTTP(w, req)
+		return
+	}
+	http.NotFound(w, req)
+}
+
+// owned reports whether the router itself serves the request's route.
+func (r *Router) owned(req *http.Request) bool {
+	switch req.URL.Path {
+	case "/v1/discover", "/v1/discover/batch", "/v1/discover/stream":
+		return req.Method == http.MethodPost
+	case "/healthz":
+		return req.Method == http.MethodGet
+	}
+	return false
+}
+
+// Close stops the health checker. Safe to call more than once.
+func (r *Router) Close() {
+	r.closeOnce.Do(func() { close(r.done) })
+	r.wg.Wait()
+}
+
+// handleHealthz reports the cluster's own health: ok while at least one
+// peer is in the rotation, 503 when the whole backend set is ejected — the
+// signal an upstream load balancer uses to stop sending traffic here.
+func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	healthy := r.healthyCount()
+	if healthy == 0 {
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Errorf("cluster: all %d peers are ejected", len(r.peers)))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// healthLoop probes every peer each HealthInterval until Close.
+func (r *Router) healthLoop() {
+	defer r.wg.Done()
+	interval := r.cfg.healthInterval()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-t.C:
+			r.checkPeers(interval)
+		}
+	}
+}
+
+// checkPeers probes all peers concurrently, bounded by one interval (capped
+// at 2s) so a hung peer cannot stall the next round.
+func (r *Router) checkPeers(interval time.Duration) {
+	timeout := interval
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, ps := range r.peers {
+		wg.Add(1)
+		go func(ps *peerState) {
+			defer wg.Done()
+			if err := ps.peer.Check(ctx); err != nil {
+				r.noteFailure(ps, err)
+			} else {
+				r.noteSuccess(ps)
+			}
+		}(ps)
+	}
+	wg.Wait()
+}
+
+// noteFailure records one failed probe or transport-failed request; crossing
+// FailAfter consecutive failures ejects the peer from the rotation.
+func (r *Router) noteFailure(ps *peerState, err error) {
+	ps.mu.Lock()
+	ps.failures++
+	ejectNow := !ps.ejected && ps.failures >= r.cfg.failAfter()
+	if ejectNow {
+		ps.ejected = true
+	}
+	ps.mu.Unlock()
+	if !ejectNow {
+		return
+	}
+	r.counter("boundary_cluster_ejections_total",
+		"Peers ejected from the routing rotation after consecutive failures, by peer.",
+		"peer", ps.peer.Name()).Inc()
+	r.healthyGauge().Set(float64(r.healthyCount()))
+	if r.cfg.Logger != nil {
+		r.cfg.Logger.Warn("cluster peer ejected",
+			"peer", ps.peer.Name(), "err", err.Error())
+	}
+}
+
+// noteSuccess records one successful probe or request; it readmits an
+// ejected peer and clears the failure streak.
+func (r *Router) noteSuccess(ps *peerState) {
+	ps.mu.Lock()
+	readmit := ps.ejected
+	ps.failures = 0
+	ps.ejected = false
+	ps.mu.Unlock()
+	if !readmit {
+		return
+	}
+	r.counter("boundary_cluster_readmissions_total",
+		"Ejected peers readmitted to the routing rotation after a successful probe, by peer.",
+		"peer", ps.peer.Name()).Inc()
+	r.healthyGauge().Set(float64(r.healthyCount()))
+	if r.cfg.Logger != nil {
+		r.cfg.Logger.Info("cluster peer readmitted", "peer", ps.peer.Name())
+	}
+}
+
+// healthyCount returns how many peers are in the rotation.
+func (r *Router) healthyCount() int {
+	n := 0
+	for _, ps := range r.peers {
+		if ps.healthy() {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Router) counter(name, help string, labels ...string) *obs.Counter {
+	return r.cfg.Metrics.Counter(name, help, labels...)
+}
+
+func (r *Router) healthyGauge() *obs.Gauge {
+	return r.cfg.Metrics.Gauge("boundary_cluster_peers_healthy",
+		"Peers currently in the routing rotation.")
+}
+
+func (r *Router) queueGauge(peer string) *obs.Gauge {
+	return r.cfg.Metrics.Gauge("boundary_cluster_peer_queue_depth",
+		"Occupied per-peer queue slots, by peer.", "peer", peer)
+}

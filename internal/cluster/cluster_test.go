@@ -1,0 +1,404 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/internal/obs"
+	"repro/internal/paperdoc"
+)
+
+// newTestRouter builds an n-replica in-process cluster. mutate, when non-nil,
+// adjusts the config before the router starts.
+func newTestRouter(t *testing.T, n int, mutate func(*Config)) (*Router, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg := Config{
+		HealthInterval: time.Minute, // tests drive health transitions explicitly
+		Metrics:        reg,
+	}
+	for i := 0; i < n; i++ {
+		cfg.Peers = append(cfg.Peers,
+			NewLocalPeer("p"+strconv.Itoa(i), httpapi.NewHandler(httpapi.Config{CacheSize: 64})))
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r, reg
+}
+
+func postRouter(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader([]byte(body)))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func discoverBody(suffix string) string {
+	doc := paperdoc.Figure2 + suffix
+	b := mustMarshal(discoverEnvelope{HTML: doc, Ontology: "obituary"})
+	return string(b)
+}
+
+func TestRingOrderIsDeterministicAndComplete(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	r1, r2 := newRing(names), newRing(names)
+	for i := 0; i < 50; i++ {
+		key := sha256.Sum256([]byte(strconv.Itoa(i)))
+		o1, o2 := r1.order(key), r2.order(key)
+		if len(o1) != len(names) {
+			t.Fatalf("order(%d) has %d peers, want %d", i, len(o1), len(names))
+		}
+		seen := make(map[int]bool)
+		for _, p := range o1 {
+			if seen[p] {
+				t.Fatalf("order(%d) repeats peer %d: %v", i, p, o1)
+			}
+			seen[p] = true
+		}
+		for j := range o1 {
+			if o1[j] != o2[j] {
+				t.Fatalf("order(%d) differs between identical rings: %v vs %v", i, o1, o2)
+			}
+		}
+	}
+}
+
+func TestRingOwnershipFollowsNamesNotPositions(t *testing.T) {
+	// The same peer names in a different list order must own the same keys:
+	// ring shares belong to names, so a reordered -peers flag does not
+	// reshuffle every replica's cache.
+	fwd := newRing([]string{"a", "b", "c"})
+	rev := newRing([]string{"c", "b", "a"})
+	fwdNames := []string{"a", "b", "c"}
+	revNames := []string{"c", "b", "a"}
+	for i := 0; i < 50; i++ {
+		key := sha256.Sum256([]byte(strconv.Itoa(i)))
+		if fwdNames[fwd.order(key)[0]] != revNames[rev.order(key)[0]] {
+			t.Fatalf("key %d owned by %s in one ordering, %s in the other",
+				i, fwdNames[fwd.order(key)[0]], revNames[rev.order(key)[0]])
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r := newRing([]string{"a", "b", "c"})
+	counts := make([]int, 3)
+	for i := 0; i < 600; i++ {
+		key := sha256.Sum256([]byte(strconv.Itoa(i)))
+		counts[r.order(key)[0]]++
+	}
+	for p, c := range counts {
+		if c < 100 {
+			t.Errorf("peer %d owns only %d/600 keys — ring badly unbalanced: %v", p, c, counts)
+		}
+	}
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := NewRouter(Config{}); err == nil {
+		t.Error("no peers: want error")
+	}
+	h := httpapi.NewServeMux()
+	if _, err := NewRouter(Config{Peers: []Peer{NewLocalPeer("", h)}}); err == nil {
+		t.Error("empty name: want error")
+	}
+	if _, err := NewRouter(Config{Peers: []Peer{
+		NewLocalPeer("a", h), NewLocalPeer("a", h),
+	}}); err == nil {
+		t.Error("duplicate name: want error")
+	}
+}
+
+// TestDiscoverMatchesSingleNode proves the core byte-identity contract on
+// success and on the single node's own validation failures.
+func TestDiscoverMatchesSingleNode(t *testing.T) {
+	single := httpapi.NewHandler(httpapi.Config{CacheSize: 64})
+	router, _ := newTestRouter(t, 3, nil)
+
+	cases := map[string]string{
+		"success":        discoverBody(""),
+		"bad json":       `{"html": `,
+		"both modes":     `{"html": "<p>a</p>", "xml": "<a/>"}`,
+		"neither mode":   `{"ontology": "obituary"}`,
+		"unknown field":  `{"html": "<p>a</p>", "bogus": 1}`,
+		"bad ontology":   `{"html": "<p>a</p>", "ontology": "no-such"}`,
+		"no candidates":  `{"html": ""}`,
+		"xml mode":       `{"xml": "<list><item>a</item><item>b</item><item>c</item></list>"}`,
+		"separator list": `{"html": ` + strconv.Quote(paperdoc.Figure2) + `, "separator_list": ["hr", "p"]}`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			want := postRouter(t, single, "/v1/discover", body)
+			got := postRouter(t, router, "/v1/discover", body)
+			if got.Code != want.Code {
+				t.Fatalf("status = %d, single node = %d (%s)", got.Code, want.Code, got.Body)
+			}
+			if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+				t.Errorf("response differs from single node:\n cluster: %s\n single:  %s",
+					got.Body, want.Body)
+			}
+		})
+	}
+}
+
+func TestDiscoverAffinity(t *testing.T) {
+	router, reg := newTestRouter(t, 3, nil)
+	body := discoverBody("")
+	for i := 0; i < 5; i++ {
+		if w := postRouter(t, router, "/v1/discover", body); w.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, w.Code, w.Body)
+		}
+	}
+	// All five identical requests must have landed on one peer (whose cache
+	// served the repeats), not spread round-robin.
+	served := 0
+	for i := 0; i < 3; i++ {
+		v := reg.Counter("boundary_cluster_requests_total", "",
+			"peer", "p"+strconv.Itoa(i), "outcome", "ok").Value()
+		if v > 0 {
+			served++
+			if v != 5 {
+				t.Errorf("peer p%d served %v requests, want all 5 on one peer", i, v)
+			}
+		}
+	}
+	if served != 1 {
+		t.Errorf("%d peers served the identical request, want exactly 1", served)
+	}
+}
+
+func TestFallbackRouting(t *testing.T) {
+	marker := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	router, _ := newTestRouter(t, 2, func(c *Config) { c.Fallback = marker })
+	req := httptest.NewRequest(http.MethodGet, "/v1/ontologies", nil)
+	w := httptest.NewRecorder()
+	router.ServeHTTP(w, req)
+	if w.Code != http.StatusTeapot {
+		t.Errorf("unowned route status = %d, want fallback's %d", w.Code, http.StatusTeapot)
+	}
+
+	bare, _ := newTestRouter(t, 2, nil)
+	w = httptest.NewRecorder()
+	bare.ServeHTTP(w, req)
+	if w.Code != http.StatusNotFound {
+		t.Errorf("unowned route with nil fallback = %d, want 404", w.Code)
+	}
+}
+
+func TestQueueSaturationSheds429(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		entered <- struct{}{}
+		<-release
+		httpapi.NewServeMux().ServeHTTP(w, r)
+	})
+	router, err := NewRouter(Config{
+		Peers:          []Peer{NewLocalPeer("slow", slow)},
+		QueueDepth:     1,
+		HealthInterval: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	// Park one request inside the peer (holding the only queue slot), then
+	// prove the next interactive request is shed instead of queued.
+	first := make(chan *httptest.ResponseRecorder, 1)
+	go func() { first <- postRouter(t, router, "/v1/discover", discoverBody("")) }()
+	<-entered
+
+	w := postRouter(t, router, "/v1/discover", discoverBody("x"))
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated cluster answered %d, want 429: %s", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 is missing Retry-After")
+	}
+	close(release)
+	if got := (<-first).Code; got != http.StatusOK {
+		t.Fatalf("parked request finished with %d", got)
+	}
+}
+
+func TestEjectionAndClusterHealthz(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	dead.Close() // a peer whose address refuses connections
+	reg := obs.NewRegistry()
+	router, err := NewRouter(Config{
+		Peers:          []Peer{NewHTTPPeer(dead.URL, nil)},
+		HealthInterval: 20 * time.Millisecond,
+		FailAfter:      2,
+		Metrics:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for router.healthyCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dead peer was never ejected")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if v := reg.Counter("boundary_cluster_ejections_total", "", "peer", dead.URL).Value(); v < 1 {
+		t.Errorf("ejections_total = %v, want >= 1", v)
+	}
+	if v := reg.Gauge("boundary_cluster_peers_healthy", "").Value(); v != 0 {
+		t.Errorf("peers_healthy = %v, want 0", v)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	router.ServeHTTP(w, req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Errorf("cluster /healthz with all peers ejected = %d, want 503", w.Code)
+	}
+	if dw := postRouter(t, router, "/v1/discover", discoverBody("")); dw.Code != http.StatusServiceUnavailable {
+		t.Errorf("discover with all peers ejected = %d, want 503", dw.Code)
+	}
+}
+
+func TestReadmissionAfterRecovery(t *testing.T) {
+	var down atomic.Bool
+	flaky := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		httpapi.NewServeMux().ServeHTTP(w, r)
+	})
+	reg := obs.NewRegistry()
+	router, err := NewRouter(Config{
+		Peers:          []Peer{NewLocalPeer("flaky", flaky)},
+		HealthInterval: 20 * time.Millisecond,
+		FailAfter:      2,
+		Metrics:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	down.Store(true)
+	waitFor(t, "ejection", func() bool { return router.healthyCount() == 0 })
+	down.Store(false)
+	waitFor(t, "readmission", func() bool { return router.healthyCount() == 1 })
+	if v := reg.Counter("boundary_cluster_readmissions_total", "", "peer", "flaky").Value(); v < 1 {
+		t.Errorf("readmissions_total = %v, want >= 1", v)
+	}
+	if w := postRouter(t, router, "/v1/discover", discoverBody("")); w.Code != http.StatusOK {
+		t.Errorf("discover after readmission = %d: %s", w.Code, w.Body)
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestHTTPPeerAgainstRealServer(t *testing.T) {
+	srv := httptest.NewServer(httpapi.NewHandler(httpapi.Config{}))
+	defer srv.Close()
+	p := NewHTTPPeer(srv.URL, nil)
+	if err := p.Check(t.Context()); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	status, resp, err := p.Do(t.Context(), "/v1/discover", []byte(discoverBody("")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, resp)
+	}
+	single := postRouter(t, httpapi.NewHandler(httpapi.Config{}), "/v1/discover", discoverBody(""))
+	if !bytes.Equal(resp, single.Body.Bytes()) {
+		t.Error("HTTP peer response differs from in-process handler")
+	}
+}
+
+func TestRoutedRequestsAppearInRouterMetrics(t *testing.T) {
+	router, reg := newTestRouter(t, 2, nil)
+	if w := postRouter(t, router, "/v1/discover", discoverBody("")); w.Code != http.StatusOK {
+		t.Fatalf("discover: %d", w.Code)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"boundary_cluster_requests_total",
+		"boundary_cluster_peer_request_seconds",
+		"boundary_cluster_peers_healthy",
+		"http_requests_total",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("exposition is missing %s", want)
+		}
+	}
+}
+
+func TestPerHopTraceSpans(t *testing.T) {
+	tr := obs.NewTrace()
+	router, _ := newTestRouter(t, 2, func(c *Config) { c.Trace = tr })
+	if w := postRouter(t, router, "/v1/discover", discoverBody("")); w.Code != http.StatusOK {
+		t.Fatalf("discover: %d", w.Code)
+	}
+	var route, hop bool
+	for _, s := range tr.Spans() {
+		switch {
+		case s.Name == "cluster/route":
+			route = true
+		case len(s.Name) > len("cluster/peer/") && s.Name[:len("cluster/peer/")] == "cluster/peer/":
+			hop = true
+		}
+	}
+	if !route || !hop {
+		t.Errorf("trace spans missing: route=%v per-hop=%v (%v)", route, hop, tr.Spans())
+	}
+}
+
+func TestBodyLimitMirrorsSingleNode(t *testing.T) {
+	router, _ := newTestRouter(t, 1, nil)
+	single := httpapi.NewHandler(httpapi.Config{})
+	big := fmt.Sprintf(`{"html": %q}`, bytes.Repeat([]byte("x"), httpapi.MaxBodyBytes))
+	want := postRouter(t, single, "/v1/discover", big)
+	got := postRouter(t, router, "/v1/discover", big)
+	if got.Code != http.StatusRequestEntityTooLarge || want.Code != got.Code {
+		t.Fatalf("oversized body: cluster %d, single %d", got.Code, want.Code)
+	}
+	if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+		t.Errorf("413 body differs:\n cluster: %s\n single:  %s", got.Body, want.Body)
+	}
+}

@@ -1,0 +1,9 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }

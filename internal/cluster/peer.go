@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// MaxPeerResponseBytes bounds one peer response body. It is deliberately
+// larger than httpapi.MaxBodyBytes: a discovery response carries rankings and
+// scores on top of what the request carried.
+const MaxPeerResponseBytes = 32 << 20
+
+// Peer is one backend replica the router can send discovery traffic to.
+// Implementations must be safe for concurrent use; the router issues
+// overlapping Do calls (scatter-gather, hedges) against the same peer.
+type Peer interface {
+	// Name identifies the peer in metrics, logs, and trace spans — and seeds
+	// its consistent-hash ring points, so it must be unique and stable across
+	// restarts for cache affinity to survive.
+	Name() string
+	// Do issues one POST of a JSON body to the peer and returns the HTTP
+	// status with the full response body. A non-nil error means the peer was
+	// not reached (transport failure); peer-side failures come back as
+	// status/body.
+	Do(ctx context.Context, path string, body []byte) (status int, resp []byte, err error)
+	// Check probes the peer's health (GET /healthz).
+	Check(ctx context.Context) error
+}
+
+// HTTPPeer is a remote replica speaking the existing single-node HTTP API.
+type HTTPPeer struct {
+	name   string
+	base   string
+	client *http.Client
+}
+
+// NewHTTPPeer returns a peer for the service at baseURL (scheme://host:port,
+// no trailing path). A nil client selects a private default client; pass one
+// to control timeouts, connection pooling, or TLS.
+func NewHTTPPeer(baseURL string, client *http.Client) *HTTPPeer {
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &HTTPPeer{
+		name:   baseURL,
+		base:   strings.TrimRight(baseURL, "/"),
+		client: client,
+	}
+}
+
+// Name returns the peer's base URL.
+func (p *HTTPPeer) Name() string { return p.name }
+
+// Do posts body to the peer and reads the whole response.
+func (p *HTTPPeer) Do(ctx context.Context, path string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxPeerResponseBytes+1))
+	if err != nil {
+		return 0, nil, fmt.Errorf("cluster: reading response from %s: %w", p.name, err)
+	}
+	if len(data) > MaxPeerResponseBytes {
+		return 0, nil, fmt.Errorf("cluster: response from %s exceeds the %d-byte limit", p.name, MaxPeerResponseBytes)
+	}
+	return resp.StatusCode, data, nil
+}
+
+// Check probes GET /healthz.
+func (p *HTTPPeer) Check(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s /healthz answered %d", p.name, resp.StatusCode)
+	}
+	return nil
+}
+
+// LocalPeer is an in-process replica: a full single-node handler (its own
+// result cache, its own limits) invoked by direct method call instead of a
+// network hop. cmd/serve -cluster N runs N of these behind one router,
+// turning a single process into a sharded cluster with per-replica caches.
+type LocalPeer struct {
+	name string
+	h    http.Handler
+}
+
+// NewLocalPeer wraps a handler (normally httpapi.NewHandler output) as a
+// peer named name.
+func NewLocalPeer(name string, h http.Handler) *LocalPeer {
+	return &LocalPeer{name: name, h: h}
+}
+
+// Name returns the replica's configured name.
+func (p *LocalPeer) Name() string { return p.name }
+
+// Do runs one in-memory round trip through the replica's handler.
+func (p *LocalPeer) Do(ctx context.Context, path string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://cluster.local"+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	w := newMemWriter()
+	p.h.ServeHTTP(w, req)
+	return w.status(), w.buf.Bytes(), nil
+}
+
+// Check runs GET /healthz through the replica's handler.
+func (p *LocalPeer) Check(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://cluster.local/healthz", nil)
+	if err != nil {
+		return err
+	}
+	w := newMemWriter()
+	p.h.ServeHTTP(w, req)
+	if w.status() != http.StatusOK {
+		return fmt.Errorf("cluster: %s /healthz answered %d", p.name, w.status())
+	}
+	return nil
+}
+
+// memWriter is the minimal in-memory http.ResponseWriter behind LocalPeer —
+// a buffer, not a socket, so a local hop costs no serialization beyond the
+// JSON bodies themselves.
+type memWriter struct {
+	header http.Header
+	code   int
+	buf    bytes.Buffer
+}
+
+func newMemWriter() *memWriter {
+	return &memWriter{header: make(http.Header)}
+}
+
+func (w *memWriter) Header() http.Header { return w.header }
+
+func (w *memWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+}
+
+func (w *memWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.buf.Write(b)
+}
+
+func (w *memWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// peerState pairs a Peer with the router-side serving state: the bounded
+// per-peer queue (a semaphore — slots held for the duration of an attempt)
+// and the health record the checker and the passive request path both feed.
+type peerState struct {
+	peer  Peer
+	slots chan struct{}
+
+	mu       sync.Mutex
+	failures int  // consecutive failures (probe or transport)
+	ejected  bool // true while the peer is out of the rotation
+}
+
+// tryAcquire takes a queue slot without waiting; it reports false when the
+// peer's queue is full (the caller reroutes or propagates 429).
+func (p *peerState) tryAcquire() bool {
+	select {
+	case p.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// acquire waits for a queue slot — the backpressure mode batch and stream
+// fan-out use, where throttling beats shedding. It reports false only when
+// ctx ends first.
+func (p *peerState) acquire(ctx context.Context) bool {
+	select {
+	case p.slots <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// release returns a queue slot.
+func (p *peerState) release() { <-p.slots }
+
+// depth returns the number of occupied queue slots.
+func (p *peerState) depth() int { return len(p.slots) }
+
+// healthy reports whether the peer is in the rotation.
+func (p *peerState) healthy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !p.ejected
+}

@@ -1,0 +1,161 @@
+package core
+
+// Table-driven edge cases for the full discovery path: empty/tagless input
+// (ErrNoCandidates in both markup modes), the single-candidate short
+// circuit, a document where every voting heuristic declines (all-zero
+// compound certainties), and a symmetric document where two tags tie — the
+// tie must be broken by tag name with both tags listed in TopTags.
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/certainty"
+)
+
+// symmetricXY has two candidate tags with identical counts and identical
+// inter-occurrence text sizes, no adjacent candidate pairs (RP declines),
+// and names absent from IT's separator list (IT declines).
+const symmetricXY = "<div><x>aa</x><y>bb</y><x>cc</x><y>dd</y><x>ee</x><y>ff</y></div>"
+
+func TestDiscoverEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		doc     string
+		xml     bool
+		opts    Options
+		wantErr error
+		sep     string
+		topTags []string
+		cf      float64
+		// rankings is the expected set of heuristics that answered;
+		// nil means don't check, empty means none answered.
+		rankings []string
+	}{
+		{
+			name:    "EmptyDocument",
+			doc:     "",
+			wantErr: ErrNoCandidates,
+		},
+		{
+			name:    "WhitespaceOnly",
+			doc:     " \n\t  ",
+			wantErr: ErrNoCandidates,
+		},
+		{
+			name:    "TaglessDocument",
+			doc:     "several obituaries, but no markup to discover",
+			wantErr: ErrNoCandidates,
+		},
+		{
+			name:    "EmptyXMLDocument",
+			doc:     "",
+			xml:     true,
+			wantErr: ErrNoCandidates,
+		},
+		{
+			// Section 3: one candidate is the separator outright, certainty
+			// 1, with no heuristics consulted.
+			name:     "SingleCandidateTag",
+			doc:      "<div><p>one</p><p>two</p><p>three</p></div>",
+			sep:      "p",
+			topTags:  []string{"p"},
+			cf:       1,
+			rankings: []string{},
+		},
+		{
+			name:     "SingleCandidateTagXML",
+			doc:      "<records><rec>a</rec><rec>b</rec><rec>c</rec></records>",
+			xml:      true,
+			sep:      "rec",
+			topTags:  []string{"rec"},
+			cf:       1,
+			rankings: []string{},
+		},
+		{
+			// OM has no ontology and RP finds no adjacent pairs, so the
+			// whole combination declines: every compound certainty is zero
+			// and the separator falls back to the alphabetically first tag,
+			// with every tag tied on top.
+			name:     "AllHeuristicsDecline",
+			doc:      symmetricXY,
+			opts:     Options{Combination: certainty.Combination{certainty.OM, certainty.RP}},
+			sep:      "x",
+			topTags:  []string{"x", "y"},
+			cf:       0,
+			rankings: []string{},
+		},
+		{
+			// A single heuristic that ties two tags at rank 1: both get the
+			// same factor and the tie is broken by tag name.
+			name:     "TwoTagTieSingleHeuristic",
+			doc:      symmetricXY,
+			opts:     Options{Combination: certainty.Combination{certainty.HT}},
+			sep:      "x",
+			topTags:  []string{"x", "y"},
+			cf:       certainty.PaperTable.Factor(certainty.HT, 1),
+			rankings: []string{certainty.HT},
+		},
+		{
+			// Full default combination on the same document: SD and HT both
+			// answer and both tie, the rest decline — the tie survives the
+			// compound combination.
+			name:     "TwoTagTieFullCombination",
+			doc:      symmetricXY,
+			sep:      "x",
+			topTags:  []string{"x", "y"},
+			cf:       certainty.Combine(certainty.PaperTable.Factor(certainty.SD, 1), certainty.PaperTable.Factor(certainty.HT, 1)),
+			rankings: []string{certainty.SD, certainty.HT},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var res *Result
+			var err error
+			if tc.xml {
+				res, err = DiscoverXML(tc.doc, tc.opts)
+			} else {
+				res, err = Discover(tc.doc, tc.opts)
+			}
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("err = %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Separator != tc.sep {
+				t.Errorf("separator = %q, want %q", res.Separator, tc.sep)
+			}
+			if len(res.TopTags) != len(tc.topTags) {
+				t.Errorf("TopTags = %v, want %v", res.TopTags, tc.topTags)
+			} else {
+				for i, tag := range tc.topTags {
+					if res.TopTags[i] != tag {
+						t.Errorf("TopTags[%d] = %q, want %q", i, res.TopTags[i], tag)
+					}
+				}
+			}
+			if math.Abs(res.Scores[0].CF-tc.cf) > 1e-9 {
+				t.Errorf("top CF = %v, want %v", res.Scores[0].CF, tc.cf)
+			}
+			if len(tc.topTags) > 1 && res.Scores[0].CF != res.Scores[1].CF {
+				t.Errorf("tied tags have unequal CFs: %v vs %v", res.Scores[0], res.Scores[1])
+			}
+			if tc.rankings != nil {
+				if len(res.Rankings) != len(tc.rankings) {
+					t.Errorf("Rankings has %d heuristics %v, want %v",
+						len(res.Rankings), res.Rankings, tc.rankings)
+				}
+				for _, h := range tc.rankings {
+					if _, ok := res.Rankings[h]; !ok {
+						t.Errorf("heuristic %s missing from Rankings", h)
+					}
+				}
+			}
+		})
+	}
+}

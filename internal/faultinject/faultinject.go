@@ -13,6 +13,12 @@
 //	core/combine            before certainty combination
 //	recognizer/chunk        per text chunk scanned by the recognizer
 //	httpapi/discover        at the head of every discover (incl. batch docs)
+//	pipeline/attempt        before each bulk-engine attempt
+//	cluster/route           at the head of every cluster routing decision
+//	cluster/peer            before each peer attempt (any peer)
+//	cluster/peer/<NAME>     before each attempt on the named peer
+//	cluster/hedge           when a hedged second attempt is about to launch
+//	                        (an armed error suppresses the hedge)
 //
 // A Fault can combine a delay with a forced error; Panic takes precedence
 // over Err. Delays honor the context passed to FireCtx, so an injected slow

@@ -1,0 +1,108 @@
+package heuristic
+
+// Table-driven edge-case coverage for all five heuristics on one shared set
+// of degenerate documents: empty/tagless input (every heuristic must
+// decline), a single candidate tag, candidates that force individual
+// heuristics to decline (RP without adjacent pairs, IT without listed tags,
+// SD with too few occurrences), and symmetric documents where two tags tie
+// and must share competition rank 1 in deterministic name order.
+
+import (
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/tagtree"
+)
+
+// symmetricXY has two candidate tags with identical counts, identical
+// inter-occurrence text sizes, no adjacent candidate pairs, and names absent
+// from IT's separator list — the maximal two-way tie.
+const symmetricXY = "<div><x>aa</x><y>bb</y><x>cc</x><y>dd</y><x>ee</x><y>ff</y></div>"
+
+func TestHeuristicEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		ont  *ontology.Ontology
+		// want maps heuristic name to its expected ranking (space-joined
+		// tags, best first); a heuristic absent from the map must decline.
+		want map[string]string
+		// tiedAtTop lists heuristics whose first two entries must share
+		// competition rank 1.
+		tiedAtTop []string
+	}{
+		{
+			name: "EmptyDocument",
+			doc:  "",
+		},
+		{
+			name: "TaglessDocument",
+			doc:  "plain text, not a web document at all",
+		},
+		{
+			// One candidate: RP finds no adjacent pairs (text between every
+			// occurrence) and OM has no ontology; the rest rank the only tag.
+			name: "SingleCandidateTag",
+			doc:  "<div><p>one</p><p>two</p><p>three</p></div>",
+			want: map[string]string{"SD": "p", "IT": "p", "HT": "p"},
+		},
+		{
+			// q occurs twice — a single interval, no spread to measure — so
+			// SD ranks it after p; IT discards it (not on the list).
+			name: "TooFewOccurrencesForSpread",
+			doc:  "<div><p>aaa</p><q>b</q><p>ccc</p><q>d</q><p>eee</p></div>",
+			want: map[string]string{"SD": "p q", "IT": "p", "HT": "p q"},
+		},
+		{
+			// Without an ontology only the always-answer heuristics reply,
+			// and the document's symmetry ties x and y under both.
+			name:      "TwoTagTie",
+			doc:       symmetricXY,
+			want:      map[string]string{"SD": "x y", "HT": "x y"},
+			tiedAtTop: []string{"SD", "HT"},
+		},
+		{
+			// With an ontology that matches none of the content, OM answers
+			// from a zero-record estimate and inherits the same tie.
+			name:      "TwoTagTieOntologyWithoutMatches",
+			doc:       symmetricXY,
+			ont:       ontology.Builtin("obituary"),
+			want:      map[string]string{"OM": "x y", "SD": "x y", "HT": "x y"},
+			tiedAtTop: []string{"OM", "SD", "HT"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tree := tagtree.Parse(tc.doc)
+			ctx := NewContext(tree, tagtree.DefaultCandidateThreshold, tc.ont)
+			for _, h := range All() {
+				r, ok := h.Rank(ctx)
+				want, shouldAnswer := tc.want[h.Name()]
+				if !shouldAnswer {
+					if ok {
+						t.Errorf("%s answered %v, want decline", h.Name(), r.Tags())
+					}
+					continue
+				}
+				if !ok {
+					t.Errorf("%s declined, want ranking %q", h.Name(), want)
+					continue
+				}
+				if got := rankingString(r); got != want {
+					t.Errorf("%s ranking = %q, want %q (scores: %+v)", h.Name(), got, want, r)
+				}
+			}
+			for _, name := range tc.tiedAtTop {
+				r, ok := ByName(name).Rank(ctx)
+				if !ok || len(r) < 2 {
+					t.Errorf("%s: no two-entry ranking to tie: %+v", name, r)
+					continue
+				}
+				if r[0].Rank != 1 || r[1].Rank != 1 {
+					t.Errorf("%s ranks = %d,%d, want shared competition rank 1 (%+v)",
+						name, r[0].Rank, r[1].Rank, r)
+				}
+			}
+		})
+	}
+}

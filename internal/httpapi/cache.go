@@ -49,11 +49,16 @@ func newResultCache(size int, metrics *obs.Registry) *resultCache {
 	}
 }
 
-// cacheKey fingerprints one discover request: parse mode, document bytes,
-// the ontology argument verbatim (builtin name or DSL source), and the
-// separator-list override. Fields are length-prefixed so concatenations
-// cannot collide.
-func cacheKey(mode, doc, ontologySrc string, separatorList []string) [sha256.Size]byte {
+// RequestFingerprint fingerprints one discover request: parse mode ("html"
+// or "xml"), document bytes, the ontology argument verbatim (builtin name or
+// DSL source), and the separator-list override. Fields are length-prefixed so
+// concatenations cannot collide.
+//
+// It is both the result-cache key and the cluster router's consistent-hash
+// routing key: because the two agree, every request for a given (document,
+// options) pair lands on the same replica, whose LRU cache therefore stays
+// hot for exactly its key range.
+func RequestFingerprint(mode, doc, ontologySrc string, separatorList []string) [sha256.Size]byte {
 	h := sha256.New()
 	var n [8]byte
 	writeField := func(s string) {

@@ -362,7 +362,7 @@ func (s server) discoverOne(ctx context.Context, req *request) (*discoverRespons
 	if s.cache == nil {
 		return s.computeDiscover(ctx, mode, doc, req)
 	}
-	key := cacheKey(mode, doc, req.Ontology, req.SeparatorList)
+	key := RequestFingerprint(mode, doc, req.Ontology, req.SeparatorList)
 	for {
 		if resp, ok := s.cache.get(key); ok {
 			return resp, nil

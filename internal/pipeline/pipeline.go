@@ -52,16 +52,19 @@ type RetryPolicy struct {
 	MaxDelay time.Duration
 }
 
-func (p RetryPolicy) attempts() int {
+// Attempts returns the effective total tries per document (at least 1).
+func (p RetryPolicy) Attempts() int {
 	if p.MaxAttempts < 1 {
 		return 1
 	}
 	return p.MaxAttempts
 }
 
-// backoff returns the jittered sleep before the given retry (attempt is the
-// 1-based attempt that just failed).
-func (p RetryPolicy) backoff(seq, attempt int) time.Duration {
+// Backoff returns the jittered sleep before the given retry (attempt is the
+// 1-based attempt that just failed). It is exported so other fan-out layers —
+// the cluster router rerouting a document to another peer — share the bulk
+// engine's backoff shape instead of growing their own.
+func (p RetryPolicy) Backoff(seq, attempt int) time.Duration {
 	base := p.BaseDelay
 	if base <= 0 {
 		base = 25 * time.Millisecond
@@ -307,7 +310,7 @@ func (e *Engine) Run(ctx context.Context, src Source, sink Sink, jr *Journal) (S
 // then up to Retry.MaxAttempts pipeline attempts with backoff between
 // transient failures.
 func (e *Engine) process(ctx context.Context, t *Task, retries *atomic.Int64) *Outcome {
-	o := &Outcome{Seq: t.Seq, ID: t.taskID(), Shard: t.Shard}
+	o := &Outcome{Seq: t.Seq, ID: t.TaskID(), Shard: t.Shard}
 	if t.invalid != nil {
 		o.Error = t.invalid.Error()
 		return o
@@ -322,7 +325,7 @@ func (e *Engine) process(ctx context.Context, t *Task, retries *atomic.Int64) *O
 		return o
 	}
 
-	maxAttempts := e.cfg.Retry.attempts()
+	maxAttempts := e.cfg.Retry.Attempts()
 	for attempt := 1; ; attempt++ {
 		if ctx.Err() != nil {
 			o.canceled = true
@@ -350,7 +353,7 @@ func (e *Engine) process(ctx context.Context, t *Task, retries *atomic.Int64) *O
 		retries.Add(1)
 		e.counter("boundary_bulk_retries_total",
 			"Bulk document attempts retried after a transient failure.").Inc()
-		timer := time.NewTimer(e.cfg.Retry.backoff(t.Seq, attempt))
+		timer := time.NewTimer(e.cfg.Retry.Backoff(t.Seq, attempt))
 		select {
 		case <-timer.C:
 		case <-ctx.Done():
