@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test testshort race shuffle cover cover-pipeline bench bench-smoke bench-gate cluster fuzz chaos experiments corpus examples clean
+.PHONY: all build test testshort race shuffle cover cover-pipeline bench bench-smoke bench-gate cluster obs-smoke fuzz chaos experiments corpus examples clean
 
 all: build test
 
@@ -77,6 +77,15 @@ cluster:
 	$(GO) test -race ./internal/cluster/
 	$(GO) test -race -run 'TestClusterConformance' -v .
 	$(GO) test -race -run 'TestServeCluster' ./cmd/serve/
+
+# Observability smoke (see docs/OBSERVABILITY.md): boots cmd/serve in
+# cluster mode, makes a traced request, and checks /metrics and
+# /metrics/cluster parse as Prometheus exposition and /debug/traces returns
+# the stitched trace — plus the trace/federation unit suites under -race.
+obs-smoke:
+	$(GO) test -race -run 'TestObservabilitySmoke' -v ./cmd/serve/
+	$(GO) test -race ./internal/obs/
+	$(GO) test -race -run 'Trace|Federat|Explain' ./internal/cluster/
 
 # Brief fuzz sessions over every fuzz target (seeds always run under `test`).
 fuzz:

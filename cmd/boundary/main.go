@@ -11,9 +11,13 @@
 // ontology DSL file. -xml parses the input with XML semantics. -check runs
 // the document classifier first and refuses to discover boundaries on
 // pages that do not hold multiple records (the paper's input assumption).
-// -trace appends a per-stage timing table (parse, fan-out search, candidate
-// extraction, each heuristic, certainty combination) showing where the
-// pipeline spends its time on the document.
+// -trace appends the run's trace ID (the same ID a service request would
+// publish to /debug/traces), a table of heuristics that declined or failed
+// with their reasons, and a per-stage timing table (parse, fan-out search,
+// candidate extraction, each heuristic, certainty combination) showing where
+// the pipeline spends its time on the document. -explain includes each
+// heuristic's certainty factor (or decline reason) and the combination
+// arithmetic behind the compound score.
 package main
 
 import (
@@ -97,11 +101,20 @@ func run(out io.Writer, ontName string, records, explain, xml, check, trace bool
 			strings.Join(res.FailedHeuristics, ", "))
 	}
 	if explain {
-		fmt.Fprint(out, core.Explain(res))
+		fmt.Fprint(out, core.ExplainVerbose(res, opts))
 	} else {
 		fmt.Fprintf(out, "separator: <%s>\n", res.Separator)
 	}
 	if trace {
+		fmt.Fprintf(out, "\ntrace id: %s\n", opts.Trace.ID())
+		if len(res.HeuristicReasons) > 0 {
+			fmt.Fprintln(out, "declined/failed heuristics:")
+			for _, name := range []string{"OM", "RP", "SD", "IT", "HT"} {
+				if reason, ok := res.HeuristicReasons[name]; ok {
+					fmt.Fprintf(out, "  %-3s %s\n", name, reason)
+				}
+			}
+		}
 		fmt.Fprintf(out, "\nstage timings:\n%s", opts.Trace.Table())
 	}
 	if records {

@@ -25,7 +25,8 @@
 // -attempt-timeout bounds one document attempt (expiry is retried);
 // -max-doc-bytes/-max-tree-depth/-max-nodes bound parse resources as on the
 // serving surface; -metrics dumps the run's Prometheus counters to stderr at
-// exit.
+// exit; -trace dumps the run's trace — its ID and the per-stage span table
+// every document contributed to — to stderr at exit.
 package main
 
 import (
@@ -80,6 +81,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	maxTreeDepth := fs.Int("max-tree-depth", 0, "max tag-tree nesting depth; 0 disables")
 	maxNodes := fs.Int("max-nodes", 0, "max tag-tree node count; 0 disables")
 	dumpMetrics := fs.Bool("metrics", false, "dump the run's metrics in Prometheus text form to stderr")
+	dumpTrace := fs.Bool("trace", false, "dump the run's trace (ID plus per-stage span table) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,6 +103,11 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	defer srcClose()
 
 	metrics := obs.NewRegistry()
+	var trace *obs.Trace
+	if *dumpTrace {
+		trace = obs.NewTrace()
+		trace.SetRoot("bulk", "run")
+	}
 	eng := pipeline.New(pipeline.Config{
 		Workers: *workers,
 		Window:  *window,
@@ -111,6 +118,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		},
 		AttemptTimeout: *attemptTimeout,
 		Metrics:        metrics,
+		Trace:          trace,
 		Limits: tagtree.Limits{
 			MaxBytes: *maxDocBytes,
 			MaxDepth: *maxTreeDepth,
@@ -160,6 +168,10 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		stats.Canceled, stats.Retries)
 	if *dumpMetrics {
 		_ = metrics.WritePrometheus(stderr)
+	}
+	if trace != nil {
+		trace.Finish()
+		fmt.Fprintf(stderr, "bulk: trace id: %s\n%s", trace.ID(), trace.Table())
 	}
 	if runErr != nil {
 		if errors.Is(runErr, context.Canceled) && journal != nil {

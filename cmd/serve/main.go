@@ -11,6 +11,15 @@
 //	      [-max-doc-bytes 0] [-max-tree-depth 0] [-max-nodes 0]
 //	      [-cluster 0] [-peers URL,URL,...] [-hedge-after 0]
 //	      [-peer-queue-depth 32] [-health-interval 1s]
+//	      [-trace-capacity 512] [-trace-sample 0]
+//
+// Observability (see docs/OBSERVABILITY.md): every request is traced; the
+// trace ID is returned in the X-Trace-ID response header and incoming W3C
+// traceparent headers are honoured, so cluster hops stitch into one trace.
+// -trace-capacity bounds the in-memory store behind /debug/traces and
+// -trace-sample head-samples 1 in N healthy traces (errored, degraded, shed,
+// and tail-latency traces are always kept). In cluster mode the router also
+// serves /metrics/cluster, a federated view of every replica's registry.
 //
 // -ops-addr starts a second, operations-only listener carrying the
 // net/http/pprof profiling handlers (plus /metrics and /debug/vars again) so
@@ -113,6 +122,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"max in-flight requests per replica; beyond it interactive requests shed 429 and bulk fan-out throttles")
 	healthInterval := fs.Duration("health-interval", time.Second,
 		"period of the per-replica /healthz probes driving ejection and readmission")
+	traceCapacity := fs.Int("trace-capacity", 512,
+		"max traces retained in memory for /debug/traces; 0 uses the default")
+	traceSample := fs.Int("trace-sample", 0,
+		"head-sample 1 in N healthy traces (errored, degraded, shed, and slow traces are always kept); 0 or 1 keeps all")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -136,6 +149,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *clusterN < 0 {
 		return fmt.Errorf("-cluster must be >= 0, got %d", *clusterN)
 	}
+	if *traceCapacity < 0 {
+		return fmt.Errorf("-trace-capacity must be >= 0, got %d", *traceCapacity)
+	}
+	if *traceSample < 0 {
+		return fmt.Errorf("-trace-sample must be >= 0, got %d", *traceSample)
+	}
 
 	logger := slog.New(slog.NewJSONHandler(out, nil))
 	metrics := obs.NewRegistry()
@@ -144,10 +163,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxDepth: *maxTreeDepth,
 		MaxNodes: *maxNodes,
 	}
+	// One trace store is shared by the router and every in-process replica,
+	// so the fragments of one distributed request merge into a single trace
+	// at /debug/traces.
+	traces := obs.NewTraceStore(obs.TraceStoreConfig{
+		Capacity:    *traceCapacity,
+		SampleEvery: *traceSample,
+	})
 
 	handler := http.Handler(httpapi.NewHandler(httpapi.Config{
 		Logger:         logger,
 		Metrics:        metrics,
+		Traces:         traces,
+		Service:        "boundary",
 		CacheSize:      *cacheSize,
 		BatchWorkers:   *batchParallelism,
 		MaxInFlight:    *maxInflight,
@@ -158,12 +186,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		var peers []cluster.Peer
 		for i := 0; i < *clusterN; i++ {
 			// Each replica is a full single-node service with its own result
-			// cache. Replicas skip the request log and in-flight limiter —
-			// the router logs each request once and its per-peer queues are
-			// the cluster's backpressure.
-			peers = append(peers, cluster.NewLocalPeer(fmt.Sprintf("local-%d", i),
+			// cache and its own metric registry (so /metrics/cluster can tell
+			// the replicas apart). Replicas skip the request log and in-flight
+			// limiter — the router logs each request once and its per-peer
+			// queues are the cluster's backpressure.
+			name := fmt.Sprintf("local-%d", i)
+			peers = append(peers, cluster.NewLocalPeer(name,
 				httpapi.NewHandler(httpapi.Config{
-					Metrics:        metrics,
+					Metrics:        obs.NewRegistry(),
+					Traces:         traces,
+					Service:        name,
 					CacheSize:      *cacheSize,
 					BatchWorkers:   *batchParallelism,
 					RequestTimeout: *requestTimeout,
@@ -182,6 +214,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			HealthInterval: *healthInterval,
 			Metrics:        metrics,
 			Logger:         logger,
+			TraceStore:     traces,
+			Service:        "router",
 			Fallback:       handler,
 		})
 		if err != nil {
@@ -215,7 +249,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 		ops := &http.Server{
-			Handler:           opsMux(metrics),
+			Handler:           opsMux(metrics, traces),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		servers = append(servers, ops)
@@ -248,8 +282,9 @@ func shutdown(servers []*http.Server, timeout time.Duration) error {
 }
 
 // opsMux is the operations-only surface: profiling endpoints that must not
-// face service traffic, plus the metric exports for convenience.
-func opsMux(metrics *obs.Registry) *http.ServeMux {
+// face service traffic, plus the metric exports and the trace store for
+// convenience.
+func opsMux(metrics *obs.Registry, traces *obs.TraceStore) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -257,6 +292,7 @@ func opsMux(metrics *obs.Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("GET /metrics", metrics.Handler())
+	mux.Handle("GET /debug/traces", traces.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
 }

@@ -1,0 +1,126 @@
+package main
+
+// Observability smoke test: boot the full service in cluster mode, make one
+// traced request, and check the whole observability surface holds together —
+// /metrics and /metrics/cluster parse as Prometheus text exposition, the
+// response's X-Trace-ID resolves at /debug/traces, and the stored trace
+// stitches router and replica fragments. CI runs this as its own job
+// (make obs-smoke).
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestObservabilitySmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	buf := &lockedBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-ops-addr", "127.0.0.1:0",
+			"-cluster", "3",
+			"-shutdown-timeout", "2s",
+		}, buf)
+	}()
+	addr := waitFor(t, buf, `service listening on ([0-9.:]+)`)
+	opsAddr := waitFor(t, buf, `ops listener \(pprof, metrics\) on ([0-9.:]+)`)
+
+	// One traced discover request through the router.
+	doc := `{"html":"<div><hr><b>A</b> x<hr><b>B</b> y<hr><b>C</b> z<hr></div>"}`
+	resp, err := http.Post("http://"+addr+"/v1/discover", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/v1/discover = %d: %s", resp.StatusCode, body)
+	}
+	traceID := resp.Header.Get(obs.TraceIDHeader)
+	if traceID == "" {
+		t.Fatal("response carries no X-Trace-ID header")
+	}
+	if _, ok := obs.ParseTraceID(traceID); !ok {
+		t.Fatalf("X-Trace-ID %q is not a valid trace id", traceID)
+	}
+
+	// Both metric surfaces must be valid Prometheus exposition.
+	for _, path := range []string{"/metrics", "/metrics/cluster"} {
+		code, text := get(t, "http://"+addr+path)
+		if code != 200 {
+			t.Fatalf("%s = %d: %s", path, code, text)
+		}
+		if err := obs.ValidateExposition([]byte(text)); err != nil {
+			t.Errorf("%s is not valid exposition: %v", path, err)
+		}
+	}
+	if _, text := get(t, "http://"+addr+"/metrics/cluster"); !strings.Contains(text, `peer="local-0"`) ||
+		!strings.Contains(text, `peer="router"`) {
+		t.Errorf("/metrics/cluster lacks per-peer attribution:\n%.2000s", text)
+	}
+
+	// The trace must be retrievable on the ops listener: in the JSON listing
+	// and as a rendered tree with both the router and a replica fragment.
+	deadline := time.Now().Add(3 * time.Second)
+	var tree string
+	for time.Now().Before(deadline) {
+		if code, text := get(t, "http://"+opsAddr+"/debug/traces?trace="+traceID); code == 200 {
+			tree = text
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if tree == "" {
+		t.Fatalf("trace %s never appeared at /debug/traces", traceID)
+	}
+	if !strings.Contains(tree, "router POST /v1/discover") ||
+		!strings.Contains(tree, "cluster/peer/local-") {
+		t.Errorf("trace tree missing router fragment or peer hop:\n%s", tree)
+	}
+	if !strings.Contains(tree, "local-") || !strings.Contains(tree, "parse") {
+		t.Errorf("trace tree missing replica-side pipeline spans:\n%s", tree)
+	}
+
+	code, listing := get(t, "http://"+opsAddr+"/debug/traces")
+	if code != 200 {
+		t.Fatalf("/debug/traces listing = %d", code)
+	}
+	var env struct {
+		Published int `json:"published"`
+		Traces    []struct {
+			TraceID string `json:"trace_id"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(listing), &env); err != nil {
+		t.Fatalf("/debug/traces is not JSON: %v\n%s", err, listing)
+	}
+	found := false
+	for _, tr := range env.Traces {
+		if tr.TraceID == traceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace %s missing from listing (published=%d)", traceID, env.Published)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v after cancel", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+}

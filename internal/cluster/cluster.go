@@ -44,6 +44,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -92,7 +93,18 @@ type Config struct {
 	Logger *slog.Logger
 	// Trace, when non-nil, receives one per-hop span per peer attempt
 	// (cluster/peer/<name>) plus a cluster/route span per routing decision.
+	// With TraceStore set, per-request traces take precedence and this sink
+	// only sees requests that carry no trace of their own.
 	Trace *obs.Trace
+	// TraceStore enables per-request distributed tracing: every routed
+	// request gets (or continues, via its traceparent header) a trace, peer
+	// hops inject traceparent downstream so replica fragments stitch under
+	// the hop span, and finished fragments land here. GET /debug/traces is
+	// NOT served by the router itself — mount TraceStore.Handler on an ops
+	// mux (cmd/serve does). Nil disables per-request tracing.
+	TraceStore *obs.TraceStore
+	// Service names the router in trace fragments; empty means "router".
+	Service string
 	// Faults is the test-only fault-injection hook set; nil in production.
 	Faults *faultinject.Set
 	// Fallback serves every route the router does not own (/v1/records,
@@ -201,11 +213,16 @@ func NewRouter(cfg Config) (*Router, error) {
 	mux.HandleFunc("POST /v1/discover/batch", r.handleBatch)
 	mux.HandleFunc("POST /v1/discover/stream", r.handleStream)
 	mux.HandleFunc("GET /healthz", r.handleHealthz)
+	mux.HandleFunc("GET /metrics/cluster", r.handleClusterMetrics)
 	route := func(req *http.Request) string {
 		_, pattern := mux.Handler(req)
 		return pattern
 	}
-	r.handler = obs.Middleware(mux, cfg.Logger, cfg.Metrics, route)
+	var tracing *obs.Tracing
+	if cfg.TraceStore != nil {
+		tracing = &obs.Tracing{Store: cfg.TraceStore, Service: r.serviceName()}
+	}
+	r.handler = obs.Middleware(mux, cfg.Logger, cfg.Metrics, route, tracing)
 
 	r.healthyGauge().Set(float64(len(r.peers)))
 	r.wg.Add(1)
@@ -232,10 +249,65 @@ func (r *Router) owned(req *http.Request) bool {
 	switch req.URL.Path {
 	case "/v1/discover", "/v1/discover/batch", "/v1/discover/stream":
 		return req.Method == http.MethodPost
-	case "/healthz":
+	case "/healthz", "/metrics/cluster":
 		return req.Method == http.MethodGet
 	}
 	return false
+}
+
+// serviceName is the router's name in trace fragments and its own federated
+// metrics.
+func (r *Router) serviceName() string {
+	if r.cfg.Service != "" {
+		return r.cfg.Service
+	}
+	return "router"
+}
+
+// trace returns the trace peer hops should record onto: the per-request
+// trace when the middleware started one, else the process-wide Config.Trace
+// sink (the pre-distributed behavior, kept for embedders and tests).
+func (r *Router) trace(ctx context.Context) *obs.Trace {
+	if t := obs.TraceFrom(ctx); t != nil {
+		return t
+	}
+	return r.cfg.Trace
+}
+
+// handleClusterMetrics is GET /metrics/cluster: the federation endpoint. It
+// scrapes every peer's /metrics concurrently (bounded by a short timeout so
+// one hung replica cannot stall the scrape), merges them with the router's
+// own registry, and re-emits every series with a peer="<name>" label — one
+// scrape shows the whole ring. Peers that cannot be scraped are reported as
+// boundary_federation_peers{peer}=0 plus a comment, not an error status.
+func (r *Router) handleClusterMetrics(w http.ResponseWriter, req *http.Request) {
+	ctx, cancel := context.WithTimeout(req.Context(), 2*time.Second)
+	defer cancel()
+
+	results := make([]obs.Scrape, len(r.peers))
+	var wg sync.WaitGroup
+	for i, ps := range r.peers {
+		wg.Add(1)
+		go func(i int, ps *peerState) {
+			defer wg.Done()
+			name := ps.peer.Name()
+			sc, ok := ps.peer.(MetricsScraper)
+			if !ok {
+				results[i] = obs.Scrape{Peer: name,
+					Err: errors.New("peer does not expose metrics")}
+				return
+			}
+			data, err := sc.ScrapeMetrics(ctx)
+			results[i] = obs.Scrape{Peer: name, Data: data, Err: err}
+		}(i, ps)
+	}
+	var self bytes.Buffer
+	_ = r.cfg.Metrics.WritePrometheus(&self)
+	wg.Wait()
+
+	scrapes := append([]obs.Scrape{{Peer: r.serviceName(), Data: self.Bytes()}}, results...)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WriteFederated(w, scrapes)
 }
 
 // Close stops the health checker. Safe to call more than once.

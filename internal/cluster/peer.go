@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // MaxPeerResponseBytes bounds one peer response body. It is deliberately
@@ -30,6 +32,14 @@ type Peer interface {
 	Do(ctx context.Context, path string, body []byte) (status int, resp []byte, err error)
 	// Check probes the peer's health (GET /healthz).
 	Check(ctx context.Context) error
+}
+
+// MetricsScraper is the optional interface a Peer implements to join the
+// /metrics/cluster federation: it returns the peer's /metrics exposition.
+// It is separate from Peer so existing implementations (including test
+// fakes) keep compiling; peers without it federate as scrape failures.
+type MetricsScraper interface {
+	ScrapeMetrics(ctx context.Context) ([]byte, error)
 }
 
 // HTTPPeer is a remote replica speaking the existing single-node HTTP API.
@@ -56,13 +66,18 @@ func NewHTTPPeer(baseURL string, client *http.Client) *HTTPPeer {
 // Name returns the peer's base URL.
 func (p *HTTPPeer) Name() string { return p.name }
 
-// Do posts body to the peer and reads the whole response.
+// Do posts body to the peer and reads the whole response. When the context
+// carries a span context (the router's hop span), it is injected as a W3C
+// traceparent header so the peer's trace fragment joins the same trace.
 func (p *HTTPPeer) Do(ctx context.Context, path string, body []byte) (int, []byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.base+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if sc := obs.SpanContextFromContext(ctx); sc.Valid() {
+		req.Header.Set(obs.TraceparentHeader, sc.Header())
+	}
 	resp, err := p.client.Do(req)
 	if err != nil {
 		return 0, nil, err
@@ -96,6 +111,27 @@ func (p *HTTPPeer) Check(ctx context.Context) error {
 	return nil
 }
 
+// ScrapeMetrics fetches the peer's GET /metrics exposition for federation.
+func (p *HTTPPeer) ScrapeMetrics(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxPeerResponseBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading metrics from %s: %w", p.name, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s /metrics answered %d", p.name, resp.StatusCode)
+	}
+	return data, nil
+}
+
 // LocalPeer is an in-process replica: a full single-node handler (its own
 // result cache, its own limits) invoked by direct method call instead of a
 // network hop. cmd/serve -cluster N runs N of these behind one router,
@@ -114,13 +150,19 @@ func NewLocalPeer(name string, h http.Handler) *LocalPeer {
 // Name returns the replica's configured name.
 func (p *LocalPeer) Name() string { return p.name }
 
-// Do runs one in-memory round trip through the replica's handler.
+// Do runs one in-memory round trip through the replica's handler. Like the
+// HTTP transport, it propagates trace context via the traceparent header —
+// the replica's middleware reads headers, not context values, so local and
+// remote replicas stitch traces identically.
 func (p *LocalPeer) Do(ctx context.Context, path string, body []byte) (int, []byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://cluster.local"+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if sc := obs.SpanContextFromContext(ctx); sc.Valid() {
+		req.Header.Set(obs.TraceparentHeader, sc.Header())
+	}
 	w := newMemWriter()
 	p.h.ServeHTTP(w, req)
 	return w.status(), w.buf.Bytes(), nil
@@ -138,6 +180,20 @@ func (p *LocalPeer) Check(ctx context.Context) error {
 		return fmt.Errorf("cluster: %s /healthz answered %d", p.name, w.status())
 	}
 	return nil
+}
+
+// ScrapeMetrics runs GET /metrics through the replica's handler.
+func (p *LocalPeer) ScrapeMetrics(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://cluster.local/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	w := newMemWriter()
+	p.h.ServeHTTP(w, req)
+	if w.status() != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s /metrics answered %d", p.name, w.status())
+	}
+	return w.buf.Bytes(), nil
 }
 
 // memWriter is the minimal in-memory http.ResponseWriter behind LocalPeer —

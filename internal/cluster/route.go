@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/httpapi"
+	"repro/internal/obs"
 )
 
 // fingerprint is the routing key — the same sha256 the replicas use as their
@@ -97,18 +98,28 @@ func (r *Router) attempt(ctx context.Context, idx int, path string, body []byte,
 		gauge.Set(float64(ps.depth()))
 	}()
 
+	// The hop span opens before the wire call and its identity is injected
+	// into the outgoing context, so the replica's own trace fragment (sent
+	// via the traceparent header by Peer.Do) nests under this exact hop —
+	// including each side of a hedge race separately.
+	tr := r.trace(ctx)
+	span := tr.StartSpan("cluster/peer/" + name)
+	if span != nil {
+		ctx = obs.ContextWithSpanContext(ctx, tr.ChildContext(span))
+	}
+
 	if err := r.cfg.Faults.FireCtx(ctx, "cluster/peer"); err != nil {
-		r.finishAttempt(ps, name, path, 0, 0, err)
+		r.finishAttempt(ps, name, path, 0, 0, err, span)
 		return 0, nil, err
 	}
 	if err := r.cfg.Faults.FireCtx(ctx, "cluster/peer/"+name); err != nil {
-		r.finishAttempt(ps, name, path, 0, 0, err)
+		r.finishAttempt(ps, name, path, 0, 0, err, span)
 		return 0, nil, err
 	}
 
 	start := time.Now()
 	status, resp, err := ps.peer.Do(ctx, path, body)
-	r.finishAttempt(ps, name, path, status, time.Since(start), err)
+	r.finishAttempt(ps, name, path, status, time.Since(start), err, span)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -118,7 +129,7 @@ func (r *Router) attempt(ctx context.Context, idx int, path string, body []byte,
 // finishAttempt records one attempt's metrics, trace span, and health signal.
 // A transport failure caused by our own context ending (a lost hedge race, a
 // hung-up client) says nothing about the peer and is counted separately.
-func (r *Router) finishAttempt(ps *peerState, name, path string, status int, elapsed time.Duration, err error) {
+func (r *Router) finishAttempt(ps *peerState, name, path string, status int, elapsed time.Duration, err error, span *obs.Span) {
 	outcome := "ok"
 	switch {
 	case err != nil && ctxRelated(err):
@@ -138,12 +149,15 @@ func (r *Router) finishAttempt(ps *peerState, name, path string, status int, ela
 	r.cfg.Metrics.Histogram("boundary_cluster_peer_request_seconds",
 		"Peer round-trip latency in seconds, by peer.", nil,
 		"peer", name).Observe(elapsed.Seconds())
-	if r.cfg.Trace != nil {
-		attrs := []string{"peer", name, "path", path, "outcome", outcome}
+	if span != nil {
+		span.End()
+		span.Attr("peer", name).Attr("path", path).Attr("outcome", outcome)
 		if err == nil {
-			attrs = append(attrs, "status", strconv.Itoa(status))
+			span.Attr("status", strconv.Itoa(status))
 		}
-		r.cfg.Trace.Add("cluster/peer/"+name, elapsed, attrs...)
+		if outcome == "transport" || outcome == "error" {
+			span.SetStatus(obs.StatusError)
+		}
 	}
 }
 
@@ -166,7 +180,7 @@ type attemptResult struct {
 // peer and the first answer wins; transport failures and full queues fall
 // through the rest of the preference order. Peer response bytes are returned
 // verbatim — the router adds no serialization of its own.
-func (r *Router) doDiscover(ctx context.Context, key fingerprint, body []byte) (int, []byte, error) {
+func (r *Router) doDiscover(ctx context.Context, key fingerprint, path string, body []byte) (int, []byte, error) {
 	if err := r.cfg.Faults.FireCtx(ctx, "cluster/route"); err != nil {
 		return 0, nil, err
 	}
@@ -180,11 +194,9 @@ func (r *Router) doDiscover(ctx context.Context, key fingerprint, body []byte) (
 	if len(live) == 0 {
 		return 0, nil, errNoPeers
 	}
-	if r.cfg.Trace != nil {
-		r.cfg.Trace.Add("cluster/route", 0,
-			"primary", r.peers[live[0]].peer.Name(),
-			"candidates", strconv.Itoa(len(live)))
-	}
+	r.trace(ctx).Add("cluster/route", 0,
+		"primary", r.peers[live[0]].peer.Name(),
+		"candidates", strconv.Itoa(len(live)))
 
 	// Attempts run under their own cancel so the losing side of a hedge race
 	// stops as soon as a winner returns.
@@ -194,7 +206,7 @@ func (r *Router) doDiscover(ctx context.Context, key fingerprint, body []byte) (
 	results := make(chan attemptResult, len(live))
 	launch := func(i int) {
 		go func() {
-			status, resp, err := r.attempt(actx, live[i], "/v1/discover", body, false)
+			status, resp, err := r.attempt(actx, live[i], path, body, false)
 			results <- attemptResult{idx: i, status: status, body: resp, err: err}
 		}()
 	}
@@ -331,7 +343,14 @@ func (r *Router) handleDiscover(w http.ResponseWriter, req *http.Request) {
 	if !ok {
 		return
 	}
-	status, resp, err := r.doDiscover(req.Context(), routingKey(body), body)
+	// The query string is forwarded verbatim (?explain=1 is computed by the
+	// replica, never by the router) but does not join the routing key, so an
+	// explain request lands on the same cache-affine peer as its plain twin.
+	path := "/v1/discover"
+	if req.URL.RawQuery != "" {
+		path += "?" + req.URL.RawQuery
+	}
+	status, resp, err := r.doDiscover(req.Context(), routingKey(body), path, body)
 	if err != nil {
 		writeRouteErr(w, err)
 		return

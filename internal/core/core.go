@@ -72,11 +72,13 @@ type Options struct {
 // observed reports whether any observability sink is attached.
 func (o Options) observed() bool { return o.Trace != nil || o.Metrics != nil }
 
-// recordStage files one completed stage with both sinks.
+// recordStage files one completed stage with both sinks. Stage latencies
+// use the microsecond-scale StageBuckets — whole stages finish far below
+// the HTTP-oriented default bucket floor.
 func (o Options) recordStage(name string, d time.Duration, attrs ...string) {
 	o.Trace.Add(name, d, attrs...)
 	o.Metrics.Histogram("boundary_stage_duration_seconds",
-		"Pipeline stage latency in seconds, by stage.", nil,
+		"Pipeline stage latency in seconds, by stage.", obs.StageBuckets,
 		"stage", name).Observe(d.Seconds())
 }
 
@@ -145,6 +147,11 @@ type Result struct {
 	// FailedHeuristics names the heuristics that panicked and were
 	// isolated, in combination order; empty on a clean run.
 	FailedHeuristics []string
+	// HeuristicReasons explains, per heuristic name, why a heuristic
+	// contributed no ranking: a decline reason in the paper's terms, or
+	// "panicked: ..." for an isolated failure. Heuristics that answered are
+	// absent.
+	HeuristicReasons map[string]string
 }
 
 // ErrNoCandidates is returned for documents whose highest-fan-out subtree
@@ -285,7 +292,8 @@ func DiscoverTreeContext(ctx context.Context, tree *tagtree.Tree, opts Options) 
 				return
 			}
 			if err := opts.Faults.FireCtx(ctx, "core/heuristic/"+h.Name()); err != nil {
-				answers[i] = heuristicAnswer{name: h.Name(), d: time.Since(start)}
+				answers[i] = heuristicAnswer{name: h.Name(), d: time.Since(start),
+					reason: "fault injected"}
 				return
 			}
 			r, ok := h.Rank(hctx)
@@ -298,19 +306,33 @@ func DiscoverTreeContext(ctx context.Context, tree *tagtree.Tree, opts Options) 
 	}
 
 	rankMaps := make(map[string]map[string]int)
-	for _, a := range answers {
+	for i := range answers {
+		a := &answers[i]
+		switch {
+		case a.panicked:
+			a.reason = "panicked: " + a.panicMsg
+		case !a.ok && a.reason == "":
+			a.reason = heuristic.DeclineReason(a.name, hctx)
+			if a.reason == "" {
+				a.reason = "declined"
+			}
+		}
 		if opts.observed() {
-			opts.observeHeuristic(a)
+			opts.observeHeuristic(*a)
 		}
 		if a.panicked {
 			res.Degraded = true
 			res.FailedHeuristics = append(res.FailedHeuristics, a.name)
+		}
+		if !a.ok || a.panicked {
+			if res.HeuristicReasons == nil {
+				res.HeuristicReasons = make(map[string]string)
+			}
+			res.HeuristicReasons[a.name] = a.reason
 			continue
 		}
-		if a.ok {
-			res.Rankings[a.name] = a.r
-			rankMaps[a.name] = a.r.ToMap()
-		}
+		res.Rankings[a.name] = a.r
+		rankMaps[a.name] = a.r.ToMap()
 	}
 
 	if err := opts.Faults.FireCtx(ctx, "core/combine"); err != nil {
@@ -334,6 +356,8 @@ func DiscoverTreeContext(ctx context.Context, tree *tagtree.Tree, opts Options) 
 			"cf", fmt.Sprintf("%.4f", res.Scores[0].CF))
 	}
 	if res.Degraded {
+		opts.Trace.SetStatus(obs.StatusDegraded,
+			"failed heuristics: "+strings.Join(res.FailedHeuristics, ","))
 		opts.countDocument("degraded")
 	} else {
 		opts.countDocument("ok")
@@ -351,11 +375,16 @@ type heuristicAnswer struct {
 	ok       bool
 	panicked bool
 	panicMsg string
+	// reason says why the heuristic contributed nothing (decline reason,
+	// injected fault, panic); "" when it answered.
+	reason string
 }
 
 // failDocument counts a failed document under the outcome its error class
-// maps to (canceled, limit, or error), then returns the error unchanged.
+// maps to (canceled, limit, or error), escalates the trace's status, and
+// returns the error unchanged.
 func (o Options) failDocument(err error) error {
+	o.Trace.SetStatus(obs.StatusError, err.Error())
 	switch {
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		o.countDocument("canceled")
@@ -381,7 +410,7 @@ func (o Options) countDocument(outcome string) {
 // stage-latency observation, and run/decline/panic counters.
 func (o Options) observeHeuristic(a heuristicAnswer) {
 	stage := "heuristic/" + a.name
-	attrs := []string{"declined", "true"}
+	attrs := []string{"declined", "true", "reason", a.reason}
 	switch {
 	case a.panicked:
 		attrs = []string{"panicked", "true", "panic", a.panicMsg}
@@ -389,6 +418,9 @@ func (o Options) observeHeuristic(a heuristicAnswer) {
 		attrs = []string{"declined", "false", "rank1", a.r[0].Tag}
 	}
 	o.recordStage(stage, a.d, attrs...)
+	o.Metrics.Histogram("boundary_heuristic_duration_seconds",
+		"One heuristic's ranking latency in seconds, by heuristic.",
+		obs.StageBuckets, "heuristic", a.name).Observe(a.d.Seconds())
 	o.Metrics.Counter("boundary_heuristic_runs_total",
 		"Heuristic invocations, by heuristic.", "heuristic", a.name).Inc()
 	switch {

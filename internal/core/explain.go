@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HeuristicExplain is one heuristic's contribution to a discovery decision:
+// either the certainty factor its rank of the chosen separator contributed,
+// or the reason it contributed nothing.
+type HeuristicExplain struct {
+	Name string `json:"name"`
+	// Declined marks a heuristic that supplied no ranking; Failed marks one
+	// that panicked and was isolated (Failed implies Declined's absence of a
+	// contribution but carries its own flag so dashboards can tell them
+	// apart).
+	Declined bool   `json:"declined,omitempty"`
+	Failed   bool   `json:"failed,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+	// Rank is the 1-based rank this heuristic gave the chosen separator
+	// (0 when unranked), Top its own first-choice tag, and Certainty the
+	// Table 4 factor the rank contributed to the combination.
+	Rank      int     `json:"rank,omitempty"`
+	Top       string  `json:"top,omitempty"`
+	Certainty float64 `json:"certainty"`
+}
+
+// Explanation is the machine-readable account of one discovery decision:
+// per-heuristic certainties and decline reasons plus the Stanford
+// certainty-theory arithmetic (CF = 1 − ∏(1−CFi), §3) that combined them.
+// It is the ?explain=1 response payload and the -explain data source.
+type Explanation struct {
+	Separator  string             `json:"separator"`
+	CompoundCF float64            `json:"compound_cf"`
+	// Formula spells out the combination arithmetic for the chosen
+	// separator with the actual Table 4 factors substituted in.
+	Formula    string             `json:"formula"`
+	Degraded   bool               `json:"degraded,omitempty"`
+	Heuristics []HeuristicExplain `json:"heuristics"`
+}
+
+// NewExplanation builds the explanation for a completed discovery under the
+// options that produced it (the certainty table and combination in opts
+// must match the ones the discovery ran with; the zero Options gives the
+// paper's configuration, same as discovery itself).
+func NewExplanation(res *Result, opts Options) *Explanation {
+	table := opts.factors()
+	exp := &Explanation{
+		Separator: res.Separator,
+		Degraded:  res.Degraded,
+	}
+	if len(res.Scores) > 0 {
+		exp.CompoundCF = res.Scores[0].CF
+	}
+	failed := make(map[string]bool, len(res.FailedHeuristics))
+	for _, name := range res.FailedHeuristics {
+		failed[name] = true
+	}
+
+	// The single-candidate shortcut (§3) never consults the heuristics:
+	// the lone candidate is the separator with certainty 1.
+	single := len(res.Rankings) == 0 && len(res.Candidates) == 1 && !res.Degraded &&
+		len(res.HeuristicReasons) == 0
+	var parts []string
+	for _, name := range opts.combination() {
+		h := HeuristicExplain{Name: name}
+		switch {
+		case single:
+			h.Declined = true
+			h.Reason = "not consulted: single candidate is the separator outright"
+		case failed[name]:
+			h.Failed = true
+			h.Reason = res.HeuristicReasons[name]
+		default:
+			ranking, ok := res.Rankings[name]
+			if !ok {
+				h.Declined = true
+				h.Reason = res.HeuristicReasons[name]
+				break
+			}
+			if len(ranking) > 0 {
+				h.Top = ranking[0].Tag
+			}
+			h.Rank = ranking.RankOf(res.Separator)
+			h.Certainty = table.Factor(name, h.Rank)
+			if h.Certainty > 0 {
+				parts = append(parts, fmt.Sprintf("(1−%.3f)", h.Certainty))
+			}
+		}
+		exp.Heuristics = append(exp.Heuristics, h)
+	}
+
+	switch {
+	case single:
+		exp.CompoundCF = 1
+		exp.Formula = "CF = 1 (single candidate)"
+	case len(parts) == 0:
+		exp.Formula = fmt.Sprintf("CF = %.4f (no heuristic ranked the separator)", exp.CompoundCF)
+	default:
+		exp.Formula = fmt.Sprintf("CF = 1 − %s = %.4f",
+			strings.Join(parts, "·"), exp.CompoundCF)
+	}
+	return exp
+}
+
+// ExplainVerbose renders Explain's worked-example report plus the certainty
+// evidence of NewExplanation: each heuristic's contributed factor or its
+// decline/failure reason, and the combination arithmetic. This is the
+// -explain output of cmd/boundary; the terser Explain stays unchanged for
+// callers (and golden files) that depend on its exact format.
+func ExplainVerbose(res *Result, opts Options) string {
+	var b strings.Builder
+	b.WriteString(Explain(res))
+	exp := NewExplanation(res, opts)
+	b.WriteString("certainty:\n")
+	for _, h := range exp.Heuristics {
+		switch {
+		case h.Failed:
+			fmt.Fprintf(&b, "  %s: failed — %s\n", h.Name, h.Reason)
+		case h.Declined:
+			fmt.Fprintf(&b, "  %s: declined — %s\n", h.Name, h.Reason)
+		case h.Rank == 0:
+			fmt.Fprintf(&b, "  %s: ranked <%s> first; did not rank <%s>\n",
+				h.Name, h.Top, exp.Separator)
+		default:
+			fmt.Fprintf(&b, "  %s: factor %.3f (ranked <%s> at %d)\n",
+				h.Name, h.Certainty, exp.Separator, h.Rank)
+		}
+	}
+	fmt.Fprintf(&b, "  combined: %s\n", exp.Formula)
+	return b.String()
+}
+
+// TraceAttrs renders the explanation as alternating trace-attribute pairs,
+// so the same evidence the client sees rides the request's trace.
+func (e *Explanation) TraceAttrs() []string {
+	attrs := []string{"combination", e.Formula}
+	for _, h := range e.Heuristics {
+		switch {
+		case h.Failed:
+			attrs = append(attrs, h.Name, "failed: "+h.Reason)
+		case h.Declined:
+			attrs = append(attrs, h.Name, "declined: "+h.Reason)
+		default:
+			attrs = append(attrs, h.Name, fmt.Sprintf("cf=%.3f rank=%d", h.Certainty, h.Rank))
+		}
+	}
+	return attrs
+}

@@ -42,3 +42,35 @@ func OMEstimate(ctx *Context) (estimate float64, ok bool) {
 	}
 	return recognizer.EstimateRecordCount(ctx.Ontology, ctx.Table)
 }
+
+// DeclineReason reconstructs why the named heuristic declined to answer on
+// this context, in the terms the paper uses for each heuristic's
+// no-answer case. It returns "" for heuristics that would not have declined
+// (the caller is then looking at an isolated failure or an injected fault,
+// not a genuine decline) and for unknown names.
+func DeclineReason(name string, ctx *Context) string {
+	if len(ctx.Candidates) == 0 {
+		return "no candidate separator tags"
+	}
+	switch name {
+	case "OM":
+		switch {
+		case ctx.Ontology == nil:
+			return "no ontology supplied"
+		case ctx.Table == nil:
+			return "no data-record table built"
+		default:
+			if _, ok := recognizer.EstimateRecordCount(ctx.Ontology, ctx.Table); !ok {
+				return "fewer than three record-identifying fields matched"
+			}
+		}
+	case "RP":
+		if len(adjacentPairs(ctx)) == 0 {
+			return "no adjacent candidate start-tag pairs"
+		}
+		return "no tag pair above the pair-count floor"
+	case "IT":
+		return "no candidate on the identifiable-separator list"
+	}
+	return ""
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // MaxBatchDocuments bounds one batch request. The body-size limit already
@@ -44,6 +45,12 @@ const codeNotAttempted = "not_attempted"
 // documents finish (each sees the canceled context and fails fast), and
 // undispatched ones come back with Code "not_attempted".
 func (s server) handleDiscoverBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() {
+		s.cfg.Metrics.Histogram("boundary_batch_duration_seconds",
+			"Wall-clock duration of one /v1/discover/batch request.", nil).
+			Observe(time.Since(start).Seconds())
+	}()
 	var req batchRequest
 	if !decodeJSON(w, r, &req) {
 		return

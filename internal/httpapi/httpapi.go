@@ -79,6 +79,14 @@ type Config struct {
 	// Faults is the test-only fault-injection hook set threaded into the
 	// pipeline (see internal/faultinject); nil in production.
 	Faults *faultinject.Set
+	// Traces enables distributed tracing: every request gets (or continues,
+	// via its W3C traceparent header) a trace whose finished fragment is
+	// published here, and GET /debug/traces serves the store. Nil disables
+	// tracing.
+	Traces *obs.TraceStore
+	// Service names this process in trace fragments ("local-0", ...); empty
+	// means "boundary".
+	Service string
 }
 
 // server binds the handlers to one Config.
@@ -99,13 +107,18 @@ func NewHandler(cfg Config) http.Handler {
 	mux := newMux(s)
 	mux.Handle("GET /metrics", cfg.Metrics.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	var tracing *obs.Tracing
+	if cfg.Traces != nil {
+		mux.Handle("GET /debug/traces", cfg.Traces.Handler())
+		tracing = &obs.Tracing{Store: cfg.Traces, Service: cfg.Service}
+	}
 	route := func(r *http.Request) string {
 		_, pattern := mux.Handler(r)
 		return pattern
 	}
 	// Shedding sits inside the observability middleware so shed requests
 	// still show up in the request log and the per-route HTTP metrics.
-	return obs.Middleware(s.limit(mux), cfg.Logger, cfg.Metrics, route)
+	return obs.Middleware(s.limit(mux), cfg.Logger, cfg.Metrics, route, tracing)
 }
 
 // limit wraps next with the serving-layer protections for /v1/ routes: a
@@ -167,12 +180,14 @@ func newMux(s server) *http.ServeMux {
 	return mux
 }
 
-// pipelineOptions threads the server's metrics, resource limits, and fault
-// hooks into a discovery call.
-func (s server) pipelineOptions(ont *ontology.Ontology, separatorList []string) core.Options {
+// pipelineOptions threads the server's metrics, resource limits, fault
+// hooks, and the request's live trace (if any, from ctx) into a discovery
+// call, so heuristic stage spans land on the same trace as the HTTP span.
+func (s server) pipelineOptions(ctx context.Context, ont *ontology.Ontology, separatorList []string) core.Options {
 	return core.Options{
 		Ontology:      ont,
 		SeparatorList: separatorList,
+		Trace:         obs.TraceFrom(ctx),
 		Metrics:       s.cfg.Metrics,
 		Limits:        s.cfg.Limits,
 		Faults:        s.cfg.Faults,
@@ -267,6 +282,9 @@ type discoverResponse struct {
 	// the answer was computed from the surviving heuristics only.
 	Degraded         bool     `json:"degraded,omitempty"`
 	FailedHeuristics []string `json:"failed_heuristics,omitempty"`
+	// Explain carries per-heuristic certainty evidence; present only when
+	// the request asked for it with ?explain=1.
+	Explain *core.Explanation `json:"explain,omitempty"`
 }
 
 type scoreBody struct {
@@ -365,6 +383,7 @@ func (s server) discoverOne(ctx context.Context, req *request) (*discoverRespons
 	key := RequestFingerprint(mode, doc, req.Ontology, req.SeparatorList)
 	for {
 		if resp, ok := s.cache.get(key); ok {
+			obs.TraceFrom(ctx).Add("cache/hit", 0)
 			return resp, nil
 		}
 		call, leader := s.cache.join(key)
@@ -393,16 +412,27 @@ func (s server) discoverOne(ctx context.Context, req *request) (*discoverRespons
 // computeDiscover is the cache-miss path: resolve the ontology and run the
 // full pipeline under the request context.
 func (s server) computeDiscover(ctx context.Context, mode, doc string, req *request) (*discoverResponse, *apiError) {
+	res, _, apiErr := s.runDiscover(ctx, mode, doc, req)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	return toDiscoverResponse(res), nil
+}
+
+// runDiscover runs the full pipeline and also returns the options it ran
+// under, for callers (the explain path) that need the certainty table and
+// combination rule that produced the result.
+func (s server) runDiscover(ctx context.Context, mode, doc string, req *request) (*core.Result, core.Options, *apiError) {
 	if s.cfg.Faults != nil {
 		if err := s.cfg.Faults.FireCtx(ctx, "httpapi/discover"); err != nil {
-			return nil, pipelineError(err)
+			return nil, core.Options{}, pipelineError(err)
 		}
 	}
 	ont, err := req.resolveOntology()
 	if err != nil {
-		return nil, &apiError{http.StatusBadRequest, err}
+		return nil, core.Options{}, &apiError{http.StatusBadRequest, err}
 	}
-	opts := s.pipelineOptions(ont, req.SeparatorList)
+	opts := s.pipelineOptions(ctx, ont, req.SeparatorList)
 	var res *core.Result
 	if mode == "html" {
 		res, err = core.DiscoverContext(ctx, doc, opts)
@@ -410,9 +440,9 @@ func (s server) computeDiscover(ctx context.Context, mode, doc string, req *requ
 		res, err = core.DiscoverXMLContext(ctx, doc, opts)
 	}
 	if err != nil {
-		return nil, pipelineError(err)
+		return nil, opts, pipelineError(err)
 	}
-	return toDiscoverResponse(res), nil
+	return res, opts, nil
 }
 
 func (s server) handleDiscover(w http.ResponseWriter, r *http.Request) {
@@ -420,11 +450,42 @@ func (s server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if r.URL.Query().Get("explain") == "1" {
+		s.handleDiscoverExplain(w, r, req)
+		return
+	}
 	resp, apiErr := s.discoverOne(r.Context(), req)
 	if apiErr != nil {
 		writeErr(w, apiErr.status, apiErr.err)
 		return
 	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDiscoverExplain is /v1/discover?explain=1: the same discovery, with
+// each heuristic's certainty, decline reason, and the combination arithmetic
+// attached to the response and the request's trace. It bypasses the result
+// cache and the in-flight dedup on purpose — the plain path must stay
+// byte-identical across cluster and single-node serving, and an explain
+// response cached for a plain request (or vice versa) would break that.
+func (s server) handleDiscoverExplain(w http.ResponseWriter, r *http.Request, req *request) {
+	if (req.HTML == "") == (req.XML == "") {
+		writeErr(w, http.StatusBadRequest,
+			errors.New("exactly one of html or xml is required"))
+		return
+	}
+	mode, doc := "html", req.HTML
+	if req.XML != "" {
+		mode, doc = "xml", req.XML
+	}
+	res, opts, apiErr := s.runDiscover(r.Context(), mode, doc, req)
+	if apiErr != nil {
+		writeErr(w, apiErr.status, apiErr.err)
+		return
+	}
+	resp := toDiscoverResponse(res)
+	resp.Explain = core.NewExplanation(res, opts)
+	obs.TraceFrom(r.Context()).Add("explain", 0, resp.Explain.TraceAttrs()...)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -449,7 +510,7 @@ func (s server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := core.DiscoverContext(r.Context(), req.HTML, s.pipelineOptions(ont, req.SeparatorList))
+	res, err := core.DiscoverContext(r.Context(), req.HTML, s.pipelineOptions(r.Context(), ont, req.SeparatorList))
 	if err != nil {
 		apiErr := pipelineError(err)
 		writeErr(w, apiErr.status, apiErr.err)
@@ -483,7 +544,7 @@ func (s server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := core.DiscoverContext(r.Context(), req.HTML, s.pipelineOptions(ont, nil))
+	res, err := core.DiscoverContext(r.Context(), req.HTML, s.pipelineOptions(r.Context(), ont, nil))
 	if err != nil {
 		apiErr := pipelineError(err)
 		writeErr(w, apiErr.status, apiErr.err)

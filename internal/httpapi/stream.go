@@ -2,7 +2,9 @@ package httpapi
 
 import (
 	"net/http"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -25,9 +27,16 @@ import (
 // processed — per-document failures are in-band, and a broken input stream
 // surfaces as an error line followed by end-of-stream.
 func (s server) handleDiscoverStream(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() {
+		s.cfg.Metrics.Histogram("boundary_stream_duration_seconds",
+			"Wall-clock duration of one /v1/discover/stream request.", nil).
+			Observe(time.Since(start).Seconds())
+	}()
 	eng := pipeline.New(pipeline.Config{
 		Workers: s.cfg.BatchWorkers,
 		Metrics: s.cfg.Metrics,
+		Trace:   obs.TraceFrom(r.Context()),
 		Limits:  s.cfg.Limits,
 		Faults:  s.cfg.Faults,
 	})

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scrape is one peer's /metrics exposition (or the error fetching it), as
+// input to WriteFederated.
+type Scrape struct {
+	Peer string
+	Data []byte
+	Err  error
+}
+
+// expoSample is one parsed sample line: the full metric name (including any
+// _bucket/_sum/_count suffix), its raw label body (without braces), and its
+// value text.
+type expoSample struct {
+	name   string
+	labels string
+	value  string
+}
+
+// expoFamily groups one metric family's metadata and samples.
+type expoFamily struct {
+	name    string
+	help    string
+	typ     string
+	samples []expoSample
+}
+
+var expoTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// splitSample splits a sample line into name, label body, and value,
+// honoring quotes in label values (a label may contain spaces, braces, or
+// escaped quotes). ok is false for lines that do not scan.
+func splitSample(line string) (name, labels, value string, ok bool) {
+	i := strings.IndexAny(line, "{ \t")
+	if i <= 0 {
+		return "", "", "", false
+	}
+	name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		// Scan to the closing brace, skipping quoted stretches.
+		inQuote, escaped := false, false
+		end := -1
+		for j := 1; j < len(rest); j++ {
+			c := rest[j]
+			switch {
+			case escaped:
+				escaped = false
+			case c == '\\':
+				escaped = true
+			case c == '"':
+				inQuote = !inQuote
+			case c == '}' && !inQuote:
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", "", false
+		}
+		labels = rest[1:end]
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // value [timestamp]
+		return "", "", "", false
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return "", "", "", false
+	}
+	return name, labels, fields[0], true
+}
+
+// parseExposition parses Prometheus text format 0.0.4 into families, in
+// order of first appearance. Unknown-family samples (no TYPE line) get an
+// implicit untyped family.
+func parseExposition(data []byte) ([]*expoFamily, error) {
+	byName := make(map[string]*expoFamily)
+	var order []*expoFamily
+	family := func(name string) *expoFamily {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &expoFamily{name: name}
+		byName[name] = f
+		order = append(order, f)
+		return f
+	}
+	// sampleFamily maps a sample name to its family, resolving histogram
+	// and summary suffixes.
+	sampleFamily := func(name string) *expoFamily {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base, found := strings.CutSuffix(name, suffix)
+			if !found {
+				continue
+			}
+			if f, ok := byName[base]; ok && (f.typ == "histogram" || f.typ == "summary") {
+				return f
+			}
+		}
+		return family(name)
+	}
+
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && fields[1] == "HELP" {
+				f := family(fields[2])
+				if len(fields) == 4 {
+					f.help = fields[3]
+				}
+				continue
+			}
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				if !expoTypes[fields[3]] {
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				family(fields[2]).typ = fields[3]
+				continue
+			}
+			continue // bare comment
+		}
+		name, labels, value, ok := splitSample(line)
+		if !ok {
+			return nil, fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		f := sampleFamily(name)
+		f.samples = append(f.samples, expoSample{name: name, labels: labels, value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return order, nil
+}
+
+// ValidateExposition checks that data parses as Prometheus text exposition
+// format: every sample line scans and carries a float value, and every TYPE
+// line declares a known type.
+func ValidateExposition(data []byte) error {
+	_, err := parseExposition(data)
+	return err
+}
+
+// WriteFederated merges several peers' expositions into one, re-emitting
+// every sample with an injected peer="<name>" label so one scrape of the
+// router shows the whole ring with per-replica attribution. Families are
+// merged by name across peers (first HELP/TYPE wins; a peer whose TYPE
+// disagrees is skipped for that family with an explanatory comment), and a
+// failed scrape becomes a comment plus a boundary_federation_errors sample
+// rather than failing the whole exposition.
+func WriteFederated(w io.Writer, scrapes []Scrape) error {
+	type fedFamily struct {
+		expoFamily
+		perPeer []struct {
+			peer    string
+			samples []expoSample
+		}
+	}
+	byName := make(map[string]*fedFamily)
+	var errsOut []string
+	var failed []string
+
+	for _, sc := range scrapes {
+		if sc.Err != nil {
+			errsOut = append(errsOut, fmt.Sprintf("# federation: peer %s failed: %s", sc.Peer, sc.Err))
+			failed = append(failed, sc.Peer)
+			continue
+		}
+		fams, err := parseExposition(sc.Data)
+		if err != nil {
+			errsOut = append(errsOut, fmt.Sprintf("# federation: peer %s unparseable: %s", sc.Peer, err))
+			failed = append(failed, sc.Peer)
+			continue
+		}
+		for _, f := range fams {
+			ff, ok := byName[f.name]
+			if !ok {
+				ff = &fedFamily{expoFamily: expoFamily{name: f.name, help: f.help, typ: f.typ}}
+				byName[f.name] = ff
+			}
+			if ff.typ == "" {
+				ff.typ = f.typ
+			}
+			if ff.help == "" {
+				ff.help = f.help
+			}
+			if f.typ != "" && ff.typ != f.typ {
+				errsOut = append(errsOut, fmt.Sprintf(
+					"# federation: peer %s: type conflict on %s (%s vs %s), skipped",
+					sc.Peer, f.name, f.typ, ff.typ))
+				continue
+			}
+			ff.perPeer = append(ff.perPeer, struct {
+				peer    string
+				samples []expoSample
+			}{sc.Peer, f.samples})
+		}
+	}
+
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, line := range errsOut {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	for _, name := range names {
+		ff := byName[name]
+		if ff.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", ff.name, ff.help)
+		}
+		typ := ff.typ
+		if typ == "" {
+			typ = "untyped"
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", ff.name, typ)
+		for _, pp := range ff.perPeer {
+			peerLabel := `peer="` + escapeLabel(pp.peer) + `"`
+			for _, sample := range pp.samples {
+				labels := peerLabel
+				if sample.labels != "" {
+					labels += "," + sample.labels
+				}
+				fmt.Fprintf(&b, "%s{%s} %s\n", sample.name, labels, sample.value)
+			}
+		}
+	}
+	// Surface scrape health as a metric, so a dashboard can alert on a peer
+	// that stopped exposing rather than just losing its series.
+	fmt.Fprintf(&b, "# TYPE boundary_federation_peers gauge\n")
+	for _, sc := range scrapes {
+		up := 1
+		for _, f := range failed {
+			if f == sc.Peer {
+				up = 0
+				break
+			}
+		}
+		fmt.Fprintf(&b, "boundary_federation_peers{peer=\"%s\"} %d\n", escapeLabel(sc.Peer), up)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

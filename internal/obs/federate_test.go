@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestValidateExpositionAcceptsOwnRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "Requests.", "route", "/v1/discover").Inc()
+	r.Gauge("inflight", "In flight.").Set(2)
+	r.Histogram("dur_seconds", "Durations.", DefBuckets).Observe(0.03)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition([]byte(b.String())); err != nil {
+		t.Errorf("own registry output rejected: %v\n%s", err, b.String())
+	}
+}
+
+func TestValidateExpositionRejectsGarbage(t *testing.T) {
+	for name, data := range map[string]string{
+		"not a sample": "this is not prometheus\n",
+		"bad value":    "x_total{} notanumber\n",
+		"bad type":     "# TYPE x_total rate\n",
+		"torn braces":  "x_total{route=\"/v1 12\n",
+	} {
+		if err := ValidateExposition([]byte(data)); err == nil {
+			t.Errorf("%s: %q validated, want error", name, data)
+		}
+	}
+}
+
+func TestValidateExpositionQuotedLabels(t *testing.T) {
+	data := "x_total{route=\"/a b\",msg=\"brace } inside\",esc=\"q\\\"uote\"} 4\n"
+	if err := ValidateExposition([]byte(data)); err != nil {
+		t.Errorf("quoted labels rejected: %v", err)
+	}
+}
+
+func TestWriteFederatedMergesPeers(t *testing.T) {
+	a := "# HELP reqs_total Requests.\n# TYPE reqs_total counter\nreqs_total{route=\"/x\"} 3\n"
+	b := "# HELP reqs_total Requests.\n# TYPE reqs_total counter\nreqs_total{route=\"/x\"} 7\n"
+	var out strings.Builder
+	err := WriteFederated(&out, []Scrape{
+		{Peer: "local-0", Data: []byte(a)},
+		{Peer: "local-1", Data: []byte(b)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"# TYPE reqs_total counter",
+		`reqs_total{peer="local-0",route="/x"} 3`,
+		`reqs_total{peer="local-1",route="/x"} 7`,
+		`boundary_federation_peers{peer="local-0"} 1`,
+		`boundary_federation_peers{peer="local-1"} 1`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("federated output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Count(got, "# TYPE reqs_total counter") != 1 {
+		t.Errorf("family metadata must be emitted once:\n%s", got)
+	}
+	if err := ValidateExposition([]byte(got)); err != nil {
+		t.Errorf("federated output does not re-parse: %v", err)
+	}
+}
+
+func TestWriteFederatedFailedPeerBecomesComment(t *testing.T) {
+	var out strings.Builder
+	err := WriteFederated(&out, []Scrape{
+		{Peer: "local-0", Data: []byte("# TYPE up gauge\nup 1\n")},
+		{Peer: "remote-1", Err: errors.New("connection refused")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"# federation: peer remote-1 failed: connection refused",
+		`boundary_federation_peers{peer="remote-1"} 0`,
+		`boundary_federation_peers{peer="local-0"} 1`,
+		`up{peer="local-0"} 1`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if err := ValidateExposition([]byte(got)); err != nil {
+		t.Errorf("output with failed peer does not re-parse: %v", err)
+	}
+}
+
+func TestWriteFederatedTypeConflictSkipsPeer(t *testing.T) {
+	var out strings.Builder
+	err := WriteFederated(&out, []Scrape{
+		{Peer: "a", Data: []byte("# TYPE m counter\nm 1\n")},
+		{Peer: "b", Data: []byte("# TYPE m gauge\nm 2\n")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "type conflict on m") {
+		t.Errorf("missing type-conflict comment:\n%s", got)
+	}
+	if !strings.Contains(got, `m{peer="a"} 1`) || strings.Contains(got, `m{peer="b"}`) {
+		t.Errorf("conflicting peer's samples must be skipped, first peer's kept:\n%s", got)
+	}
+}
+
+// TestWriteFederatedHistogramSuffixes: _bucket/_sum/_count samples must stay
+// grouped under their histogram family rather than spawning untyped families.
+func TestWriteFederatedHistogramSuffixes(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1}).Observe(0.5)
+	var exp strings.Builder
+	if err := r.WritePrometheus(&exp); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := WriteFederated(&out, []Scrape{{Peer: "p0", Data: []byte(exp.String())}}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if strings.Contains(got, "# TYPE lat_seconds_bucket") {
+		t.Errorf("_bucket spawned its own family:\n%s", got)
+	}
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{peer="p0",le="1"} 1`,
+		`lat_seconds_count{peer="p0"} 1`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many goroutines
+// while the registry is concurrently rendered; run under -race this is the
+// exposition-vs-observe data-race check, and the final counts must not lose
+// an observation.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 8, 2000
+	var writers, renderer sync.WaitGroup
+	stop := make(chan struct{})
+	renderer.Add(1)
+	go func() {
+		defer renderer.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var b strings.Builder
+				_ = r.WritePrometheus(&b)
+				if err := ValidateExposition([]byte(b.String())); err != nil {
+					t.Errorf("mid-flight exposition invalid: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < perG; i++ {
+				// Re-resolve the metric each time: registration races too.
+				r.Histogram("stage_seconds", "Stage durations.", StageBuckets,
+					"stage", "parse").Observe(float64(i%10) / 1000)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	renderer.Wait()
+	h := r.Histogram("stage_seconds", "Stage durations.", StageBuckets, "stage", "parse")
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("Count = %d, want %d (lost observations)", got, goroutines*perG)
+	}
+}

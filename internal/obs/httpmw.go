@@ -4,6 +4,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -46,18 +47,32 @@ func (w *statusWriter) Flush() {
 // re-implement (EnableFullDuplex, deadlines, hijacking).
 func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
+// Tracing configures the middleware's distributed-tracing behavior: where
+// finished traces are published and which service name the fragment roots
+// carry. A nil *Tracing disables tracing entirely.
+type Tracing struct {
+	Store   *TraceStore
+	Service string
+}
+
 // Middleware wraps next with structured request logging, per-route metrics,
-// and X-Request-ID propagation. route maps a request to its bounded-
-// cardinality route label (e.g. the mux pattern that matched); nil or an
-// empty result is labeled "unmatched". logger may be nil to disable logging;
-// reg may be nil to disable metrics.
+// X-Request-ID propagation and — when tracing is non-nil — distributed
+// tracing: an inbound W3C traceparent header continues the caller's trace
+// (otherwise a fresh one starts), the live trace rides the request context
+// for handlers to annotate, the trace ID echoes on the X-Trace-ID response
+// header, and the finished fragment is published to tracing.Store with its
+// status derived from the response code (429 → shed, other 4xx/5xx →
+// error). route maps a request to its bounded-cardinality route label (e.g.
+// the mux pattern that matched); nil or an empty result is labeled
+// "unmatched". logger may be nil to disable logging; reg may be nil to
+// disable metrics.
 //
 // Per route it maintains: http_requests_total{route,method,code},
 // http_request_errors_total{route} (status >= 400),
 // http_request_duration_seconds{route} (histogram),
 // http_request_body_bytes_total{route} (bytes in), and the process-wide
 // http_requests_in_flight gauge.
-func Middleware(next http.Handler, logger *slog.Logger, reg *Registry, route func(*http.Request) string) http.Handler {
+func Middleware(next http.Handler, logger *slog.Logger, reg *Registry, route func(*http.Request) string, tracing *Tracing) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rt := "unmatched"
 		if route != nil {
@@ -72,6 +87,29 @@ func Middleware(next http.Handler, logger *slog.Logger, reg *Registry, route fun
 		}
 		w.Header().Set(RequestIDHeader, id)
 		r = r.WithContext(WithRequestID(r.Context(), id))
+
+		var tr *Trace
+		if tracing != nil {
+			if sc, ok := ParseTraceparent(r.Header.Get(TraceparentHeader)); ok {
+				tr = NewTraceFrom(sc)
+			} else {
+				tr = NewTrace()
+			}
+			service := tracing.Service
+			if service == "" {
+				service = "boundary"
+			}
+			// Route labels from mux patterns often carry the method already
+			// ("POST /v1/discover"); only prefix it when absent.
+			name := rt
+			if !strings.HasPrefix(name, r.Method+" ") {
+				name = r.Method + " " + name
+			}
+			tr.SetRoot(service, name)
+			tr.RootAttr("request_id", id)
+			w.Header().Set(TraceIDHeader, tr.ID().String())
+			r = r.WithContext(WithTrace(r.Context(), tr))
+		}
 
 		inFlight := reg.Gauge("http_requests_in_flight",
 			"Requests currently being served.")
@@ -103,9 +141,26 @@ func Middleware(next http.Handler, logger *slog.Logger, reg *Registry, route fun
 			"HTTP request latency in seconds, by route.", nil,
 			"route", rt).Observe(elapsed.Seconds())
 
+		if tr != nil {
+			tr.RootAttr("code", strconv.Itoa(sw.status))
+			switch {
+			case sw.status == http.StatusTooManyRequests:
+				tr.SetStatus(StatusShed, "load shed")
+			case sw.status >= 400:
+				tr.SetStatus(StatusError, "http status "+strconv.Itoa(sw.status))
+			}
+			tr.Finish()
+			tracing.Store.Publish(tr)
+		}
+
 		if logger != nil {
+			traceID := ""
+			if tr != nil {
+				traceID = tr.ID().String()
+			}
 			logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
 				slog.String("request_id", id),
+				slog.String("trace_id", traceID),
 				slog.String("method", r.Method),
 				slog.String("path", r.URL.Path),
 				slog.String("route", rt),

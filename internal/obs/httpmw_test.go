@@ -30,7 +30,7 @@ func mwServer(t *testing.T, logDst io.Writer) (*httptest.Server, *Registry) {
 		logger = slog.New(slog.NewJSONHandler(logDst, nil))
 	}
 	route := func(r *http.Request) string { return r.URL.Path }
-	srv := httptest.NewServer(Middleware(inner, logger, reg, route))
+	srv := httptest.NewServer(Middleware(inner, logger, reg, route, nil))
 	t.Cleanup(srv.Close)
 	return srv, reg
 }
@@ -133,7 +133,7 @@ func TestMiddlewareNilSinks(t *testing.T) {
 	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok")
 	})
-	srv := httptest.NewServer(Middleware(inner, nil, nil, nil))
+	srv := httptest.NewServer(Middleware(inner, nil, nil, nil, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL)
 	if err != nil {

@@ -25,6 +25,16 @@ var DefBuckets = []float64{
 	.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
 }
 
+// StageBuckets are bucket bounds for in-process pipeline stages — tag-tree
+// build, a single heuristic's ranking — which complete in microseconds to
+// milliseconds on Figure-2-sized documents, well under DefBuckets' floor.
+// Shared by every stage histogram so per-heuristic latencies compare
+// directly.
+var StageBuckets = []float64{
+	.00001, .000025, .00005, .0001, .00025, .0005, .001, .0025, .005,
+	.01, .025, .05, .1, .25, 1,
+}
+
 // Registry holds named metric families and renders them in Prometheus text
 // format. The zero value is not usable; call NewRegistry. A nil *Registry is
 // a valid no-op sink: every lookup returns a nil metric whose methods do

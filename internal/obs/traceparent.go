@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+)
+
+// TraceparentHeader is the W3C trace-context request header carrying the
+// caller's trace ID, span ID and flags across process boundaries.
+const TraceparentHeader = "Traceparent"
+
+// TraceIDHeader echoes the request's trace ID on every traced response, so
+// clients can quote it when filing a slow-request report.
+const TraceIDHeader = "X-Trace-ID"
+
+// SpanContext is the cross-process identity of one span: enough to continue
+// its trace in another service.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Flags   byte
+}
+
+// Valid reports whether both identifiers are non-zero.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Header renders the context as a version-00 traceparent header value.
+func (sc SpanContext) Header() string {
+	return fmt.Sprintf("00-%s-%s-%02x", sc.TraceID, sc.SpanID, sc.Flags)
+}
+
+// ParseTraceparent parses a traceparent header value per the W3C
+// trace-context recommendation. It returns ok=false for malformed input
+// (wrong field sizes, uppercase hex, all-zero IDs, version "ff") and
+// tolerates future versions: a header from a newer or foreign vendor with a
+// known-good prefix and extra trailing fields still yields its trace and
+// parent IDs, so the trace continues rather than restarting at our edge.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	h = strings.TrimSpace(h)
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return SpanContext{}, false
+	}
+	var version [1]byte
+	if !decodeLowerHex(version[:], parts[0]) || parts[0] == "ff" {
+		return SpanContext{}, false
+	}
+	// Version 00 has exactly four fields; later versions may append more.
+	if parts[0] == "00" && len(parts) != 4 {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if !decodeLowerHex(sc.TraceID[:], parts[1]) || sc.TraceID.IsZero() {
+		return SpanContext{}, false
+	}
+	if !decodeLowerHex(sc.SpanID[:], parts[2]) || sc.SpanID.IsZero() {
+		return SpanContext{}, false
+	}
+	var flags [1]byte
+	if !decodeLowerHex(flags[:], parts[3]) {
+		return SpanContext{}, false
+	}
+	sc.Flags = flags[0]
+	return sc, true
+}
+
+const (
+	traceKey ctxKey = iota + 1 // requestIDKey is 0 in log.go
+	spanContextKey
+)
+
+// WithTrace stores the request's live trace in the context; instrumented
+// stages down the call chain retrieve it with TraceFrom.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey, t)
+}
+
+// TraceFrom returns the trace stored by WithTrace, or nil (a valid no-op
+// sink) when the request is not traced.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}
+
+// ContextWithSpanContext stores an outgoing span context — the parent
+// identity a client should inject into its next hop's traceparent header.
+func ContextWithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, spanContextKey, sc)
+}
+
+// SpanContextFromContext returns the span context stored by
+// ContextWithSpanContext. When none was stored explicitly it falls back to
+// the root of the trace stored by WithTrace, so any traced request can be
+// propagated without extra plumbing.
+func SpanContextFromContext(ctx context.Context) SpanContext {
+	if sc, ok := ctx.Value(spanContextKey).(SpanContext); ok {
+		return sc
+	}
+	return TraceFrom(ctx).SpanContext()
+}

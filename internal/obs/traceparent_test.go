@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparentRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	tr.SetRoot("svc", "op")
+	sc := tr.SpanContext()
+	if !sc.Valid() {
+		t.Fatal("root span context of a live trace must be valid")
+	}
+	got, ok := ParseTraceparent(sc.Header())
+	if !ok {
+		t.Fatalf("own header %q did not parse", sc.Header())
+	}
+	if got != sc {
+		t.Errorf("round trip = %+v, want %+v", got, sc)
+	}
+}
+
+func TestParseTraceparentValid(t *testing.T) {
+	for name, h := range map[string]string{
+		"canonical":      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"flags zero":     "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00",
+		"padded":         "  00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01  ",
+		"future version": "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-vendor-extra",
+	} {
+		sc, ok := ParseTraceparent(h)
+		if !ok {
+			t.Errorf("%s: %q did not parse", name, h)
+			continue
+		}
+		if sc.TraceID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+			t.Errorf("%s: trace id = %s", name, sc.TraceID)
+		}
+		if sc.SpanID.String() != "00f067aa0ba902b7" {
+			t.Errorf("%s: span id = %s", name, sc.SpanID)
+		}
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	for name, h := range map[string]string{
+		"empty":              "",
+		"missing fields":     "00-4bf92f3577b34da6a3ce929d0e0e4736",
+		"version ff":         "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"uppercase trace id": "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+		"uppercase span id":  "00-4bf92f3577b34da6a3ce929d0e0e4736-00F067AA0BA902B7-01",
+		"short trace id":     "00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01",
+		"long span id":       "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7aa-01",
+		"zero trace id":      "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"zero span id":       "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"non-hex version":    "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"non-hex flags":      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0g",
+		"v00 extra fields":   "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+		"spaces inside":      "00 -4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+	} {
+		if sc, ok := ParseTraceparent(h); ok {
+			t.Errorf("%s: %q parsed to %+v, want rejection", name, h, sc)
+		}
+	}
+}
+
+// TestNewTraceFromContinuesForeignTrace: a trace built from a parsed remote
+// context must keep the caller's trace ID and record the caller's span as its
+// remote parent, while minting distinct local span IDs.
+func TestNewTraceFromContinuesForeignTrace(t *testing.T) {
+	sc, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if !ok {
+		t.Fatal("fixture header did not parse")
+	}
+	tr := NewTraceFrom(sc)
+	tr.SetRoot("replica", "POST /v1/discover")
+	if tr.ID() != sc.TraceID {
+		t.Errorf("trace id = %s, want caller's %s", tr.ID(), sc.TraceID)
+	}
+	own := tr.SpanContext()
+	if own.SpanID == sc.SpanID {
+		t.Error("local root span reused the caller's span id")
+	}
+	if own.TraceID != sc.TraceID {
+		t.Errorf("propagated trace id = %s, want %s", own.TraceID, sc.TraceID)
+	}
+	d := tr.Snapshot()
+	if d.RemoteParent != sc.SpanID {
+		t.Errorf("remote parent = %s, want %s", d.RemoteParent, sc.SpanID)
+	}
+}
+
+// TestSpanContextHeaderShape: the injected header must itself be a canonical
+// version-00 value so any W3C-conformant downstream accepts it.
+func TestSpanContextHeaderShape(t *testing.T) {
+	tr := NewTrace()
+	tr.SetRoot("svc", "op")
+	h := tr.SpanContext().Header()
+	parts := strings.Split(h, "-")
+	if len(parts) != 4 || parts[0] != "00" || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		t.Errorf("header %q is not a canonical version-00 traceparent", h)
+	}
+	if h != strings.ToLower(h) {
+		t.Errorf("header %q must be lowercase hex", h)
+	}
+}
+
+func TestParseTraceIDRejectsMalformed(t *testing.T) {
+	if _, ok := ParseTraceID("4bf92f3577b34da6a3ce929d0e0e4736"); !ok {
+		t.Error("canonical 32-hex id rejected")
+	}
+	for _, s := range []string{"", "xyz", "4BF92F3577B34DA6A3CE929D0E0E4736", "4bf9"} {
+		if _, ok := ParseTraceID(s); ok {
+			t.Errorf("ParseTraceID(%q) accepted malformed input", s)
+		}
+	}
+}

@@ -162,6 +162,14 @@ func IsTransient(err error) bool { return errors.Is(err, errTransient) }
 // first of: a source read error, a sink/journal write error, or ctx's error
 // when the run was canceled (the partial Stats are valid in every case).
 func (e *Engine) Run(ctx context.Context, src Source, sink Sink, jr *Journal) (Stats, error) {
+	runStart := time.Now()
+	runSpan := e.cfg.Trace.StartSpan("bulk/run")
+	defer func() {
+		runSpan.End()
+		e.cfg.Metrics.Histogram("boundary_bulk_run_duration_seconds",
+			"Wall-clock duration of one bulk engine run.", nil).
+			Observe(time.Since(runStart).Seconds())
+	}()
 	workers := e.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
