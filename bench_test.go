@@ -28,6 +28,7 @@ import (
 	"repro/internal/ontology"
 	"repro/internal/paperdoc"
 	"repro/internal/tagtree"
+	"repro/internal/template"
 	"repro/internal/wrapper"
 )
 
@@ -373,6 +374,127 @@ func BenchmarkWrapperApplyVsDiscover(b *testing.B) {
 			core.Split(target, res)
 		}
 	})
+}
+
+// openBenchStore builds an in-memory template store pre-warmed with the
+// Figure 2 wrapper, returning the store and the salt the serving layer
+// would use for that request shape.
+func openBenchStore(b *testing.B) (*template.Store, string) {
+	b.Helper()
+	store, err := template.Open(template.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { store.Close() })
+	salt := template.Salt("html", "obituary", nil)
+	res, err := core.Discover(paperdoc.Figure2, core.Options{
+		Ontology:     ontology.Builtin("obituary"),
+		Templates:    store,
+		TemplateSalt: salt,
+	})
+	if err != nil || res.Separator != "hr" {
+		b.Fatalf("warm discovery: res=%v err=%v", res, err)
+	}
+	if store.Len() != 1 {
+		b.Fatalf("warm store holds %d entries, want 1", store.Len())
+	}
+	return store, salt
+}
+
+// BenchmarkTemplateHit measures the learned-wrapper fast path on a warm
+// store: fingerprint the raw document, look up the stored wrapper, done.
+// Compare against BenchmarkTemplateMissFallback (or BenchmarkFigure2Document)
+// for the cost the store saves; docs/WRAPPER.md quotes the ratio.
+func BenchmarkTemplateHit(b *testing.B) {
+	store, salt := openBenchStore(b)
+	b.SetBytes(int64(len(paperdoc.Figure2)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _, ok := store.LookupDoc(paperdoc.Figure2, salt)
+		if !ok || e.Separator != "hr" {
+			b.Fatalf("warm lookup: entry=%v ok=%v", e, ok)
+		}
+	}
+}
+
+// BenchmarkTemplateMissFallback measures the same request when the store
+// has no wrapper for the template: the miss costs one lookup on top of full
+// discovery, then the result is learned. Resetting per iteration keeps every
+// pass on the miss path.
+func BenchmarkTemplateMissFallback(b *testing.B) {
+	store, salt := openBenchStore(b)
+	ont := ontology.Builtin("obituary")
+	b.SetBytes(int64(len(paperdoc.Figure2)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.Reset()
+		res, err := core.Discover(paperdoc.Figure2, core.Options{
+			Ontology:     ont,
+			Templates:    store,
+			TemplateSalt: salt,
+		})
+		if err != nil || res.Separator != "hr" {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}
+
+// TestTemplateFastPathSpeedup is the perf claim behind the template store:
+// serving a warm template hit must be at least 50× faster than the cold
+// Figure 2 discovery it replaces. Measured here with testing.Benchmark so
+// the ratio is enforced, not just reported.
+func TestTemplateFastPathSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark ratio check skipped in -short mode")
+	}
+	store, err := template.Open(template.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	salt := template.Salt("html", "obituary", nil)
+	ont := ontology.Builtin("obituary")
+	if _, err := core.Discover(paperdoc.Figure2, core.Options{
+		Ontology: ont, Templates: store, TemplateSalt: salt,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// `go test ./...` runs package test binaries concurrently, and the warm
+	// side is microseconds per op — one descheduled slice can inflate a
+	// single measurement severalfold. Measure up to a few trials and pass on
+	// the first that clears the floor; fail only if none do (idle-machine
+	// ratios run >150x, so a persistent miss of 50x is a real regression,
+	// not scheduling noise).
+	const trials = 4
+	best := 0.0
+	for trial := 0; trial < trials; trial++ {
+		warm := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, ok := store.LookupDoc(paperdoc.Figure2, salt); !ok {
+					b.Fatal("warm lookup missed")
+				}
+			}
+		})
+		cold := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Discover(paperdoc.Figure2, core.Options{Ontology: ont}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ratio := float64(cold.NsPerOp()) / float64(warm.NsPerOp())
+		t.Logf("trial %d: cold %d ns/op, warm %d ns/op: %.1fx", trial, cold.NsPerOp(), warm.NsPerOp(), ratio)
+		if ratio >= 50 {
+			return
+		}
+		if ratio > best {
+			best = ratio
+		}
+	}
+	t.Errorf("warm template hit is %.1fx faster than cold discovery at best over %d trials, want >= 50x",
+		best, trials)
 }
 
 // postJSON drives one HTTP round-trip against the serving layer, draining

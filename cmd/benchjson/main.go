@@ -21,7 +21,11 @@
 // regressions, not improvements, suite growth, or scheduling jitter on
 // sub-microsecond loops. Benchmarks are matched by package and name with
 // the -GOMAXPROCS suffix stripped, so baselines transfer across machines
-// with different core counts.
+// with different core counts; a benchmark whose pkg header go test dropped
+// (it streams the first package's output headerless) matches by bare name
+// when that is unambiguous. Repeated measurements (`go test -count=N`)
+// fold to the fastest observed ns/op per benchmark before the diff, which
+// filters one-sided interference noise (GC pauses, scheduling).
 package main
 
 import (
@@ -161,6 +165,31 @@ func parse(r io.Reader) (*Report, error) {
 	return report, sc.Err()
 }
 
+// key identifies a benchmark across runs: its package plus its name with
+// the -GOMAXPROCS suffix stripped.
+type key struct{ pkg, name string }
+
+// foldRepeats collapses repeated measurements of the same benchmark
+// (`go test -count=N`) to a single entry carrying the fastest observed
+// ns/op, preserving first-seen order.
+func foldRepeats(benchmarks []Benchmark) []Benchmark {
+	idx := make(map[key]int, len(benchmarks))
+	out := make([]Benchmark, 0, len(benchmarks))
+	for _, b := range benchmarks {
+		k := key{b.Package, baseName(b.Name)}
+		i, seen := idx[k]
+		if !seen {
+			idx[k] = len(out)
+			out = append(out, b)
+			continue
+		}
+		if b.NsPerOp > 0 && (out[i].NsPerOp == 0 || b.NsPerOp < out[i].NsPerOp) {
+			out[i] = b
+		}
+	}
+	return out
+}
+
 // baseName strips the -GOMAXPROCS suffix go test appends to benchmark
 // names, so runs from machines with different core counts still match.
 func baseName(name string) string {
@@ -178,18 +207,41 @@ func baseName(name string) string {
 // and benchmarks faster than the minNs noise floor (sub-microsecond loops
 // drift far more than tolerance from scheduling alone) are informational
 // only.
+//
+// Repeated measurements (`go test -count=N`) of the same benchmark are
+// folded to the fastest observed ns/op on both sides before diffing — the
+// minimum is the standard noise-robust estimator for benchmark time, since
+// interference (GC cycles, scheduling) only ever adds to it.
 func compare(base, current *Report, tolerance, minNs float64, w io.Writer) error {
-	type key struct{ pkg, name string }
-	baseline := make(map[key]Benchmark, len(base.Benchmarks))
-	for _, b := range base.Benchmarks {
-		baseline[key{b.Package, baseName(b.Name)}] = b
+	baseBenchmarks := foldRepeats(base.Benchmarks)
+	currentBenchmarks := foldRepeats(current.Benchmarks)
+	baseline := make(map[key]Benchmark, len(baseBenchmarks))
+	byName := make(map[string][]key)
+	for _, b := range baseBenchmarks {
+		k := key{b.Package, baseName(b.Name)}
+		baseline[k] = b
+		byName[k.name] = append(byName[k.name], k)
+	}
+	// resolve finds the baseline entry for a current benchmark. Exact
+	// (package, name) first; when that misses, fall back to the bare name if
+	// it is unambiguous in the baseline — `go test` streams the first
+	// package's output without its pkg header, so either side of the diff
+	// can carry an empty package for the same benchmark.
+	resolve := func(c Benchmark) (key, Benchmark, bool) {
+		k := key{c.Package, baseName(c.Name)}
+		if b, ok := baseline[k]; ok {
+			return k, b, true
+		}
+		if ks := byName[k.name]; len(ks) == 1 {
+			return ks[0], baseline[ks[0]], true
+		}
+		return k, Benchmark{}, false
 	}
 
 	var regressions []string
 	matched := make(map[key]bool)
-	for _, c := range current.Benchmarks {
-		k := key{c.Package, baseName(c.Name)}
-		b, ok := baseline[k]
+	for _, c := range currentBenchmarks {
+		k, b, ok := resolve(c)
 		if !ok {
 			fmt.Fprintf(w, "new       %-44s %12.0f ns/op (no baseline)\n", c.Name, c.NsPerOp)
 			continue
@@ -218,7 +270,7 @@ func compare(base, current *Report, tolerance, minNs float64, w io.Writer) error
 		fmt.Fprintf(w, "%-9s %-44s %12.0f -> %12.0f ns/op  %+6.1f%%\n",
 			status, c.Name, b.NsPerOp, c.NsPerOp, delta*100)
 	}
-	for _, b := range base.Benchmarks {
+	for _, b := range baseBenchmarks {
 		if k := (key{b.Package, baseName(b.Name)}); !matched[k] {
 			fmt.Fprintf(w, "gone      %-44s was %.0f ns/op in the baseline\n", b.Name, b.NsPerOp)
 		}

@@ -261,3 +261,72 @@ func TestCompareAgainstCommittedBaseline(t *testing.T) {
 		t.Errorf("baseline does not equal itself: %v", err)
 	}
 }
+
+// TestCompareMatchesAcrossMissingPkgHeader: go test streams the first
+// package's output without its goos/pkg header block, so the same benchmark
+// can carry an empty package on either side of the diff. Matching falls
+// back to the bare name when it is unambiguous — both for gating (a real
+// regression is still caught) and so headerless benchmarks are not
+// reported as new/gone churn.
+func TestCompareMatchesAcrossMissingPkgHeader(t *testing.T) {
+	baseline := writeBaseline(t, Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFigure2Document", Package: "", NsPerOp: 500000},
+		{Name: "BenchmarkHeuristics/OM", Package: "repro/internal/heuristic", NsPerOp: 200000},
+	}})
+	input := "pkg: repro\n" +
+		"BenchmarkFigure2Document-4 100 510000 ns/op\n" +
+		"pkg: repro/internal/heuristic\n" +
+		"BenchmarkHeuristics/OM-4 100 201000 ns/op\n"
+	var out strings.Builder
+	err := run([]string{"-compare", baseline}, strings.NewReader(input), &out)
+	if err != nil {
+		t.Fatalf("headerless baseline should still match: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "(2 matched") {
+		t.Errorf("want both benchmarks matched:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "gone") || strings.Contains(out.String(), "new ") {
+		t.Errorf("headerless match reported churn:\n%s", out.String())
+	}
+
+	// The fallback still gates: a regression on the headerless side fails.
+	input = "BenchmarkFigure2Document-4 100 900000 ns/op\n"
+	out.Reset()
+	if err := run([]string{"-compare", baseline}, strings.NewReader(input), &out); err == nil {
+		t.Fatalf("regression hidden by missing pkg header:\n%s", out.String())
+	}
+}
+
+// TestCompareFoldsRepeatedMeasurements: `go test -count=N` emits each
+// benchmark N times; compare folds the repeats to the fastest run on both
+// sides so one interfered measurement (a GC cycle inside the timed window)
+// cannot fail the gate. A benchmark that is slow in EVERY repeat still
+// fails — that's a real regression, not noise.
+func TestCompareFoldsRepeatedMeasurements(t *testing.T) {
+	baseline := writeBaseline(t, Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFigure2Document", Package: "repro", NsPerOp: 520000},
+		{Name: "BenchmarkFigure2Document", Package: "repro", NsPerOp: 500000},
+	}})
+
+	// One repeat far over tolerance, one fast: min-folding passes it.
+	input := "pkg: repro\n" +
+		"BenchmarkFigure2Document-4 100 900000 ns/op\n" +
+		"BenchmarkFigure2Document-4 100 510000 ns/op\n" +
+		"BenchmarkFigure2Document-4 100 880000 ns/op\n"
+	var out strings.Builder
+	if err := run([]string{"-compare", baseline}, strings.NewReader(input), &out); err != nil {
+		t.Fatalf("fast repeat should win the fold: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "(1 matched") {
+		t.Errorf("repeats must fold to one matched benchmark:\n%s", out.String())
+	}
+
+	// Slow in every repeat: still a gated regression.
+	input = "pkg: repro\n" +
+		"BenchmarkFigure2Document-4 100 900000 ns/op\n" +
+		"BenchmarkFigure2Document-4 100 880000 ns/op\n"
+	out.Reset()
+	if err := run([]string{"-compare", baseline}, strings.NewReader(input), &out); err == nil {
+		t.Fatalf("consistently slow repeats must still fail:\n%s", out.String())
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/ontology"
 	"repro/internal/pipeline"
 	"repro/internal/tagtree"
+	"repro/internal/template"
 )
 
 func main() {
@@ -82,6 +83,10 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	maxNodes := fs.Int("max-nodes", 0, "max tag-tree node count; 0 disables")
 	dumpMetrics := fs.Bool("metrics", false, "dump the run's metrics in Prometheus text form to stderr")
 	dumpTrace := fs.Bool("trace", false, "dump the run's trace (ID plus per-stage span table) to stderr")
+	wrapperStore := fs.String("wrapper-store", "",
+		"path of the learned-wrapper store journal enabling the template fast path (docs/WRAPPER.md); empty disables")
+	spotCheckRate := fs.Int("spot-check-rate", 64,
+		"re-verify every Nth template fast-path hit against full discovery; 0 disables spot-checks")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,6 +95,9 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	}
 	if *maxAttempts < 1 {
 		return fmt.Errorf("-max-attempts must be >= 1, got %d", *maxAttempts)
+	}
+	if *spotCheckRate < 0 {
+		return fmt.Errorf("-spot-check-rate must be >= 0, got %d", *spotCheckRate)
 	}
 
 	ontSrc, err := resolveOntologyFlag(*ontologySrc)
@@ -108,6 +116,21 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		trace = obs.NewTrace()
 		trace.SetRoot("bulk", "run")
 	}
+	// A corpus dominated by a few site templates pays full discovery once
+	// per template; the rest of the run serves from the wrapper store, and
+	// the journal carries what was learned into the next run.
+	var templates *template.Store
+	if *wrapperStore != "" {
+		templates, err = template.Open(template.Config{
+			Path:           *wrapperStore,
+			SpotCheckEvery: *spotCheckRate,
+			Metrics:        metrics,
+		})
+		if err != nil {
+			return fmt.Errorf("-wrapper-store: %w", err)
+		}
+		defer templates.Close()
+	}
 	eng := pipeline.New(pipeline.Config{
 		Workers: *workers,
 		Window:  *window,
@@ -124,6 +147,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			MaxDepth: *maxTreeDepth,
 			MaxNodes: *maxNodes,
 		},
+		Templates: templates,
 	})
 
 	var (

@@ -12,6 +12,7 @@
 //	      [-cluster 0] [-peers URL,URL,...] [-hedge-after 0]
 //	      [-peer-queue-depth 32] [-health-interval 1s]
 //	      [-trace-capacity 512] [-trace-sample 0]
+//	      [-wrapper-store path] [-spot-check-rate 64]
 //
 // Observability (see docs/OBSERVABILITY.md): every request is traced; the
 // trace ID is returned in the X-Trace-ID response header and incoming W3C
@@ -29,6 +30,13 @@
 // /v1/discover/batch (entries, not bytes); 0 disables caching.
 // -batch-parallelism caps the worker pool draining one batch request;
 // 0 means GOMAXPROCS.
+//
+// -wrapper-store enables the learned-wrapper fast path (docs/WRAPPER.md):
+// discovered wrappers are keyed by template fingerprint, journaled to the
+// given path so they survive restarts, and answer structurally-identical
+// documents without re-running discovery. -spot-check-rate re-verifies
+// every Nth fast-path hit against full discovery and evicts the wrapper on
+// drift; 0 disables spot-checks. /v1/template/stats reports the store.
 //
 // Robustness knobs (see docs/ROBUSTNESS.md; each 0 disables its limit):
 // -max-inflight sheds /v1/ requests beyond N in flight with 429 +
@@ -77,6 +85,7 @@ import (
 	"repro/internal/httpapi"
 	"repro/internal/obs"
 	"repro/internal/tagtree"
+	"repro/internal/template"
 )
 
 func main() {
@@ -126,6 +135,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"max traces retained in memory for /debug/traces; 0 uses the default")
 	traceSample := fs.Int("trace-sample", 0,
 		"head-sample 1 in N healthy traces (errored, degraded, shed, and slow traces are always kept); 0 or 1 keeps all")
+	wrapperStore := fs.String("wrapper-store", "",
+		"path of the learned-wrapper store journal enabling the template fast path (docs/WRAPPER.md); empty disables")
+	spotCheckRate := fs.Int("spot-check-rate", 64,
+		"re-verify every Nth template fast-path hit against full discovery; 0 disables spot-checks")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -155,6 +168,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *traceSample < 0 {
 		return fmt.Errorf("-trace-sample must be >= 0, got %d", *traceSample)
 	}
+	if *spotCheckRate < 0 {
+		return fmt.Errorf("-spot-check-rate must be >= 0, got %d", *spotCheckRate)
+	}
 
 	logger := slog.New(slog.NewJSONHandler(out, nil))
 	metrics := obs.NewRegistry()
@@ -171,6 +187,27 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		SampleEvery: *traceSample,
 	})
 
+	// The wrapper store is one instance shared by the single-node handler
+	// and every in-process replica: a template learned by any local replica
+	// is instantly warm for all of them. Remote peers are warmed through
+	// the publisher, which POSTs each locally-learned entry to their
+	// /v1/template/publish endpoints.
+	var templates *template.Store
+	var publisher *template.Publisher
+	if *wrapperStore != "" {
+		var err error
+		templates, err = template.Open(template.Config{
+			Path:           *wrapperStore,
+			SpotCheckEvery: *spotCheckRate,
+			Metrics:        metrics,
+		})
+		if err != nil {
+			return fmt.Errorf("-wrapper-store: %w", err)
+		}
+		defer templates.Close()
+		fmt.Fprintf(out, "wrapper store %s: %d templates loaded\n", *wrapperStore, templates.Len())
+	}
+
 	handler := http.Handler(httpapi.NewHandler(httpapi.Config{
 		Logger:         logger,
 		Metrics:        metrics,
@@ -181,6 +218,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxInFlight:    *maxInflight,
 		RequestTimeout: *requestTimeout,
 		Limits:         limits,
+		Templates:      templates,
 	}))
 	if *clusterN > 0 || *peerList != "" {
 		var peers []cluster.Peer
@@ -189,7 +227,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			// cache and its own metric registry (so /metrics/cluster can tell
 			// the replicas apart). Replicas skip the request log and in-flight
 			// limiter — the router logs each request once and its per-peer
-			// queues are the cluster's backpressure.
+			// queues are the cluster's backpressure. The wrapper store is the
+			// exception: all replicas share the one instance.
 			name := fmt.Sprintf("local-%d", i)
 			peers = append(peers, cluster.NewLocalPeer(name,
 				httpapi.NewHandler(httpapi.Config{
@@ -200,12 +239,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 					BatchWorkers:   *batchParallelism,
 					RequestTimeout: *requestTimeout,
 					Limits:         limits,
+					Templates:      templates,
 				})))
 		}
+		var remoteURLs []string
 		for _, raw := range strings.Split(*peerList, ",") {
 			if u := strings.TrimSpace(raw); u != "" {
 				peers = append(peers, cluster.NewHTTPPeer(u, nil))
+				remoteURLs = append(remoteURLs, u)
 			}
+		}
+		if templates != nil && len(remoteURLs) > 0 {
+			publisher = template.NewPublisher(template.PublisherConfig{
+				Targets: remoteURLs,
+				Metrics: metrics,
+			})
+			defer publisher.Close()
+			templates.OnStore = publisher.Publish
 		}
 		router, err := cluster.NewRouter(cluster.Config{
 			Peers:          peers,

@@ -1,0 +1,117 @@
+package main
+
+// Wrapper smoke (run by `make wrapper-smoke` and CI): boots the real
+// cmd/serve binary surface with a wrapper store on disk, sends the same
+// document twice, and proves the second answer came from the learned-
+// wrapper fast path — then reboots on the same journal and proves the
+// wrapper survived the restart. docs/WRAPPER.md describes the path.
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/paperdoc"
+)
+
+func TestWrapperSmoke(t *testing.T) {
+	storePath := t.TempDir() + "/wrappers.ndjson"
+	body, err := json.Marshal(map[string]string{"html": paperdoc.Figure2, "ontology": "obituary"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boot := func(t *testing.T) (addr string, shutdown func()) {
+		ctx, cancel := context.WithCancel(context.Background())
+		buf := &lockedBuffer{}
+		done := make(chan error, 1)
+		go func() {
+			done <- run(ctx, []string{
+				"-addr", "127.0.0.1:0",
+				"-cache-size", "0", // the result cache must not mask the template path
+				"-wrapper-store", storePath,
+				"-shutdown-timeout", "2s",
+			}, buf)
+		}()
+		addr = waitFor(t, buf, `service listening on ([0-9.:]+)`)
+		waitFor(t, buf, `wrapper store .*: (\d+) templates loaded`)
+		return addr, func() {
+			cancel()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Errorf("run returned %v after cancel", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("run did not return after context cancel")
+			}
+		}
+	}
+
+	stats := func(t *testing.T, addr string) (entries int, hits, misses float64) {
+		t.Helper()
+		code, body := get(t, "http://"+addr+"/v1/template/stats")
+		if code != 200 {
+			t.Fatalf("/v1/template/stats = %d: %s", code, body)
+		}
+		var s struct {
+			Entries int     `json:"entries"`
+			Hits    float64 `json:"hits"`
+			Misses  float64 `json:"misses"`
+		}
+		if err := json.Unmarshal([]byte(body), &s); err != nil {
+			t.Fatalf("stats decode: %v: %s", err, body)
+		}
+		return s.Entries, s.Hits, s.Misses
+	}
+
+	addr, shutdown := boot(t)
+
+	// First request: a miss that learns the wrapper.
+	code, first := post(t, "http://"+addr+"/v1/discover", string(body))
+	if code != 200 {
+		t.Fatalf("first discover = %d: %s", code, first)
+	}
+	var decoded struct {
+		Separator string `json:"separator"`
+	}
+	if err := json.Unmarshal([]byte(first), &decoded); err != nil || decoded.Separator != "hr" {
+		t.Fatalf("first discover separator = %q (err %v): %s", decoded.Separator, err, first)
+	}
+	if entries, hits, misses := stats(t, addr); entries != 1 || hits != 0 || misses != 1 {
+		t.Fatalf("after first request: entries=%d hits=%v misses=%v, want 1/0/1", entries, hits, misses)
+	}
+
+	// Second request: must be answered by the template fast path, with
+	// bytes identical to the cold answer.
+	code, second := post(t, "http://"+addr+"/v1/discover", string(body))
+	if code != 200 {
+		t.Fatalf("second discover = %d", code)
+	}
+	if second != first {
+		t.Errorf("template hit bytes differ from cold answer:\n got %s\nwant %s", second, first)
+	}
+	if _, hits, _ := stats(t, addr); hits != 1 {
+		t.Errorf("second request did not hit the wrapper store (hits=%v)", hits)
+	}
+	if _, metrics := get(t, "http://"+addr+"/metrics"); !strings.Contains(metrics, "boundary_template_hits_total 1") {
+		t.Errorf("boundary_template_hits_total missing from /metrics")
+	}
+
+	// Restart on the same journal: the wrapper is warm from request one.
+	shutdown()
+	addr, shutdown = boot(t)
+	defer shutdown()
+	if entries, _, _ := stats(t, addr); entries != 1 {
+		t.Fatalf("restarted store holds %d entries, want 1 from the journal", entries)
+	}
+	code, warm := post(t, "http://"+addr+"/v1/discover", string(body))
+	if code != 200 || warm != first {
+		t.Errorf("post-restart answer differs (status %d):\n got %s\nwant %s", code, warm, first)
+	}
+	if _, hits, misses := stats(t, addr); hits != 1 || misses != 0 {
+		t.Errorf("post-restart request was not a pure hit (hits=%v misses=%v)", hits, misses)
+	}
+}

@@ -40,7 +40,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/httpapi"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/template"
 )
 
 // wireResult is the canonical cross-surface answer: the wire shape shared by
@@ -363,6 +365,104 @@ func TestConformanceXML(t *testing.T) {
 	if got := decodeWire(t, bytes.TrimSpace(out.Bytes())); !reflect.DeepEqual(got, want) {
 		t.Errorf("bulk engine (xml) disagrees:\n got %+v\nwant %+v", got, want)
 	}
+}
+
+// TestTemplateFastPathConformance is the template-store layer of the
+// differential suite: a server answering from the learned-wrapper fast path
+// (docs/WRAPPER.md) must be byte-for-byte indistinguishable from a server
+// that has no store at all, for every corpus document — on the cold request
+// that learns the wrapper AND the warm request served from it. Caching is
+// disabled on every node so the result cache cannot mask which path
+// produced the bytes, and store counters prove the warm pass really took
+// the fast path rather than quietly falling back to full discovery.
+func TestTemplateFastPathConformance(t *testing.T) {
+	docs := corpus.TestDocuments()
+
+	// Reference answers: a template-free, cache-free server.
+	ref := httptest.NewServer(httpapi.NewHandler(httpapi.Config{}))
+	t.Cleanup(ref.Close)
+
+	bodies := make([][]byte, len(docs))
+	for i, d := range docs {
+		b, err := json.Marshal(map[string]any{
+			"html": d.HTML, "ontology": string(d.Site.Domain),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = b
+	}
+	want := make([][]byte, len(docs))
+	for i := range docs {
+		code, body := postRaw(t, ref.URL+"/v1/discover", "application/json", bodies[i])
+		if code != http.StatusOK {
+			t.Fatalf("%s: reference status %d", docs[i].Site.Name, code)
+		}
+		want[i] = body
+	}
+
+	// checkPasses drives the cold (learning) and warm (fast path) passes
+	// against one templated URL and diffs every response against the
+	// template-free reference.
+	checkPasses := func(t *testing.T, url string) {
+		for _, label := range []string{"cold", "warm"} {
+			for i, d := range docs {
+				code, got := postRaw(t, url+"/v1/discover", "application/json", bodies[i])
+				if code != http.StatusOK {
+					t.Fatalf("%s (%s): status %d", d.Site.Name, label, code)
+				}
+				if !bytes.Equal(got, want[i]) {
+					t.Errorf("%s (%s): templated bytes differ from template-free reference:\n got %s\nwant %s",
+						d.Site.Name, label, got, want[i])
+				}
+			}
+		}
+	}
+
+	// assertFastPath proves the passes went where they should have: every
+	// document missed once (and was learned), then hit once.
+	assertFastPath := func(t *testing.T, store *template.Store) {
+		stats := store.Stats()
+		if stats.Entries != len(docs) || stats.Stores != float64(len(docs)) {
+			t.Errorf("cold pass learned %d entries (%v stores), want %d",
+				stats.Entries, stats.Stores, len(docs))
+		}
+		if stats.Misses != float64(len(docs)) || stats.Hits != float64(len(docs)) {
+			t.Errorf("store saw %v misses / %v hits, want %d / %d",
+				stats.Misses, stats.Hits, len(docs), len(docs))
+		}
+	}
+
+	t.Run("SingleNode", func(t *testing.T) {
+		store, err := template.Open(template.Config{Metrics: obs.NewRegistry()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { store.Close() })
+		srv := httptest.NewServer(httpapi.NewHandler(httpapi.Config{Templates: store}))
+		t.Cleanup(srv.Close)
+		checkPasses(t, srv.URL)
+		assertFastPath(t, store)
+	})
+
+	// Three replicas holding the same *Store — the cmd/serve cluster wiring.
+	// Wherever the router lands the cold request, the learned wrapper is
+	// visible to every replica, so the warm pass hits regardless of routing.
+	t.Run("ThreeReplicasSharedStore", func(t *testing.T) {
+		store, err := template.Open(template.Config{Metrics: obs.NewRegistry()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { store.Close() })
+		var peers []cluster.Peer
+		for i := 0; i < 3; i++ {
+			peers = append(peers, cluster.NewLocalPeer(fmt.Sprintf("replica-%d", i),
+				httpapi.NewHandler(httpapi.Config{Templates: store})))
+		}
+		srv := newClusterServer(t, peers)
+		checkPasses(t, srv.URL)
+		assertFastPath(t, store)
+	})
 }
 
 // failDiff is a debugging aid: render a wireResult compactly when the

@@ -32,6 +32,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/tagtree"
+	"repro/internal/template"
 )
 
 // Options configure discovery. The zero value gives the paper's published
@@ -67,6 +68,17 @@ type Options struct {
 	// internal/faultinject); nil — the production value — disables every
 	// hook point at the cost of one nil check each.
 	Faults *faultinject.Set
+	// Templates, if non-nil, enables the learned-wrapper fast path: the
+	// tree's structural fingerprint is looked up before the heuristics
+	// run, a hit is served from the store, and a clean miss stores the
+	// discovered answer for next time (see docs/WRAPPER.md).
+	Templates *template.Store
+	// TemplateSalt binds store keys to the non-document request options
+	// that change the discovery answer; build it with template.Salt from
+	// the same fields the caller would hash into a result-cache key.
+	// Required whenever Templates is set and any of mode, ontology, or
+	// separator list can vary between callers sharing the store.
+	TemplateSalt string
 }
 
 // observed reports whether any observability sink is attached.
@@ -228,6 +240,37 @@ func DiscoverTree(tree *tagtree.Tree, opts Options) (*Result, error) {
 // and the compound certainty is computed from the survivors — mirroring the
 // paper's Stanford-certainty tolerance of heuristics that decline.
 func DiscoverTreeContext(ctx context.Context, tree *tagtree.Tree, opts Options) (*Result, error) {
+	// Learned-wrapper fast path: a known template shape skips the
+	// heuristics entirely. A miss (or a 1-in-N spot-check hit) falls
+	// through to full discovery, whose answer is then stored; spotEntry
+	// carries the stored answer a spot-check must re-verify against.
+	var tmplKey template.Key
+	var spotEntry *template.Entry
+	if opts.Templates != nil {
+		start := time.Now()
+		fp, hfo := template.FingerprintTree(tree)
+		tmplKey = template.MakeKey(fp, opts.TemplateSalt)
+		if e, ok := opts.Templates.Lookup(tmplKey); ok {
+			switch {
+			case e.Subtree != hfo.Name:
+				// Same hash, different fan-out winner: treat as
+				// drift, never serve a mismatched wrapper.
+				opts.Templates.ReportDrift(tmplKey, "subtree_mismatch")
+			case opts.Templates.SpotCheck():
+				spotEntry = e
+			default:
+				res := resultFromEntry(e, tree, hfo)
+				if opts.observed() {
+					opts.recordStage("template/hit", time.Since(start),
+						"separator", res.Separator,
+						"cf", fmt.Sprintf("%.4f", e.Certainty))
+				}
+				opts.countDocument("ok")
+				return res, nil
+			}
+		}
+	}
+
 	// The Data-Record Table (regular-expression recognition) is by far the
 	// most expensive context ingredient; skip it when OM is not voting.
 	ont := opts.Ontology
@@ -260,6 +303,7 @@ func DiscoverTreeContext(ctx context.Context, tree *tagtree.Tree, opts Options) 
 		res.TopTags = []string{res.Separator}
 		res.Scores = []certainty.Score{{Tag: res.Separator, CF: 1}}
 		opts.countDocument("single_candidate")
+		opts.templateLearn(tmplKey, spotEntry, res)
 		return res, nil
 	}
 
@@ -362,7 +406,100 @@ func DiscoverTreeContext(ctx context.Context, tree *tagtree.Tree, opts Options) 
 	} else {
 		opts.countDocument("ok")
 	}
+	opts.templateLearn(tmplKey, spotEntry, res)
 	return res, nil
+}
+
+// templateLearn stores a freshly-discovered answer in the wrapper store and
+// settles a pending spot-check: a stored answer matching the fresh one is
+// healthy; a divergent one is drift — evicted, then overwritten by the fresh
+// answer. Degraded results are never stored (the answer came from surviving
+// heuristics only, mirroring the result cache's completeness rule).
+func (o Options) templateLearn(key template.Key, spot *template.Entry, res *Result) {
+	if o.Templates == nil || res.Degraded {
+		return
+	}
+	e := NewTemplateEntry(key, res)
+	if spot != nil {
+		if spot.Equal(e) {
+			o.Templates.ReportSpotCheck("ok")
+		} else {
+			o.Templates.ReportSpotCheck("divergent")
+			o.Templates.ReportDrift(key, "divergent")
+		}
+	}
+	o.Templates.Put(e)
+}
+
+// NewTemplateEntry snapshots a clean discovery result as a wrapper-store
+// entry under key. The entry holds every field needed to rebuild a Result
+// (and hence a wire response) byte-identical to res on any same-shaped tree.
+func NewTemplateEntry(key template.Key, res *Result) *template.Entry {
+	e := &template.Entry{
+		Key:       key.String(),
+		Separator: res.Separator,
+		TopTags:   append([]string(nil), res.TopTags...),
+		Subtree:   res.Subtree.Name,
+		Certainty: res.Scores[0].CF,
+	}
+	for _, s := range res.Scores {
+		e.Scores = append(e.Scores, template.Score{Tag: s.Tag, CF: s.CF})
+	}
+	if len(res.Rankings) > 0 {
+		e.Rankings = make(map[string][]template.RankEntry, len(res.Rankings))
+		for name, r := range res.Rankings {
+			rows := make([]template.RankEntry, len(r))
+			for i, row := range r {
+				rows[i] = template.RankEntry{Tag: row.Tag, Rank: row.Rank}
+			}
+			e.Rankings[name] = rows
+		}
+	}
+	for _, c := range res.Candidates {
+		e.Candidates = append(e.Candidates, template.Candidate{Tag: c.Name, Count: c.Count})
+	}
+	if len(res.HeuristicReasons) > 0 {
+		e.Reasons = make(map[string]string, len(res.HeuristicReasons))
+		for k, v := range res.HeuristicReasons {
+			e.Reasons[k] = v
+		}
+	}
+	return e
+}
+
+// resultFromEntry rebuilds a Result from a stored wrapper entry. tree and
+// hfo are the current document's — real nodes, so downstream record
+// splitting works exactly as after a full discovery. The per-heuristic
+// ranking Scores are not stored (no wire surface carries them), so rebuilt
+// Rankings have Score zero.
+func resultFromEntry(e *template.Entry, tree *tagtree.Tree, hfo *tagtree.Node) *Result {
+	res := &Result{
+		Separator: e.Separator,
+		TopTags:   append([]string(nil), e.TopTags...),
+		Rankings:  make(map[string]heuristic.Ranking, len(e.Rankings)),
+		Subtree:   hfo,
+		Tree:      tree,
+	}
+	for _, s := range e.Scores {
+		res.Scores = append(res.Scores, certainty.Score{Tag: s.Tag, CF: s.CF})
+	}
+	for name, rows := range e.Rankings {
+		r := make(heuristic.Ranking, len(rows))
+		for i, row := range rows {
+			r[i] = heuristic.Ranked{Tag: row.Tag, Rank: row.Rank}
+		}
+		res.Rankings[name] = r
+	}
+	for _, c := range e.Candidates {
+		res.Candidates = append(res.Candidates, tagtree.Candidate{Name: c.Tag, Count: c.Count})
+	}
+	if len(e.Reasons) > 0 {
+		res.HeuristicReasons = make(map[string]string, len(e.Reasons))
+		for k, v := range e.Reasons {
+			res.HeuristicReasons[k] = v
+		}
+	}
+	return res
 }
 
 // heuristicAnswer is one heuristic's result as collected by the concurrent

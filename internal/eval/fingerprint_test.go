@@ -1,0 +1,121 @@
+package eval
+
+// Metamorphic suite for template fingerprints (internal/template, see
+// docs/WRAPPER.md). The learned-wrapper fast path is only sound if the
+// fingerprint obeys the same invariance as discovery itself: manglings that
+// preserve a document's logical structure (corpus.Mangle — tag/attribute
+// case, attribute order, omissible end-tags, comments, whitespace) must not
+// move a document to a different store key, or warm traffic would silently
+// fall off the fast path. The converse matters just as much: structurally
+// different documents must not share a key, or the store would serve one
+// template's wrapper for another. Both directions are swept over the full
+// 220-document corpus here.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/tagtree"
+	"repro/internal/template"
+)
+
+// TestFingerprintManglingInvarianceFullCorpus checks fingerprint stability
+// under every structure-preserving mangling, for both the doc-level scanner
+// (the serving fast path) and the tree-level fingerprint (the discovery
+// fallback): all four must agree, for every corpus document and seed.
+func TestFingerprintManglingInvarianceFullCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus fingerprint sweep is slow")
+	}
+	docs := fullCorpus()
+	seeds := []int64{1, 2, 3}
+
+	type job struct {
+		doc  *corpus.Document
+		seed int64
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				orig := template.FingerprintDoc(j.doc.HTML)
+				origTree, _ := template.FingerprintTree(tagtree.Parse(j.doc.HTML))
+				if orig != origTree {
+					t.Errorf("%s/%d: doc and tree fingerprints disagree on the original",
+						j.doc.Site.Name, j.doc.Index)
+					continue
+				}
+				mangled := corpus.Mangle(j.doc.HTML, j.seed)
+				got := template.FingerprintDoc(mangled)
+				if got != orig {
+					t.Errorf("%s/%d seed %d: fingerprint changed under mangling: %x → %x",
+						j.doc.Site.Name, j.doc.Index, j.seed, orig[:6], got[:6])
+				}
+				gotTree, _ := template.FingerprintTree(tagtree.Parse(mangled))
+				if gotTree != orig {
+					t.Errorf("%s/%d seed %d: tree fingerprint changed under mangling",
+						j.doc.Site.Name, j.doc.Index, j.seed)
+				}
+			}
+		}()
+	}
+	for _, d := range docs {
+		for _, seed := range seeds {
+			jobs <- job{doc: d, seed: seed}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	t.Logf("checked %d documents × %d seeds × doc+tree fingerprints",
+		len(docs), len(seeds))
+}
+
+// TestFingerprintCorpusDistinctness checks the collision direction: every
+// document in the corpus — including same-site documents, whose record
+// counts and field shapes vary per instance — hashes to its own key, so no
+// document can ever be served a wrapper learned from a structurally
+// different page.
+func TestFingerprintCorpusDistinctness(t *testing.T) {
+	seen := make(map[template.Fingerprint]*corpus.Document)
+	for _, d := range fullCorpus() {
+		fp := template.FingerprintDoc(d.HTML)
+		if prev, ok := seen[fp]; ok {
+			t.Errorf("fingerprint collision: %s/%d and %s/%d share %x",
+				prev.Site.Name, prev.Index, d.Site.Name, d.Index, fp[:8])
+			continue
+		}
+		seen[fp] = d
+	}
+	t.Logf("%d documents, %d distinct fingerprints", len(seen), len(seen))
+}
+
+// TestFingerprintSeparatesSites pins the cross-site property on the stable
+// per-site page (index 0): no two sites in any domain share a fingerprint,
+// even sites with the same separator tag and layout family.
+func TestFingerprintSeparatesSites(t *testing.T) {
+	type where struct{ site string }
+	seen := make(map[template.Fingerprint]where)
+	sites := 0
+	for _, dom := range corpus.AllDomains {
+		for _, group := range [][]*corpus.Site{corpus.TrainingSites(dom), corpus.TestSites(dom)} {
+			for _, site := range group {
+				sites++
+				fp := template.FingerprintDoc(site.Generate(0).HTML)
+				if prev, ok := seen[fp]; ok {
+					t.Errorf("sites %s and %s share a fingerprint", prev.site, site.Name)
+					continue
+				}
+				seen[fp] = where{site: site.Name}
+			}
+		}
+	}
+	if len(seen) != sites {
+		t.Errorf("%d sites produced %d distinct fingerprints", sites, len(seen))
+	}
+}

@@ -19,6 +19,9 @@
 //	cluster/peer/<NAME>     before each attempt on the named peer
 //	cluster/hedge           when a hedged second attempt is about to launch
 //	                        (an armed error suppresses the hedge)
+//	template/lookup         before each wrapper-store lookup (an armed error
+//	                        degrades the hit to a miss)
+//	template/publish        before each wrapper delivery to a remote peer
 //
 // A Fault can combine a delay with a forced error; Panic takes precedence
 // over Err. Delays honor the context passed to FireCtx, so an injected slow

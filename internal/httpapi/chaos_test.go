@@ -22,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/paperdoc"
 	"repro/internal/tagtree"
+	"repro/internal/template"
 )
 
 func newChaosServer(t *testing.T, cfg Config) *httptest.Server {
@@ -302,5 +303,82 @@ func TestChaosSingleflightDedup(t *testing.T) {
 	// Exactly one pipeline run served all five requests.
 	if got := faults.Fired("httpapi/discover"); got != 1 {
 		t.Errorf("httpapi/discover fired %d times, want 1 (followers must not recompute)", got)
+	}
+}
+
+// TestChaosTemplateStoreDegraded: an armed template/lookup fault must not
+// surface to clients — a request that would have been a wrapper-store hit
+// silently pays full discovery instead, returning bytes identical to the
+// healthy warm answer, and the degradation is visible only as
+// boundary_template_lookup_errors_total. Clearing the fault restores the
+// fast path.
+func TestChaosTemplateStoreDegraded(t *testing.T) {
+	faults := faultinject.New()
+	reg := obs.NewRegistry()
+	store, err := template.Open(template.Config{Metrics: reg, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := newChaosServer(t, Config{Metrics: reg, Templates: store})
+
+	body, err := json.Marshal(map[string]any{"html": paperdoc.Figure2, "ontology": "obituary"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	postBytes := func() (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/discover", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, b
+	}
+
+	// Cold request learns the wrapper; healthy warm request is the reference.
+	if code, _ := postBytes(); code != http.StatusOK {
+		t.Fatalf("cold status = %d", code)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store holds %d entries after cold request, want 1", store.Len())
+	}
+	code, want := postBytes()
+	if code != http.StatusOK {
+		t.Fatalf("warm status = %d", code)
+	}
+	healthy := store.Stats()
+	if healthy.Hits < 1 {
+		t.Fatalf("healthy warm request did not hit the store: %+v", healthy)
+	}
+
+	faults.Inject(template.FaultLookup, faultinject.Fault{Err: fmt.Errorf("chaos: store down")})
+	code, got := postBytes()
+	if code != http.StatusOK {
+		t.Fatalf("faulted status = %d, want 200 (fallback to full discovery)", code)
+	}
+	if string(got) != string(want) {
+		t.Errorf("faulted response differs from healthy warm response:\n got %s\nwant %s", got, want)
+	}
+	faulted := store.Stats()
+	if faulted.LookupErrors != healthy.LookupErrors+1 {
+		t.Errorf("lookup errors %v, want %v", faulted.LookupErrors, healthy.LookupErrors+1)
+	}
+	if faulted.Hits != healthy.Hits {
+		t.Errorf("faulted request counted as a hit: %+v", faulted)
+	}
+
+	// Fault cleared: the fast path resumes.
+	faults.Remove(template.FaultLookup)
+	code, got = postBytes()
+	if code != http.StatusOK || string(got) != string(want) {
+		t.Fatalf("post-fault response wrong: status %d", code)
+	}
+	if recovered := store.Stats(); recovered.Hits != faulted.Hits+1 {
+		t.Errorf("fast path did not resume after the fault cleared: %+v", recovered)
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/tagtree"
+	"repro/internal/template"
 )
 
 // MaxBodyBytes bounds request bodies; 1998-era pages were tens of
@@ -87,6 +88,12 @@ type Config struct {
 	// Service names this process in trace fragments ("local-0", ...); empty
 	// means "boundary".
 	Service string
+	// Templates, if non-nil, enables the learned-wrapper fast path: HTML
+	// discover requests are fingerprinted before any parsing and served
+	// straight from the store on a hit; misses learn the discovered
+	// answer. The store also backs POST /v1/template/publish (cluster
+	// warming) and GET /v1/template/stats. See docs/WRAPPER.md.
+	Templates *template.Store
 }
 
 // server binds the handlers to one Config.
@@ -173,6 +180,7 @@ func newMux(s server) *http.ServeMux {
 	mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	mux.HandleFunc("GET /v1/ontologies", s.handleOntologies)
 	registerWrapperRoutes(mux, s)
+	registerTemplateRoutes(mux, s)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -410,19 +418,68 @@ func (s server) discoverOne(ctx context.Context, req *request) (*discoverRespons
 }
 
 // computeDiscover is the cache-miss path: resolve the ontology and run the
-// full pipeline under the request context.
+// full pipeline under the request context. With a wrapper store configured,
+// HTML documents first try the template fast path — a fingerprint lookup
+// that skips parsing and heuristics entirely on a hit (see docs/WRAPPER.md);
+// XML documents use the tree-level fast path inside core instead, because
+// the raw-document scanner speaks only HTML's grammar.
 func (s server) computeDiscover(ctx context.Context, mode, doc string, req *request) (*discoverResponse, *apiError) {
-	res, _, apiErr := s.runDiscover(ctx, mode, doc, req)
+	if s.cfg.Templates != nil && mode == "html" {
+		return s.computeDiscoverTemplated(ctx, doc, req)
+	}
+	res, _, apiErr := s.runDiscover(ctx, mode, doc, req, true)
 	if apiErr != nil {
 		return nil, apiErr
 	}
 	return toDiscoverResponse(res), nil
 }
 
+// computeDiscoverTemplated is the document-level template fast path for HTML
+// discover: fingerprint the raw bytes, serve a store hit without ever
+// building the tag tree, and learn the full-pipeline answer on a miss. The
+// occasional hit is spot-checked — full discovery runs anyway and divergence
+// evicts and relearns the entry — so a drifted wrapper cannot serve stale
+// answers forever. runDiscover is called with the core-level fast path
+// disabled: the lookup already happened here, and double-counting misses (or
+// re-hitting the entry this request is about to verify) would corrupt both
+// the metrics and the spot-check.
+func (s server) computeDiscoverTemplated(ctx context.Context, doc string, req *request) (*discoverResponse, *apiError) {
+	store := s.cfg.Templates
+	start := time.Now()
+	e, key, ok := store.LookupDoc(doc, template.Salt("html", req.Ontology, req.SeparatorList))
+	if ok && !store.SpotCheck() {
+		obs.TraceFrom(ctx).Add("template/hit", time.Since(start),
+			"separator", e.Separator, "key", e.Key)
+		return responseFromEntry(e), nil
+	}
+	res, _, apiErr := s.runDiscover(ctx, "html", doc, req, false)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	// Degraded answers are never learned: the result came from surviving
+	// heuristics only (same completeness rule as the result cache).
+	if !res.Degraded {
+		fresh := core.NewTemplateEntry(key, res)
+		if ok { // this was a spot-checked hit
+			if e.Equal(fresh) {
+				store.ReportSpotCheck("ok")
+			} else {
+				store.ReportSpotCheck("divergent")
+				store.ReportDrift(key, "divergent")
+			}
+		}
+		_ = store.Put(fresh)
+	}
+	return toDiscoverResponse(res), nil
+}
+
 // runDiscover runs the full pipeline and also returns the options it ran
 // under, for callers (the explain path) that need the certainty table and
-// combination rule that produced the result.
-func (s server) runDiscover(ctx context.Context, mode, doc string, req *request) (*core.Result, core.Options, *apiError) {
+// combination rule that produced the result. templated enables core's
+// tree-level template fast path; pass false when the caller already did its
+// own store lookup (the document-level path) or must observe the real
+// heuristics (explain, spot-checks).
+func (s server) runDiscover(ctx context.Context, mode, doc string, req *request, templated bool) (*core.Result, core.Options, *apiError) {
 	if s.cfg.Faults != nil {
 		if err := s.cfg.Faults.FireCtx(ctx, "httpapi/discover"); err != nil {
 			return nil, core.Options{}, pipelineError(err)
@@ -433,6 +490,9 @@ func (s server) runDiscover(ctx context.Context, mode, doc string, req *request)
 		return nil, core.Options{}, &apiError{http.StatusBadRequest, err}
 	}
 	opts := s.pipelineOptions(ctx, ont, req.SeparatorList)
+	if templated {
+		s.templatedOptions(&opts, mode, req.Ontology, req.SeparatorList)
+	}
 	var res *core.Result
 	if mode == "html" {
 		res, err = core.DiscoverContext(ctx, doc, opts)
@@ -443,6 +503,17 @@ func (s server) runDiscover(ctx context.Context, mode, doc string, req *request)
 		return nil, opts, pipelineError(err)
 	}
 	return res, opts, nil
+}
+
+// templatedOptions arms opts with the server's wrapper store and the salt
+// binding store keys to this request's answer-changing options — the same
+// fields RequestFingerprint hashes, minus the document.
+func (s server) templatedOptions(opts *core.Options, mode, ontologySrc string, separatorList []string) {
+	if s.cfg.Templates == nil {
+		return
+	}
+	opts.Templates = s.cfg.Templates
+	opts.TemplateSalt = template.Salt(mode, ontologySrc, separatorList)
 }
 
 func (s server) handleDiscover(w http.ResponseWriter, r *http.Request) {
@@ -478,7 +549,9 @@ func (s server) handleDiscoverExplain(w http.ResponseWriter, r *http.Request, re
 	if req.XML != "" {
 		mode, doc = "xml", req.XML
 	}
-	res, opts, apiErr := s.runDiscover(r.Context(), mode, doc, req)
+	// templated=false: an explanation must come from the real heuristics,
+	// never from a stored wrapper.
+	res, opts, apiErr := s.runDiscover(r.Context(), mode, doc, req, false)
 	if apiErr != nil {
 		writeErr(w, apiErr.status, apiErr.err)
 		return
@@ -510,7 +583,9 @@ func (s server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := core.DiscoverContext(r.Context(), req.HTML, s.pipelineOptions(r.Context(), ont, req.SeparatorList))
+	ropts := s.pipelineOptions(r.Context(), ont, req.SeparatorList)
+	s.templatedOptions(&ropts, "html", req.Ontology, req.SeparatorList)
+	res, err := core.DiscoverContext(r.Context(), req.HTML, ropts)
 	if err != nil {
 		apiErr := pipelineError(err)
 		writeErr(w, apiErr.status, apiErr.err)
@@ -544,7 +619,9 @@ func (s server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := core.DiscoverContext(r.Context(), req.HTML, s.pipelineOptions(r.Context(), ont, nil))
+	xopts := s.pipelineOptions(r.Context(), ont, nil)
+	s.templatedOptions(&xopts, "html", req.Ontology, nil)
+	res, err := core.DiscoverContext(r.Context(), req.HTML, xopts)
 	if err != nil {
 		apiErr := pipelineError(err)
 		writeErr(w, apiErr.status, apiErr.err)

@@ -34,11 +34,12 @@ func (s server) handleDiscoverStream(w http.ResponseWriter, r *http.Request) {
 			Observe(time.Since(start).Seconds())
 	}()
 	eng := pipeline.New(pipeline.Config{
-		Workers: s.cfg.BatchWorkers,
-		Metrics: s.cfg.Metrics,
-		Trace:   obs.TraceFrom(r.Context()),
-		Limits:  s.cfg.Limits,
-		Faults:  s.cfg.Faults,
+		Workers:   s.cfg.BatchWorkers,
+		Metrics:   s.cfg.Metrics,
+		Trace:     obs.TraceFrom(r.Context()),
+		Limits:    s.cfg.Limits,
+		Faults:    s.cfg.Faults,
+		Templates: s.cfg.Templates,
 	})
 	var flush func()
 	if f, ok := w.(http.Flusher); ok {

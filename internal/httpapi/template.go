@@ -1,0 +1,77 @@
+package httpapi
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/template"
+)
+
+// Template-store endpoints: the cluster-warming and introspection surface of
+// the learned-wrapper fast path (docs/WRAPPER.md).
+//
+//	POST /v1/template/publish  {entry}  — absorb a peer's learned wrapper
+//	GET  /v1/template/stats             — store counters
+//
+// Both answer 503 when the node runs without a wrapper store, so a publisher
+// hitting a misconfigured peer sees a clean failure, not a 404 it could
+// mistake for a routing bug.
+
+func registerTemplateRoutes(mux *http.ServeMux, s server) {
+	mux.HandleFunc("POST /v1/template/publish", s.handleTemplatePublish)
+	mux.HandleFunc("GET /v1/template/stats", s.handleTemplateStats)
+}
+
+func (s server) handleTemplatePublish(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Templates == nil {
+		writeErr(w, http.StatusServiceUnavailable,
+			errors.New("this node has no wrapper store"))
+		return
+	}
+	var e template.Entry
+	if !decodeJSON(w, r, &e) {
+		return
+	}
+	// Absorb, not Put: a published entry must not be re-announced through
+	// OnStore, or two warmed replicas would bounce it forever.
+	if err := s.cfg.Templates.Absorb(&e); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"absorbed": e.Key})
+}
+
+func (s server) handleTemplateStats(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Templates == nil {
+		writeErr(w, http.StatusServiceUnavailable,
+			errors.New("this node has no wrapper store"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Templates.Stats())
+}
+
+// responseFromEntry rebuilds the wire response from a stored wrapper entry,
+// field-for-field the way toDiscoverResponse builds it from a fresh result —
+// the conformance suite holds the two byte-identical.
+func responseFromEntry(e *template.Entry) *discoverResponse {
+	out := &discoverResponse{
+		Separator: e.Separator,
+		TopTags:   append([]string(nil), e.TopTags...),
+		Subtree:   e.Subtree,
+		Rankings:  map[string][]rankRow{},
+	}
+	for _, s := range e.Scores {
+		out.Scores = append(out.Scores, scoreBody{Tag: s.Tag, CF: s.CF})
+	}
+	for name, rows := range e.Rankings {
+		rr := make([]rankRow, 0, len(rows))
+		for _, row := range rows {
+			rr = append(rr, rankRow{Tag: row.Tag, Rank: row.Rank})
+		}
+		out.Rankings[name] = rr
+	}
+	for _, c := range e.Candidates {
+		out.Candidates = append(out.Candidates, candidateBody{Tag: c.Tag, Count: c.Count})
+	}
+	return out
+}

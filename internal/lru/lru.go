@@ -76,3 +76,28 @@ func (c *Cache[K, V]) Len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// Remove deletes key, reporting whether it was present.
+func (c *Cache[K, V]) Remove(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.items, key)
+	return true
+}
+
+// Values returns the cached values from least to most recently used — the
+// order that, replayed through Add, reproduces the cache's recency state.
+func (c *Cache[K, V]) Values() []V {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]V, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		out = append(out, el.Value.(*entry[K, V]).value)
+	}
+	return out
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/tagtree"
+	"repro/internal/template"
 )
 
 // RetryPolicy bounds how the engine retries a document that failed
@@ -111,6 +112,11 @@ type Config struct {
 	// "pipeline/attempt" before each attempt and threads the set into
 	// core.Options for the pipeline-internal points.
 	Faults *faultinject.Set
+	// Templates, if non-nil, enables core's learned-wrapper fast path for
+	// every document: a bulk corpus dominated by a handful of site
+	// templates pays full discovery once per template (per option set)
+	// and serves the rest from the store. See docs/WRAPPER.md.
+	Templates *template.Store
 }
 
 // Stats summarizes one Run.
@@ -401,6 +407,16 @@ func (e *Engine) attempt(ctx context.Context, t *Task, ont *ontology.Ontology) (
 		Trace:         e.cfg.Trace,
 		Limits:        e.cfg.Limits,
 		Faults:        e.cfg.Faults,
+	}
+	if e.cfg.Templates != nil {
+		mode := "html"
+		if t.Mode == "xml" {
+			mode = "xml"
+		}
+		opts.Templates = e.cfg.Templates
+		// Same salt derivation as the HTTP surface, so bulk and serving
+		// traffic share one template key space.
+		opts.TemplateSalt = template.Salt(mode, t.Ontology, t.SeparatorList)
 	}
 	if t.Mode == "xml" {
 		return core.DiscoverXMLContext(actx, t.Doc, opts)

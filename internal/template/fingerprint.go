@@ -1,0 +1,124 @@
+// Package template implements the learned-wrapper fast path: a structural
+// fingerprint of a page's record region plus a store mapping fingerprints to
+// previously-discovered separators, so requests for already-seen page shapes
+// skip the heuristic pipeline entirely (the paper's §1 premise, after
+// [ECJ+98]: boundary discovery is a one-time cost that feeds a wrapper).
+//
+// The fingerprint is a stable hash over the tag-shape of the highest-fan-out
+// subtree — names and nesting only, no attributes, no text — which makes it
+// invariant under exactly the manglings tag-tree normalization absorbs
+// (corpus.Mangle: case, attribute order/values, omitted optional end-tags,
+// comments, whitespace, self-closing slashes on voids). Two documents share a
+// fingerprint iff their normalized record regions have identical shape.
+//
+// Two implementations must agree byte-for-byte on every input:
+//
+//   - FingerprintTree walks an already-built tagtree.Tree. It is the
+//     reference semantics and serves callers that need the tree anyway
+//     (core's tree-level fast path, XML mode).
+//   - FingerprintDoc scans the raw document with a specialized tag-only
+//     scanner that skips text, entities, and attribute materialization. It
+//     replicates the htmlparse tokenizer's tag grammar and the tagtree
+//     normalization rules exactly, and exists because the warm path must
+//     beat full discovery by ~50×: even the general tokenizer costs more
+//     than the whole warm-path budget.
+//
+// FuzzFingerprintDoc pins the equivalence; the metamorphic suite in
+// internal/eval pins the Mangle invariance over the full corpus.
+package template
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/tagtree"
+)
+
+// Fingerprint is the structural hash of a record region's tag shape.
+type Fingerprint [sha256.Size]byte
+
+// String returns the fingerprint in hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Key is a store key: a fingerprint bound to the request options that can
+// change the discovery answer (the salt). Same shape + same options = same
+// key, on any replica and across restarts.
+type Key [sha256.Size]byte
+
+// String returns the key in hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses a hex key as produced by Key.String.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return k, fmt.Errorf("template: bad key %q", s)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// Salt derives the option salt for a discover request: parse mode ("html" or
+// "xml"), the ontology argument verbatim (builtin name or DSL source), and
+// the separator-list override — the same fields httpapi.RequestFingerprint
+// hashes, minus the document itself. Heuristic answers depend on these, so
+// two requests may share a page shape but must not share a store entry when
+// they differ. Fields are length-prefixed so concatenations cannot collide.
+func Salt(mode, ontologySrc string, separatorList []string) string {
+	var b strings.Builder
+	field := func(s string) {
+		b.WriteString(strconv.Itoa(len(s)))
+		b.WriteByte(':')
+		b.WriteString(s)
+	}
+	field(mode)
+	field(ontologySrc)
+	for _, s := range separatorList {
+		field(s)
+	}
+	return b.String()
+}
+
+// MakeKey binds a fingerprint to an option salt.
+func MakeKey(fp Fingerprint, salt string) Key {
+	h := sha256.New()
+	h.Write(fp[:])
+	h.Write([]byte(salt))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Shape serialization markers. A node is 0x01 name 0x00 children... 0x02;
+// void and self-closing elements serialize as an immediately-closed node, so
+// <br> and <br></br>-shaped trees agree (both are childless regions).
+const (
+	shapeOpen  = 0x01
+	shapeClose = 0x02
+	shapeSep   = 0x00
+)
+
+// FingerprintTree fingerprints an already-built tag tree and returns the
+// highest-fan-out node the hash covers (the paper's conjectured record
+// group). This is the reference implementation FingerprintDoc must match on
+// HTML input; it also serves XML trees, whose fingerprints simply live in a
+// different key space via the mode salt.
+func FingerprintTree(t *tagtree.Tree) (Fingerprint, *tagtree.Node) {
+	n := t.HighestFanOut()
+	buf := appendNodeShape(make([]byte, 0, 1024), n)
+	return sha256.Sum256(buf), n
+}
+
+func appendNodeShape(buf []byte, n *tagtree.Node) []byte {
+	buf = append(buf, shapeOpen)
+	buf = append(buf, n.Name...)
+	buf = append(buf, shapeSep)
+	for _, c := range n.Children {
+		buf = appendNodeShape(buf, c)
+	}
+	return append(buf, shapeClose)
+}

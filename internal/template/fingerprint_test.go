@@ -1,0 +1,163 @@
+package template
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/tagtree"
+)
+
+// docFP runs both implementations and fails the test if they disagree —
+// every fingerprint computed in this file doubles as a differential check.
+func docFP(t *testing.T, doc string) Fingerprint {
+	t.Helper()
+	fast := FingerprintDoc(doc)
+	ref, _ := FingerprintTree(tagtree.Parse(doc))
+	if fast != ref {
+		t.Fatalf("FingerprintDoc = %s, FingerprintTree = %s\ndoc: %q", fast, ref, doc)
+	}
+	return fast
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	doc := "<html><body><ul><li>a<li>b<li>c</ul></body></html>"
+	if docFP(t, doc) != docFP(t, doc) {
+		t.Fatal("fingerprint not deterministic")
+	}
+}
+
+func TestFingerprintIgnoresTextAndAttributes(t *testing.T) {
+	base := docFP(t, `<html><body><table><tr><td>a</td></tr><tr><td>b</td></tr><tr><td>c</td></tr></table></body></html>`)
+	variants := []string{
+		// different text
+		`<html><body><table><tr><td>xxxxx</td></tr><tr><td></td></tr><tr><td>zz zz</td></tr></table></body></html>`,
+		// attributes, any order or casing
+		`<HTML><BODY><TABLE border="1" width='90%'><TR class=odd><TD align=left>a</TD></TR><TR><TD>b</TD></TR><TR><TD>c</TD></TR></TABLE></BODY></HTML>`,
+		// comments and whitespace
+		"<html>\n<!-- header -->\n<body> <table>\n<tr><td>a</td></tr> <tr><td>b</td></tr>\n<tr><td>c</td></tr>\n</table> </body>\n</html>",
+		// omitted optional end tags
+		`<html><body><table><tr><td>a<tr><td>b<tr><td>c</table></body></html>`,
+	}
+	for i, v := range variants {
+		if got := docFP(t, v); got != base {
+			t.Errorf("variant %d: fingerprint %s != base %s", i, got, base)
+		}
+	}
+}
+
+func TestFingerprintSeesShape(t *testing.T) {
+	base := docFP(t, `<html><body><ul><li>a<li>b<li>c</ul></body></html>`)
+	different := []string{
+		// different record tag
+		`<html><body><dl><dt>a<dt>b<dt>c</dl></body></html>`,
+		// different record count (exact shape hash)
+		`<html><body><ul><li>a<li>b</ul></body></html>`,
+		// nested structure inside records
+		`<html><body><ul><li><b>a</b><li><b>b</b><li><b>c</b></ul></body></html>`,
+	}
+	for i, d := range different {
+		if got := docFP(t, d); got == base {
+			t.Errorf("doc %d: fingerprint should differ from base", i)
+		}
+	}
+}
+
+// TestFingerprintDocMatchesTreeEdgeCases drives the fast scanner through the
+// tokenizer and normalizer behaviors it replicates: voids, self-closing
+// syntax, raw-text elements, orphan end tags, auto-closing, processing
+// instructions, and malformed markup.
+func TestFingerprintDocMatchesTreeEdgeCases(t *testing.T) {
+	docs := []string{
+		"",
+		"plain text only",
+		"<",
+		"<3 is not markup <html><body><p>x</p></body></html>",
+		"<html><body>a<br>b<br/>c<hr></body></html>",
+		"<html><body><img src='a>b'><p>x</p><img src=\"c>d\"></body></html>",
+		"<html><head><script>if (a < b) { document.write('<p>'); }</script><title>x < y</title></head><body><p>a</p><p>b</p></body></html>",
+		"<html><body><script>var s = '</scriptfoo>';</script><p>a</p></body></html>",
+		"<html><body><style>p > b { color: red }</style><p>a</p><p>b</p></body></html>",
+		"<html><body></p></div><ul><li>a</ul></body></html>",
+		"<html><body><p>one<p>two<p>three</body></html>",
+		"<html><body><select><option>a<option>b<option>c</select></body></html>",
+		"<html><body><table><thead><tr><th>h</th></tr></thead><tbody><tr><td>a</td></tr><tr><td>b</td></tr></tbody></table></body></html>",
+		"<html><body><div/><div/><div/></body></html>",
+		"<?xml version=\"1.0\"?><!DOCTYPE html><html><body><p>a</p></body></html>",
+		"<!-- <p>commented out</p> --><html><body><p>a</p><p>b</p></body></html>",
+		"<html><body><p>unterminated comment <!-- never closes <p>x</body></html>",
+		"<html><body><p>unterminated tag <div class=",
+		"<html><body><textarea><p>not a p</p></textarea><p>a</p></body></html>",
+		"<html><body><ul><li>a</li><li>b</li></ul><ol><li>c</li><li>d</li><li>e</li></ol></body></html>",
+		"<html><body><br></br><hr></hr></body></html>",
+		"<CUSTOM-tag><x:y><a_b.c>text</a_b.c></x:y></CUSTOM-tag>",
+	}
+	for i, doc := range docs {
+		_ = docFP(t, doc) // docFP fails on divergence
+		_ = i
+	}
+}
+
+// TestFingerprintMangleInvarianceSample pins Mangle invariance on a slice of
+// the corpus; the full 220-doc sweep lives in internal/eval's metamorphic
+// suite.
+func TestFingerprintMangleInvarianceSample(t *testing.T) {
+	docs := corpus.TestDocuments()
+	if len(docs) < 5 {
+		t.Fatalf("test corpus too small: %d", len(docs))
+	}
+	for _, d := range docs[:5] {
+		base := docFP(t, d.HTML)
+		for seed := int64(1); seed <= 3; seed++ {
+			m := corpus.Mangle(d.HTML, seed)
+			if got := docFP(t, m); got != base {
+				t.Errorf("site %s doc %d seed %d: mangled fingerprint diverged",
+					d.Site.Name, d.Index, seed)
+			}
+		}
+	}
+}
+
+func TestSaltLengthPrefixing(t *testing.T) {
+	// Field boundaries must not be ambiguous under concatenation.
+	a := Salt("html", "ab", []string{"c"})
+	b := Salt("html", "a", []string{"bc"})
+	if a == b {
+		t.Fatalf("salts collide: %q", a)
+	}
+	if Salt("html", "", nil) == Salt("xml", "", nil) {
+		t.Fatal("mode must affect salt")
+	}
+	if Salt("html", "", []string{"hr"}) == Salt("html", "", []string{"hr", "p"}) {
+		t.Fatal("separator list must affect salt")
+	}
+}
+
+func TestMakeKeyBindsSalt(t *testing.T) {
+	fp := FingerprintDoc("<html><body><p>a<p>b</body></html>")
+	k1 := MakeKey(fp, Salt("html", "", nil))
+	k2 := MakeKey(fp, Salt("xml", "", nil))
+	if k1 == k2 {
+		t.Fatal("same key for different salts")
+	}
+	rt, err := ParseKey(k1.String())
+	if err != nil || rt != k1 {
+		t.Fatalf("ParseKey round-trip: %v %v", rt, err)
+	}
+	if _, err := ParseKey("zz"); err == nil {
+		t.Fatal("ParseKey accepted garbage")
+	}
+}
+
+func TestFingerprintXMLTree(t *testing.T) {
+	// XML trees fingerprint through the tree path only; just pin that two
+	// same-shaped XML docs agree and a different shape does not.
+	f1, _ := FingerprintTree(tagtree.ParseXML("<feed><entry>a</entry><entry>b</entry></feed>"))
+	f2, _ := FingerprintTree(tagtree.ParseXML("<feed><entry>xxx</entry><entry attr='v'>y</entry></feed>"))
+	f3, _ := FingerprintTree(tagtree.ParseXML("<feed><item>a</item><item>b</item></feed>"))
+	if f1 != f2 {
+		t.Error("same-shaped XML docs should share a fingerprint")
+	}
+	if f1 == f3 {
+		t.Error("different-shaped XML docs should not share a fingerprint")
+	}
+}

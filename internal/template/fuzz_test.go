@@ -1,0 +1,41 @@
+package template
+
+import (
+	"testing"
+
+	"repro/internal/tagtree"
+)
+
+// FuzzFingerprintDoc pins the load-bearing equivalence of the fast path: the
+// specialized tag-only scanner must agree byte-for-byte with the reference
+// tree walk on arbitrary input. Any divergence means a warm request could be
+// served a wrapper learned for a differently-shaped page.
+func FuzzFingerprintDoc(f *testing.F) {
+	seeds := []string{
+		"",
+		"<html><body><hr><hr><hr></body></html>",
+		"<html><body><ul><li>a<li>b<li>c</ul></body></html>",
+		"<table><tr><td>a<tr><td>b</table>",
+		"<script>'</scr'+'ipt>'</script><p>a</p>",
+		"<div a='<b>' b=\">\"><p>x</div>",
+		"<!doctype html><!-- c --><p>a<p>b",
+		"<br/><BR></br><x:y.z-w_v>t</x:y.z-w_v>",
+		"<select><option>1<option>2</select>",
+		"<p <div> </p x>",
+		"<textarea></textarea\u00e9></textarea>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		fast := FingerprintDoc(doc)
+		ref, _ := FingerprintTree(tagtree.Parse(doc))
+		if fast != ref {
+			t.Fatalf("scanner/tree fingerprint divergence on %q:\n  doc  %s\n  tree %s",
+				doc, fast, ref)
+		}
+		if again := FingerprintDoc(doc); again != fast {
+			t.Fatalf("FingerprintDoc not deterministic on %q", doc)
+		}
+	})
+}

@@ -1,0 +1,504 @@
+package template
+
+import (
+	"crypto/sha256"
+	"strings"
+	"sync"
+
+	"repro/internal/htmlparse"
+)
+
+// FingerprintDoc fingerprints a raw HTML document without building the tag
+// tree: a single tag-only pass that skips text, entity decoding, and
+// attribute materialization, replicating the htmlparse tokenizer's tag
+// grammar and tagtree.Normalize's balancing rules (void elements, implied
+// closings, orphan end-tags, raw-text content). It returns exactly what
+// FingerprintTree(tagtree.Parse(doc)) returns, at a small fraction of the
+// cost — this is what lets a template hit undercut full discovery by ~50×.
+func FingerprintDoc(doc string) Fingerprint {
+	sc := scanPool.Get().(*docScanner)
+	sc.reset()
+	sc.scan(doc)
+	fp := sc.fingerprint()
+	scanPool.Put(sc)
+	return fp
+}
+
+var scanPool = sync.Pool{New: func() any { return newDocScanner() }}
+
+// shapeEvent packs one structural event: nameID<<1 for an element opening,
+// the constant eventClose for a region closing.
+type shapeEvent int32
+
+const eventClose shapeEvent = 1
+
+func openEvent(id int32) shapeEvent { return shapeEvent(id << 1) }
+
+// elemRec is one completed element region: its event range (half-open) and
+// its fan-out, collected so the highest-fan-out winner can be picked after
+// the scan without building nodes.
+type elemRec struct {
+	enter, end int32
+	fan        int32
+}
+
+type docScanner struct {
+	events []shapeEvent
+	stack  []int32 // open element name IDs, innermost last
+	open   []int32 // enter-event index per open element
+	fan    []int32 // child count per open element
+	elems  []elemRec
+	rootFan int32
+
+	nbuf []byte // lowercased tag-name scratch
+	sbuf []byte // hash serialization scratch
+
+	// extra interns tag names outside the built-in table, per scan.
+	extra      map[string]int32
+	extraNames []string
+}
+
+func newDocScanner() *docScanner {
+	return &docScanner{
+		events: make([]shapeEvent, 0, 256),
+		stack:  make([]int32, 0, 32),
+		open:   make([]int32, 0, 32),
+		fan:    make([]int32, 0, 32),
+		elems:  make([]elemRec, 0, 128),
+		nbuf:   make([]byte, 0, 16),
+		sbuf:   make([]byte, 0, 1024),
+	}
+}
+
+// maxRetained bounds the pooled buffers: a pathological document must not
+// pin its peak allocation in the pool forever.
+const maxRetained = 1 << 16
+
+func (sc *docScanner) reset() {
+	if cap(sc.events) > maxRetained {
+		sc.events = make([]shapeEvent, 0, 256)
+		sc.elems = make([]elemRec, 0, 128)
+	}
+	sc.events = sc.events[:0]
+	sc.stack = sc.stack[:0]
+	sc.open = sc.open[:0]
+	sc.fan = sc.fan[:0]
+	sc.elems = sc.elems[:0]
+	sc.rootFan = 0
+	if sc.extra != nil {
+		sc.extra = nil
+		sc.extraNames = sc.extraNames[:0]
+	}
+}
+
+func (sc *docScanner) name(id int32) string {
+	if int(id) < len(baseNames) {
+		return baseNames[id]
+	}
+	return sc.extraNames[int(id)-len(baseNames)]
+}
+
+// intern returns the ID of the lowercased tag name raw.
+func (sc *docScanner) intern(raw string) int32 {
+	sc.nbuf = sc.nbuf[:0]
+	for i := 0; i < len(raw); i++ {
+		c := raw[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		sc.nbuf = append(sc.nbuf, c)
+	}
+	if id, ok := baseIDs[string(sc.nbuf)]; ok {
+		return id
+	}
+	if id, ok := sc.extra[string(sc.nbuf)]; ok {
+		return id
+	}
+	if sc.extra == nil {
+		sc.extra = make(map[string]int32, 4)
+	}
+	name := string(sc.nbuf)
+	id := int32(len(baseNames) + len(sc.extraNames))
+	sc.extraNames = append(sc.extraNames, name)
+	sc.extra[name] = id
+	return id
+}
+
+// noteChild credits a new element to its parent's fan-out (or the synthetic
+// root's when the stack is empty).
+func (sc *docScanner) noteChild() {
+	if n := len(sc.fan); n > 0 {
+		sc.fan[n-1]++
+	} else {
+		sc.rootFan++
+	}
+}
+
+func (sc *docScanner) push(id int32) {
+	sc.noteChild()
+	sc.open = append(sc.open, int32(len(sc.events)))
+	sc.stack = append(sc.stack, id)
+	sc.fan = append(sc.fan, 0)
+	sc.events = append(sc.events, openEvent(id))
+}
+
+// pop closes the innermost open element, recording its completed region.
+func (sc *docScanner) pop() {
+	top := len(sc.stack) - 1
+	sc.events = append(sc.events, eventClose)
+	sc.elems = append(sc.elems, elemRec{
+		enter: sc.open[top],
+		end:   int32(len(sc.events)),
+		fan:   sc.fan[top],
+	})
+	sc.stack = sc.stack[:top]
+	sc.open = sc.open[:top]
+	sc.fan = sc.fan[:top]
+}
+
+// leaf records a childless region (void element or self-closing tag).
+func (sc *docScanner) leaf(id int32) {
+	sc.noteChild()
+	enter := int32(len(sc.events))
+	sc.events = append(sc.events, openEvent(id), eventClose)
+	sc.elems = append(sc.elems, elemRec{enter: enter, end: enter + 2})
+}
+
+// scan runs the tag-only pass over doc. The grammar decisions mirror
+// htmlparse.Tokenizer byte for byte: what counts as markup, how comments and
+// bogus comments terminate, how quoted attribute values hide '>', when a
+// start tag is self-closing, and how raw-text content ends. The balancing
+// decisions mirror tagtree.Normalize: voids and self-closing tags are
+// leaves, arriving tags imply closings per the HTML 3.2/4.0 optional-end-tag
+// rules (stopped at a table boundary), orphan end-tags are dropped, and EOF
+// closes everything.
+func (sc *docScanner) scan(doc string) {
+	i, n := 0, len(doc)
+	for i < n {
+		if doc[i] != '<' {
+			j := strings.IndexByte(doc[i:], '<')
+			if j < 0 {
+				break
+			}
+			i += j
+		}
+		if i+1 >= n {
+			break
+		}
+		switch c := doc[i+1]; {
+		case c == '!':
+			if strings.HasPrefix(doc[i:], "<!--") {
+				if k := strings.Index(doc[i+4:], "-->"); k < 0 {
+					i = n
+				} else {
+					i += 4 + k + 3
+				}
+			} else {
+				i = skipPast(doc, i, '>')
+			}
+		case c == '?':
+			i = skipPast(doc, i, '>')
+		case c == '/':
+			i = sc.endTag(doc, i)
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			i = sc.startTag(doc, i)
+		default:
+			// A lone '<' that is not markup: character data.
+			i++
+		}
+	}
+	for len(sc.stack) > 0 {
+		sc.pop()
+	}
+}
+
+// skipPast returns the index just past the first b at or after from, or
+// len(s) when absent (mirrors the tokenizer's indexFrom).
+func skipPast(s string, from int, b byte) int {
+	if i := strings.IndexByte(s[from:], b); i >= 0 {
+		return from + i + 1
+	}
+	return len(s)
+}
+
+func (sc *docScanner) endTag(s string, i int) int {
+	j := i + 2
+	start := j
+	for j < len(s) && isNameByte(s[j]) {
+		j++
+	}
+	id := sc.intern(s[start:j])
+	j = skipPast(s, j, '>')
+	if isVoidID(id) {
+		return j // </br> and friends: orphan by definition.
+	}
+	match := -1
+	for k := len(sc.stack) - 1; k >= 0; k-- {
+		if sc.stack[k] == id {
+			match = k
+			break
+		}
+	}
+	if match < 0 {
+		return j // no corresponding start-tag: dropped.
+	}
+	for len(sc.stack) > match {
+		sc.pop()
+	}
+	return j
+}
+
+func (sc *docScanner) startTag(s string, i int) int {
+	j := i + 1
+	start := j
+	for j < len(s) && isNameByte(s[j]) {
+		j++
+	}
+	id := sc.intern(s[start:j])
+	selfClosing := false
+	for j < len(s) && s[j] != '>' {
+		for j < len(s) && isSpace(s[j]) {
+			j++
+		}
+		if j >= len(s) || s[j] == '>' {
+			break
+		}
+		if s[j] == '/' {
+			j++
+			if j < len(s) && s[j] == '>' {
+				selfClosing = true
+			}
+			continue
+		}
+		for j < len(s) && !isSpace(s[j]) && s[j] != '=' && s[j] != '>' && s[j] != '/' {
+			j++
+		}
+		for j < len(s) && isSpace(s[j]) {
+			j++
+		}
+		if j < len(s) && s[j] == '=' {
+			j++
+			for j < len(s) && isSpace(s[j]) {
+				j++
+			}
+			if j < len(s) && (s[j] == '"' || s[j] == '\'') {
+				q := s[j]
+				j++
+				for j < len(s) && s[j] != q {
+					j++
+				}
+				if j < len(s) {
+					j++
+				}
+			} else {
+				for j < len(s) && !isSpace(s[j]) && s[j] != '>' {
+					j++
+				}
+			}
+		}
+	}
+	if j < len(s) {
+		j++ // consume '>'
+	}
+
+	if isVoidID(id) {
+		sc.leaf(id)
+		return j
+	}
+	if closes := autoCloseIDs[id]; closes != nil {
+		for len(sc.stack) > 0 {
+			top := sc.stack[len(sc.stack)-1]
+			if !contains(closes, top) || top == tableID {
+				break
+			}
+			sc.pop()
+		}
+	}
+	if selfClosing {
+		sc.leaf(id)
+		return j
+	}
+	sc.push(id)
+	if isRawTextID(id) {
+		j = skipRawText(s, j, sc.name(id))
+	}
+	return j
+}
+
+// skipRawText advances past raw-text content: everything up to the first
+// case-insensitive "</name" (with no delimiter check after the name, exactly
+// like the tokenizer), whose end-tag is then parsed by the main loop.
+func skipRawText(s string, i int, name string) int {
+	for ; i < len(s); i++ {
+		if s[i] != '<' || i+1 >= len(s) || s[i+1] != '/' {
+			continue
+		}
+		if i+2+len(name) > len(s) {
+			continue
+		}
+		match := true
+		for k := 0; k < len(name); k++ {
+			c := s[i+2+k]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != name[k] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return len(s)
+}
+
+func contains(ids []int32, id int32) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// fingerprint picks the highest-fan-out region (HighestFanOut's exact tie
+// rules: the first element in document order whose fan-out reaches the
+// maximum, the synthetic root only when no element matches its fan-out) and
+// hashes its shape serialization.
+func (sc *docScanner) fingerprint() Fingerprint {
+	best := elemRec{fan: -1}
+	for _, e := range sc.elems {
+		if e.fan > best.fan {
+			best = e
+		} else if e.fan == best.fan && e.enter < best.enter {
+			best = e
+		}
+	}
+	buf := sc.sbuf[:0]
+	if best.fan < sc.rootFan {
+		// The synthetic root wins: its shape wraps every top-level event.
+		buf = append(buf, shapeOpen)
+		buf = append(buf, rootName...)
+		buf = append(buf, shapeSep)
+		buf = sc.appendEvents(buf, 0, int32(len(sc.events)))
+		buf = append(buf, shapeClose)
+	} else {
+		buf = sc.appendEvents(buf, best.enter, best.end)
+	}
+	if cap(buf) <= maxRetained {
+		sc.sbuf = buf
+	}
+	return sha256.Sum256(buf)
+}
+
+func (sc *docScanner) appendEvents(buf []byte, from, to int32) []byte {
+	for _, ev := range sc.events[from:to] {
+		if ev == eventClose {
+			buf = append(buf, shapeClose)
+			continue
+		}
+		buf = append(buf, shapeOpen)
+		buf = append(buf, sc.name(int32(ev>>1))...)
+		buf = append(buf, shapeSep)
+	}
+	return buf
+}
+
+// rootName matches the tagtree synthetic document root.
+const rootName = "#document"
+
+func isNameByte(b byte) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9':
+		return true
+	case b == '-' || b == '_' || b == ':' || b == '.':
+		return true
+	}
+	return false
+}
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\f'
+}
+
+// The built-in name table: fixed IDs shared by every scan so the hot path
+// never allocates a tag name. It must cover every name with normalization
+// semantics (voids, raw-text elements, optional-end-tag participants); other
+// common names are included purely to dodge the per-scan intern path.
+var baseNames = []string{
+	// Voids (htmlparse.IsVoid must hold for each).
+	"area", "base", "basefont", "bgsound", "br", "col", "embed", "frame",
+	"hr", "img", "input", "isindex", "keygen", "link", "meta", "param",
+	"source", "spacer", "track", "wbr",
+	// Raw-text elements (htmlparse.IsRawText).
+	"script", "style", "textarea", "title", "xmp", "plaintext",
+	// Optional-end-tag participants (tagtree's autoClose) and the table
+	// scope barrier.
+	"li", "p", "dt", "dd", "option", "tr", "td", "th", "thead", "tbody",
+	"tfoot", "colgroup", "table",
+	// Common structural names.
+	"html", "head", "body", "div", "span", "a", "b", "i", "u", "em",
+	"strong", "font", "center", "ul", "ol", "dl", "h1", "h2", "h3", "h4",
+	"h5", "h6", "form", "select", "blockquote", "pre", "tt", "small",
+	"big", "strike", "code", "address", "caption", "label", "fieldset",
+	"article", "section", "nav", "header", "footer", "main", "aside",
+}
+
+var (
+	baseIDs      = make(map[string]int32, len(baseNames))
+	baseVoid     []bool
+	baseRaw      []bool
+	autoCloseIDs map[int32][]int32
+	tableID      int32
+)
+
+func init() {
+	baseVoid = make([]bool, len(baseNames))
+	baseRaw = make([]bool, len(baseNames))
+	for i, n := range baseNames {
+		if _, dup := baseIDs[n]; dup {
+			panic("template: duplicate base name " + n)
+		}
+		baseIDs[n] = int32(i)
+		baseVoid[i] = htmlparse.IsVoid(n)
+		baseRaw[i] = htmlparse.IsRawText(n)
+	}
+	// Every name the normalization rules special-case must be in the base
+	// table, or the ID predicates below would miss it.
+	for _, n := range []string{
+		"area", "base", "basefont", "bgsound", "br", "col", "embed",
+		"frame", "hr", "img", "input", "isindex", "keygen", "link", "meta",
+		"param", "source", "spacer", "track", "wbr",
+	} {
+		if !htmlparse.IsVoid(n) {
+			panic("template: base table lists non-void " + n)
+		}
+	}
+	tableID = baseIDs["table"]
+	autoCloseIDs = make(map[int32][]int32)
+	for arriving, closes := range map[string][]string{
+		"li":       {"li"},
+		"p":        {"p"},
+		"dt":       {"dt", "dd"},
+		"dd":       {"dt", "dd"},
+		"option":   {"option"},
+		"tr":       {"td", "th", "tr"},
+		"td":       {"td", "th"},
+		"th":       {"td", "th"},
+		"thead":    {"td", "th", "tr"},
+		"tbody":    {"td", "th", "tr", "thead"},
+		"tfoot":    {"td", "th", "tr", "tbody"},
+		"colgroup": {"colgroup"},
+	} {
+		var ids []int32
+		for _, c := range closes {
+			ids = append(ids, baseIDs[c])
+		}
+		autoCloseIDs[baseIDs[arriving]] = ids
+	}
+}
+
+func isVoidID(id int32) bool    { return int(id) < len(baseVoid) && baseVoid[id] }
+func isRawTextID(id int32) bool { return int(id) < len(baseRaw) && baseRaw[id] }

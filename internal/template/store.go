@@ -1,0 +1,567 @@
+package template
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/faultinject"
+	"repro/internal/lru"
+	"repro/internal/obs"
+)
+
+// ErrCorrupt marks a wrapper-store journal whose body (not merely its torn
+// tail) fails to decode. Callers distinguish it from I/O errors with
+// errors.Is; the store refuses to open over corruption rather than silently
+// serving a partial memory of what it learned.
+var ErrCorrupt = errors.New("template: corrupt store journal")
+
+// Score is one compound-certainty row of a learned answer, mirroring the
+// discover response's scores array.
+type Score struct {
+	Tag string  `json:"tag"`
+	CF  float64 `json:"cf"`
+}
+
+// RankEntry is one row of a heuristic's ranking, mirroring the wire shape.
+type RankEntry struct {
+	Tag  string `json:"tag"`
+	Rank int    `json:"rank"`
+}
+
+// Candidate is one candidate separator tag with its subtree count.
+type Candidate struct {
+	Tag   string `json:"tag"`
+	Count int    `json:"count"`
+}
+
+// Entry is a learned wrapper: the complete, reconstructable discovery answer
+// for one (fingerprint, options) key. It snapshots every field a discover
+// response or downstream record split needs, so serving from the store is
+// byte-identical to re-running the heuristics on an identically-shaped page.
+// Entries are stored only for clean (non-degraded) discoveries.
+type Entry struct {
+	// Key is the hex store key (MakeKey of fingerprint + option salt).
+	Key string `json:"key"`
+	// Separator and TopTags are the discovery consensus.
+	Separator string   `json:"separator"`
+	TopTags   []string `json:"top_tags"`
+	// Scores are all candidates with compound CFs, best first.
+	Scores []Score `json:"scores"`
+	// Rankings holds each contributing heuristic's ordered answer.
+	Rankings map[string][]RankEntry `json:"rankings"`
+	// Candidates are the candidate tags with counts, descending.
+	Candidates []Candidate `json:"candidates"`
+	// Subtree names the highest-fan-out node the answer was learned on; a
+	// hit whose document disagrees is drift, not a servable answer.
+	Subtree string `json:"subtree"`
+	// Reasons carries per-heuristic decline reasons (library surface).
+	Reasons map[string]string `json:"reasons,omitempty"`
+	// Certainty is the compound CF of the winning separator — the entry's
+	// health: below the store's MinCertainty it is evicted on lookup.
+	Certainty float64 `json:"certainty"`
+}
+
+// Validate checks an entry is well-formed enough to serve: parseable key,
+// non-empty separator and subtree, certainty in [0,1].
+func (e *Entry) Validate() error {
+	if e == nil {
+		return errors.New("template: nil entry")
+	}
+	if _, err := ParseKey(e.Key); err != nil {
+		return err
+	}
+	if e.Separator == "" {
+		return errors.New("template: entry missing separator")
+	}
+	if e.Subtree == "" {
+		return errors.New("template: entry missing subtree")
+	}
+	if e.Certainty < 0 || e.Certainty > 1 {
+		return fmt.Errorf("template: entry certainty %v out of range", e.Certainty)
+	}
+	return nil
+}
+
+// clone deep-copies an entry so cached state can never be mutated through a
+// pointer a caller (or the JSON decoder on a later Absorb) still holds.
+func (e *Entry) clone() *Entry {
+	c := *e
+	c.TopTags = append([]string(nil), e.TopTags...)
+	c.Scores = append([]Score(nil), e.Scores...)
+	c.Candidates = append([]Candidate(nil), e.Candidates...)
+	if e.Rankings != nil {
+		c.Rankings = make(map[string][]RankEntry, len(e.Rankings))
+		for k, v := range e.Rankings {
+			c.Rankings[k] = append([]RankEntry(nil), v...)
+		}
+	}
+	if e.Reasons != nil {
+		c.Reasons = make(map[string]string, len(e.Reasons))
+		for k, v := range e.Reasons {
+			c.Reasons[k] = v
+		}
+	}
+	return &c
+}
+
+// Equal reports semantic equality. The store uses it to suppress redundant
+// journal writes and publish loops when a replica re-learns what it already
+// knows; spot-checks use it to compare a stored answer against a fresh
+// full-discovery answer.
+func (e *Entry) Equal(o *Entry) bool {
+	ej, _ := json.Marshal(e)
+	oj, _ := json.Marshal(o)
+	return string(ej) == string(oj)
+}
+
+// DefaultMinCertainty is the drift floor: stored answers whose compound CF
+// fell below it are evicted on lookup and relearned. The paper's Figure-2
+// worked example lands at 0.9996; anything under one-half means the
+// heuristics themselves were ambivalent, so we don't trust a cached copy.
+const DefaultMinCertainty = 0.5
+
+// DefaultCapacity bounds the in-memory entry count when Config.Capacity is
+// zero. One entry is a few hundred bytes; 4096 covers far more distinct
+// templates than any real site exhibits.
+const DefaultCapacity = 4096
+
+// Fault hook points owned by this package (catalog: docs/ROBUSTNESS.md).
+const (
+	// FaultLookup fires at the head of every store lookup; an armed error
+	// turns the lookup into a miss (counted as a lookup error), proving
+	// a degraded store falls back to full discovery.
+	FaultLookup = "template/lookup"
+	// FaultPublish fires before each peer publish attempt.
+	FaultPublish = "template/publish"
+)
+
+// Config configures a Store.
+type Config struct {
+	// Capacity bounds in-memory entries (LRU); 0 means DefaultCapacity.
+	Capacity int
+	// Path is the disk journal; empty means memory-only.
+	Path string
+	// MinCertainty is the drift floor; 0 means DefaultMinCertainty. Use a
+	// negative value to disable the floor entirely.
+	MinCertainty float64
+	// SpotCheckEvery re-verifies every Nth hit against full discovery
+	// (deterministic cadence, not sampling, so tests are exact); 0
+	// disables spot-checks.
+	SpotCheckEvery int
+	// Metrics receives boundary_template_* series; nil disables.
+	Metrics *obs.Registry
+	// Faults is the chaos-test hook set; nil disables.
+	Faults *faultinject.Set
+}
+
+// Store maps template keys to learned wrappers. It is safe for concurrent
+// use, optionally journaled to disk for warm restarts, and shared: in a
+// cluster every in-process replica holds the same *Store, and remote
+// replicas are warmed through a Publisher wired to OnStore.
+type Store struct {
+	cfg Config
+
+	mu    sync.Mutex // guards file, lines, and the journal write order
+	file  *os.File
+	lines int // journal lines since last compaction
+
+	cache *lru.Cache[Key, *Entry]
+
+	hits atomic.Uint64 // lifetime hit ordinal, drives spot-check cadence
+
+	// OnStore, when non-nil, observes every locally-learned entry (Put,
+	// not Absorb — absorbed entries came from a peer and re-announcing
+	// them would loop). Set it before the store sees traffic.
+	OnStore func(*Entry)
+
+	mHits, mMisses, mStores, mAbsorbs, mLookupErrs *obs.Counter
+	mEntries                                       *obs.Gauge
+}
+
+// compactThreshold is how many journal lines (puts + evictions) accumulate
+// before the journal is rewritten as one line per live entry.
+const compactThreshold = 4096
+
+// Open creates a store. With a non-empty cfg.Path it replays the journal
+// (tolerating a torn final line, exactly like the bulk checkpoint journal)
+// and keeps the file open for appends; a journal corrupt before its final
+// line returns an error wrapping ErrCorrupt.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.MinCertainty == 0 {
+		cfg.MinCertainty = DefaultMinCertainty
+	}
+	s := &Store{
+		cfg:   cfg,
+		cache: lru.New[Key, *Entry](cfg.Capacity),
+
+		mHits:       cfg.Metrics.Counter("boundary_template_hits_total", "Template fast-path lookups served from the wrapper store."),
+		mMisses:     cfg.Metrics.Counter("boundary_template_misses_total", "Template fast-path lookups that fell back to full discovery."),
+		mStores:     cfg.Metrics.Counter("boundary_template_stores_total", "Learned wrappers stored locally."),
+		mAbsorbs:    cfg.Metrics.Counter("boundary_template_absorbs_total", "Learned wrappers absorbed from cluster peers."),
+		mLookupErrs: cfg.Metrics.Counter("boundary_template_lookup_errors_total", "Store lookups that failed and degraded to a miss."),
+		mEntries:    cfg.Metrics.Gauge("boundary_template_entries", "Learned wrappers currently held in memory."),
+	}
+	if cfg.Path != "" {
+		if err := s.replay(); err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(cfg.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		s.file = f
+	}
+	s.mEntries.Set(float64(s.cache.Len()))
+	return s, nil
+}
+
+// journalLine is one NDJSON journal record: exactly one of Put or Evict.
+type journalLine struct {
+	V     int    `json:"v"`
+	Put   *Entry `json:"put,omitempty"`
+	Evict string `json:"evict,omitempty"`
+}
+
+// replay loads the journal into the cache. The final line may be torn (a
+// crash mid-append) and is skipped; an undecodable line anywhere else means
+// the file body is damaged and the error wraps ErrCorrupt.
+func (s *Store) replay() error {
+	data, err := os.ReadFile(s.cfg.Path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	lines := splitLines(data)
+	for i, ln := range lines {
+		var rec journalLine
+		if err := json.Unmarshal(ln, &rec); err != nil {
+			if i == len(lines)-1 {
+				return nil // torn tail: the entry was never acknowledged
+			}
+			return fmt.Errorf("%w: line %d: %v", ErrCorrupt, i+1, err)
+		}
+		switch {
+		case rec.Put != nil:
+			if err := rec.Put.Validate(); err != nil {
+				if i == len(lines)-1 {
+					return nil
+				}
+				return fmt.Errorf("%w: line %d: %v", ErrCorrupt, i+1, err)
+			}
+			k, _ := ParseKey(rec.Put.Key)
+			s.cache.Add(k, rec.Put)
+		case rec.Evict != "":
+			k, err := ParseKey(rec.Evict)
+			if err != nil {
+				if i == len(lines)-1 {
+					return nil
+				}
+				return fmt.Errorf("%w: line %d: %v", ErrCorrupt, i+1, err)
+			}
+			s.cache.Remove(k)
+		default:
+			if i == len(lines)-1 {
+				return nil
+			}
+			return fmt.Errorf("%w: line %d: neither put nor evict", ErrCorrupt, i+1)
+		}
+		s.lines++
+	}
+	return nil
+}
+
+// splitLines splits on '\n', dropping empty lines (a trailing newline is the
+// normal committed state, not a torn record).
+func splitLines(data []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			if i > start {
+				out = append(out, data[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		out = append(out, data[start:])
+	}
+	return out
+}
+
+// append writes one journal record and compacts when the journal has
+// accumulated enough dead lines. Callers hold no store locks.
+func (s *Store) append(rec journalLine) {
+	if s.cfg.Path == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return // closed
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	if _, err := s.file.Write(b); err != nil {
+		return
+	}
+	s.lines++
+	if s.lines >= compactThreshold && s.lines > 2*s.cache.Len() {
+		s.compactLocked()
+	}
+}
+
+// compactLocked rewrites the journal as one put line per live entry, oldest
+// first. A temp-file rename keeps the journal always-valid on crash.
+func (s *Store) compactLocked() {
+	tmp := s.cfg.Path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return
+	}
+	w := bufio.NewWriter(f)
+	n := 0
+	for _, e := range s.cache.Values() {
+		b, err := json.Marshal(journalLine{V: 1, Put: e})
+		if err != nil {
+			continue
+		}
+		w.Write(b)
+		w.WriteByte('\n')
+		n++
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, s.cfg.Path); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	s.file.Close()
+	nf, err := os.OpenFile(s.cfg.Path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.file = nil
+		return
+	}
+	s.file = nf
+	s.lines = n
+}
+
+// Lookup returns the stored entry for key, if one exists and is healthy. A
+// lookup fault (chaos: FaultLookup) or a below-floor certainty degrades to a
+// miss; the latter also evicts so the next discovery relearns the template.
+func (s *Store) Lookup(key Key) (*Entry, bool) {
+	if s == nil {
+		return nil, false
+	}
+	if err := s.cfg.Faults.Fire(FaultLookup); err != nil {
+		s.mLookupErrs.Inc()
+		s.mMisses.Inc()
+		return nil, false
+	}
+	e, ok := s.cache.Get(key)
+	if !ok {
+		s.mMisses.Inc()
+		return nil, false
+	}
+	if e.Certainty < s.cfg.MinCertainty {
+		s.evict(key, "low_certainty")
+		s.mMisses.Inc()
+		return nil, false
+	}
+	s.mHits.Inc()
+	return e.clone(), true
+}
+
+// LookupDoc is Lookup over a raw HTML document: it fingerprints doc with the
+// fast scanner and returns the entry, the computed key (for a later Put on
+// miss), and whether it hit.
+func (s *Store) LookupDoc(doc, salt string) (*Entry, Key, bool) {
+	key := MakeKey(FingerprintDoc(doc), salt)
+	e, ok := s.Lookup(key)
+	return e, key, ok
+}
+
+// SpotCheck reports whether this hit should be re-verified against full
+// discovery. The cadence is a deterministic 1-in-N on the lifetime hit
+// ordinal, so tests can force the Nth request to verify.
+func (s *Store) SpotCheck() bool {
+	if s == nil || s.cfg.SpotCheckEvery <= 0 {
+		return false
+	}
+	return s.hits.Add(1)%uint64(s.cfg.SpotCheckEvery) == 0
+}
+
+// ReportSpotCheck records a spot-check outcome ("ok" or "divergent").
+func (s *Store) ReportSpotCheck(outcome string) {
+	if s == nil {
+		return
+	}
+	s.cfg.Metrics.Counter("boundary_template_spot_checks_total",
+		"Template hits re-verified against full discovery, by outcome.",
+		"outcome", outcome).Inc()
+}
+
+// Put stores a locally-learned entry: validates, caches, journals, and
+// announces it through OnStore. Identical re-learns are dropped so replicas
+// don't re-journal and re-publish what they already know.
+func (s *Store) Put(e *Entry) error {
+	if s == nil {
+		return nil
+	}
+	return s.add(e, true)
+}
+
+// Absorb stores an entry received from a cluster peer. It is Put without the
+// OnStore announcement — re-publishing a received entry would bounce it
+// around the ring forever.
+func (s *Store) Absorb(e *Entry) error {
+	if s == nil {
+		return nil
+	}
+	return s.add(e, false)
+}
+
+func (s *Store) add(e *Entry, local bool) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	key, _ := ParseKey(e.Key)
+	if old, ok := s.cache.Get(key); ok && old.Equal(e) {
+		return nil
+	}
+	e = e.clone()
+	s.cache.Add(key, e)
+	s.mEntries.Set(float64(s.cache.Len()))
+	if local {
+		s.mStores.Inc()
+	} else {
+		s.mAbsorbs.Inc()
+	}
+	s.append(journalLine{V: 1, Put: e})
+	if local && s.OnStore != nil {
+		s.OnStore(e)
+	}
+	return nil
+}
+
+// ReportDrift evicts key because its stored answer no longer matches the
+// document (reason "divergent"), the page shape ("subtree_mismatch"), or the
+// certainty floor ("low_certainty"), and counts the eviction by reason.
+func (s *Store) ReportDrift(key Key, reason string) {
+	if s == nil {
+		return
+	}
+	s.evict(key, reason)
+}
+
+func (s *Store) evict(key Key, reason string) {
+	if s.cache.Remove(key) {
+		s.append(journalLine{V: 1, Evict: key.String()})
+	}
+	s.mEntries.Set(float64(s.cache.Len()))
+	s.cfg.Metrics.Counter("boundary_template_drift_total",
+		"Stored wrappers evicted as drifted, by reason.", "reason", reason).Inc()
+}
+
+// Stats is a point-in-time snapshot of the store's counters for the stats
+// endpoint and tests.
+type Stats struct {
+	Entries      int     `json:"entries"`
+	Hits         float64 `json:"hits"`
+	Misses       float64 `json:"misses"`
+	Stores       float64 `json:"stores"`
+	Absorbs      float64 `json:"absorbs"`
+	LookupErrors float64 `json:"lookup_errors"`
+}
+
+// Stats returns current counters. Without a metrics registry only Entries is
+// populated.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		Entries:      s.cache.Len(),
+		Hits:         s.mHits.Value(),
+		Misses:       s.mMisses.Value(),
+		Stores:       s.mStores.Value(),
+		Absorbs:      s.mAbsorbs.Value(),
+		LookupErrors: s.mLookupErrs.Value(),
+	}
+}
+
+// Len returns the number of entries held in memory.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.cache.Len()
+}
+
+// Entries returns a snapshot of all live entries, least recently used first
+// (the publisher uses it to warm a newly-joined peer).
+func (s *Store) Entries() []*Entry {
+	if s == nil {
+		return nil
+	}
+	vals := s.cache.Values()
+	out := make([]*Entry, len(vals))
+	for i, e := range vals {
+		out[i] = e.clone()
+	}
+	return out
+}
+
+// Reset drops every in-memory entry (journal untouched; benchmarks use it to
+// force the miss path).
+func (s *Store) Reset() {
+	if s == nil {
+		return
+	}
+	for _, e := range s.cache.Values() {
+		if k, err := ParseKey(e.Key); err == nil {
+			s.cache.Remove(k)
+		}
+	}
+	s.mEntries.Set(float64(s.cache.Len()))
+}
+
+// Close compacts and closes the journal. The store must not be used after
+// Close; a memory-only store's Close is a no-op.
+func (s *Store) Close() error {
+	if s == nil || s.cfg.Path == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return nil
+	}
+	s.compactLocked()
+	var err error
+	if s.file != nil {
+		err = s.file.Close()
+		s.file = nil
+	}
+	return err
+}

@@ -2,11 +2,20 @@ package wrapper
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/ontology"
 )
+
+// ErrCorrupt marks a saved wrapper that cannot be decoded into a usable
+// state: truncated or torn JSON (a crash mid-Save), non-JSON bytes, or a
+// document missing required fields. Load never returns a partial wrapper —
+// callers either get a complete one or an error matching errors.Is(err,
+// ErrCorrupt), mirroring the torn-write handling of the bulk checkpoint
+// journal and the template store.
+var ErrCorrupt = errors.New("wrapper: corrupt saved wrapper")
 
 // wireWrapper is the serialized form. The ontology travels as its DSL
 // source (or a built-in name), not as compiled regexps.
@@ -58,13 +67,13 @@ func Load(src io.Reader) (*Wrapper, error) {
 func LoadWithOntology(src io.Reader, ont *ontology.Ontology) (*Wrapper, error) {
 	var ww wireWrapper
 	if err := json.NewDecoder(src).Decode(&ww); err != nil {
-		return nil, fmt.Errorf("wrapper: decode: %w", err)
+		return nil, fmt.Errorf("%w: decode: %v", ErrCorrupt, err)
 	}
 	if ww.Version != wireVersion {
 		return nil, fmt.Errorf("wrapper: unsupported version %d", ww.Version)
 	}
 	if ww.Separator == "" {
-		return nil, fmt.Errorf("wrapper: missing separator")
+		return nil, fmt.Errorf("%w: missing separator", ErrCorrupt)
 	}
 	w := &Wrapper{
 		Separator:  ww.Separator,

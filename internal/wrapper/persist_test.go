@@ -2,6 +2,7 @@ package wrapper
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -63,5 +64,54 @@ func TestLoadErrors(t *testing.T) {
 	}
 	if _, err := Load(strings.NewReader(`{"version":1}`)); err == nil {
 		t.Error("missing separator should fail")
+	}
+}
+
+// TestLoadCorruptInputs pins the typed-error contract: a truncated or torn
+// save — and any other undecodable input — fails with ErrCorrupt and never
+// yields a partial wrapper, mirroring the checkpoint journal's torn-write
+// handling.
+func TestLoadCorruptInputs(t *testing.T) {
+	w := &Wrapper{Separator: "hr", Confidence: 0.99, Agreement: 1, SampleSize: 3}
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := strings.TrimRight(buf.String(), "\n")
+
+	// Every truncation of a valid save must fail typed — no strict prefix of
+	// the JSON document is a usable wrapper. (Only the encoder's trailing
+	// newline is optional, trimmed above.)
+	for cut := 0; cut < len(full); cut++ {
+		loaded, err := Load(strings.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d bytes loaded silently: %+v", cut, loaded)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d bytes: error %v does not wrap ErrCorrupt", cut, err)
+		}
+		if loaded != nil {
+			t.Fatalf("truncation at %d bytes returned a partial wrapper alongside the error", cut)
+		}
+	}
+
+	corrupt := []string{
+		"",                         // empty file
+		"not json",                 // garbage
+		`{"version":1,`,            // torn mid-object
+		`{"version":1}`,            // decodes but missing separator
+		"\x00\x01\x02",             // binary noise
+		`[1,2,3]`,                  // wrong JSON shape
+		full[:len(full)/2] + "}}}", // torn then overwritten tail
+	}
+	for i, in := range corrupt {
+		if _, err := Load(strings.NewReader(in)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("corrupt input %d: error %v does not wrap ErrCorrupt", i, err)
+		}
+	}
+
+	// The version check is a compatibility refusal, not corruption.
+	if _, err := Load(strings.NewReader(`{"version":99,"separator":"hr"}`)); errors.Is(err, ErrCorrupt) {
+		t.Error("unsupported version should not be reported as corruption")
 	}
 }
