@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test testshort race shuffle cover cover-pipeline bench bench-smoke bench-gate cluster obs-smoke wrapper-smoke fuzz chaos experiments corpus examples clean
+.PHONY: all build test testshort race shuffle cover cover-pipeline bench bench-smoke bench-gate cluster obs-smoke wrapper-smoke membership-smoke fuzz chaos experiments corpus examples clean
 
 all: build test
 
@@ -41,16 +41,19 @@ cover-pipeline:
 
 # Full benchmark run, archived as BENCH_<n>.json (next free index) via
 # cmd/benchjson so runs can be diffed across commits. CI runs the cheaper
-# bench-smoke variant on every push.
+# bench-smoke variant on every push. Raw output goes under the git-ignored
+# $(BENCH_DIR) — only the distilled BENCH_<n>.json belongs in the tree.
+BENCH_DIR ?= .bench
 bench:
-	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
+	mkdir -p $(BENCH_DIR)
+	$(GO) test -bench=. -benchmem ./... | tee $(BENCH_DIR)/bench_output.txt
 	n=0; for f in BENCH_*.json; do \
 		[ -e "$$f" ] || continue; \
 		i=$${f#BENCH_}; i=$${i%.json}; \
 		case "$$i" in *[!0-9]*) continue;; esac; \
 		[ "$$i" -ge "$$n" ] && n=$$((i+1)); \
 	done; \
-	$(GO) run ./cmd/benchjson -in bench_output.txt -out BENCH_$$n.json && \
+	$(GO) run ./cmd/benchjson -in $(BENCH_DIR)/bench_output.txt -out BENCH_$$n.json && \
 	echo "wrote BENCH_$$n.json"
 
 # The one-iteration smoke CI runs: catches benchmarks that crash or hang
@@ -101,6 +104,17 @@ wrapper-smoke:
 	$(GO) test -race ./internal/template/
 	$(GO) test -race -run 'TestTemplateFastPathConformance' .
 
+# Dynamic-membership smoke (see docs/MEMBERSHIP.md): boots a three-node
+# gossip fleet on ephemeral ports, proves every node answers byte-identical
+# to a single node, kills one node, restarts it under the same name, and
+# requires it to rejoin warm — wrapper state pulled from a neighbor, result
+# cache replayed from its journal. Plus the membership/state-transfer unit
+# suites and the root churn-conformance layer, all under -race.
+membership-smoke:
+	$(GO) test -race -run 'TestMembershipSmoke' -v ./cmd/serve/
+	$(GO) test -race ./internal/membership/
+	$(GO) test -race -run 'TestChurn' .
+
 # Brief fuzz sessions over every fuzz target (seeds always run under `test`).
 fuzz:
 	$(GO) test -fuzz='^FuzzTokenize$$' -fuzztime=30s ./internal/htmlparse/
@@ -136,4 +150,4 @@ examples:
 	$(GO) run ./examples/xmlfeed
 
 clean:
-	rm -rf corpus cover.out pipeline_cover.out test_output.txt bench_output.txt
+	rm -rf corpus cover.out pipeline_cover.out test_output.txt bench_output.txt $(BENCH_DIR)

@@ -6,11 +6,13 @@
 // Usage:
 //
 //	serve -addr :8080 [-ops-addr :6060] [-shutdown-timeout 10s]
-//	      [-cache-size 1024] [-batch-parallelism 0]
+//	      [-cache-size 1024] [-cache-journal path] [-batch-parallelism 0]
 //	      [-max-inflight 0] [-request-timeout 0]
 //	      [-max-doc-bytes 0] [-max-tree-depth 0] [-max-nodes 0]
 //	      [-cluster 0] [-peers URL,URL,...] [-hedge-after 0]
 //	      [-peer-queue-depth 32] [-health-interval 1s]
+//	      [-node-name name] [-join addr,addr,...] [-advertise host:port]
+//	      [-gossip-interval 1s] [-warmup-timeout 5s]
 //	      [-trace-capacity 512] [-trace-sample 0]
 //	      [-wrapper-store path] [-spot-check-rate 64]
 //
@@ -28,6 +30,10 @@
 //
 // -cache-size bounds the LRU result cache for /v1/discover and
 // /v1/discover/batch (entries, not bytes); 0 disables caching.
+// -cache-journal makes that cache durable: puts and evictions are appended
+// to an NDJSON journal at the path and replayed on startup, so a restarted
+// replica answers its first requests warm (requires -cache-size > 0). With
+// -cluster N each in-process replica journals to path.<replica-name>.
 // -batch-parallelism caps the worker pool draining one batch request;
 // 0 means GOMAXPROCS.
 //
@@ -56,6 +62,20 @@
 // fan-out); -health-interval paces the /healthz probes that eject and
 // readmit replicas.
 //
+// Dynamic membership (see docs/MEMBERSHIP.md): -node-name with -join turns
+// the process into one replica of a gossip-managed cluster instead of a
+// statically-configured one (the two are mutually exclusive with
+// -cluster/-peers). The node joins through the seed addresses, learns the
+// live member set by gossip, and feeds it into its consistent-hash router:
+// peers join and leave the ring at runtime, no restart or flag change. With
+// a wrapper store configured, a joiner first pulls the cluster's learned
+// wrapper state from an already-serving member (bounded by -warmup-timeout;
+// on expiry it serves cold and warms through ordinary publishes), and every
+// locally-learned wrapper is published to the current members. -advertise
+// overrides the address peers dial (defaults to the bound listener address);
+// -gossip-interval paces heartbeats — suspicion starts after 3 silent
+// intervals, death after 10. Shutdown broadcasts a graceful leave.
+//
 // Example:
 //
 //	curl -s localhost:8080/v1/discover \
@@ -77,12 +97,15 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/httpapi"
+	"repro/internal/membership"
 	"repro/internal/obs"
 	"repro/internal/tagtree"
 	"repro/internal/template"
@@ -109,6 +132,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"how long to drain in-flight requests on SIGINT/SIGTERM")
 	cacheSize := fs.Int("cache-size", 1024,
 		"max entries in the discovery result cache; 0 disables caching")
+	cacheJournal := fs.String("cache-journal", "",
+		"path of the result-cache journal: puts/evictions are appended and replayed on restart so the cache survives; empty keeps the cache memory-only")
 	batchParallelism := fs.Int("batch-parallelism", 0,
 		"workers per /v1/discover/batch request; 0 means GOMAXPROCS")
 	maxInflight := fs.Int("max-inflight", 0,
@@ -131,6 +156,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"max in-flight requests per replica; beyond it interactive requests shed 429 and bulk fan-out throttles")
 	healthInterval := fs.Duration("health-interval", time.Second,
 		"period of the per-replica /healthz probes driving ejection and readmission")
+	nodeName := fs.String("node-name", "",
+		"stable name of this node in a gossip-managed cluster (docs/MEMBERSHIP.md); enables dynamic membership")
+	joinSeeds := fs.String("join", "",
+		"comma-separated seed addresses (host:port or URL) to join a gossip-managed cluster through; requires -node-name")
+	advertise := fs.String("advertise", "",
+		"address peers dial for this node's API and gossip; empty derives it from the bound -addr listener")
+	gossipInterval := fs.Duration("gossip-interval", membership.DefaultInterval,
+		"membership heartbeat period; members turn suspect after 3 silent intervals and dead after 10")
+	warmupTimeout := fs.Duration("warmup-timeout", 5*time.Second,
+		"how long a joiner waits for the wrapper state transfer before serving cold; 0 leaves it unbounded")
 	traceCapacity := fs.Int("trace-capacity", 512,
 		"max traces retained in memory for /debug/traces; 0 uses the default")
 	traceSample := fs.Int("trace-sample", 0,
@@ -171,6 +206,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *spotCheckRate < 0 {
 		return fmt.Errorf("-spot-check-rate must be >= 0, got %d", *spotCheckRate)
 	}
+	if *gossipInterval <= 0 {
+		return fmt.Errorf("-gossip-interval must be > 0, got %v", *gossipInterval)
+	}
+	if *warmupTimeout < 0 {
+		return fmt.Errorf("-warmup-timeout must be >= 0, got %v", *warmupTimeout)
+	}
+	memberMode := *nodeName != "" || *joinSeeds != ""
+	clusterMode := *clusterN > 0 || *peerList != ""
+	if memberMode {
+		if *nodeName == "" {
+			return errors.New("-join requires -node-name")
+		}
+		if clusterMode {
+			return errors.New("dynamic membership (-node-name/-join) and static topology (-cluster/-peers) are mutually exclusive")
+		}
+	}
 
 	logger := slog.New(slog.NewJSONHandler(out, nil))
 	metrics := obs.NewRegistry()
@@ -208,7 +259,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(out, "wrapper store %s: %d templates loaded\n", *wrapperStore, templates.Len())
 	}
 
-	handler := http.Handler(httpapi.NewHandler(httpapi.Config{
+	// Listen before building the membership layer: a node's advertised
+	// address derives from the bound port when -advertise is not given, and
+	// -addr may carry port 0.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+
+	apiCfg := httpapi.Config{
 		Logger:         logger,
 		Metrics:        metrics,
 		Traces:         traces,
@@ -219,8 +279,153 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		RequestTimeout: *requestTimeout,
 		Limits:         limits,
 		Templates:      templates,
-	}))
-	if *clusterN > 0 || *peerList != "" {
+	}
+
+	var handler http.Handler
+	var node *membership.Node
+	switch {
+	case memberMode:
+		advertiseAddr := *advertise
+		if advertiseAddr == "" {
+			advertiseAddr = deriveAdvertise(ln.Addr().String())
+		}
+		seeds := splitList(*joinSeeds)
+
+		// The router and publisher don't exist yet when the node is built
+		// (they need the node's self handler), so OnChange goes through
+		// nil-guarded references; both are set before Join, and nothing
+		// changes the serving set before that.
+		var peersMu sync.Mutex
+		known := map[string]string{} // member name → addr currently wired into the router
+		var routerRef *cluster.Router
+		var pubRef *template.Publisher
+		onChange := func(serving []membership.Member) {
+			peersMu.Lock()
+			defer peersMu.Unlock()
+			if routerRef == nil {
+				return
+			}
+			want := make(map[string]string, len(serving))
+			var targets []string
+			for _, m := range serving {
+				if m.Name == *nodeName {
+					continue
+				}
+				want[m.Name] = m.Addr
+				targets = append(targets, peerBaseURL(m.Addr))
+			}
+			for name := range known {
+				if _, ok := want[name]; !ok {
+					routerRef.RemovePeer(name)
+					delete(known, name)
+				}
+			}
+			for name, maddr := range want {
+				if known[name] == maddr {
+					continue
+				}
+				// AddPeer replaces a same-name peer, so a member that
+				// rejoined on a new address swaps cleanly.
+				if err := routerRef.AddPeer(cluster.NewNamedHTTPPeer(name, peerBaseURL(maddr), nil)); err == nil {
+					known[name] = maddr
+				}
+			}
+			if pubRef != nil {
+				sort.Strings(targets)
+				pubRef.SetTargets(targets)
+			}
+		}
+
+		var err error
+		node, err = membership.New(membership.Config{
+			Name:      *nodeName,
+			Addr:      advertiseAddr,
+			Seeds:     seeds,
+			Interval:  *gossipInterval,
+			Transport: &membership.HTTPTransport{},
+			OnChange:  onChange,
+			Metrics:   metrics,
+			Traces:    traces,
+			Service:   *nodeName,
+			Logger:    logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+
+		// The self replica: the full single-node service plus the gossip
+		// surface and, with -cache-journal, the durable result cache.
+		selfCfg := apiCfg
+		selfCfg.Service = *nodeName
+		selfCfg.CacheJournal = *cacheJournal
+		selfCfg.Membership = node
+		selfSrv, err := httpapi.NewServer(selfCfg)
+		if err != nil {
+			return fmt.Errorf("-cache-journal: %w", err)
+		}
+		defer selfSrv.Close()
+
+		if templates != nil {
+			publisher = template.NewPublisher(template.PublisherConfig{Metrics: metrics})
+			defer publisher.Close()
+			templates.OnStore = publisher.Publish
+		}
+
+		router, err := cluster.NewRouter(cluster.Config{
+			Peers:          []cluster.Peer{cluster.NewLocalPeer(*nodeName, selfSrv)},
+			HedgeAfter:     *hedgeAfter,
+			QueueDepth:     *peerQueueDepth,
+			HealthInterval: *healthInterval,
+			Metrics:        metrics,
+			Logger:         logger,
+			TraceStore:     traces,
+			Service:        "router",
+			Fallback:       selfSrv,
+		})
+		if err != nil {
+			return err
+		}
+		defer router.Close()
+		peersMu.Lock()
+		routerRef, pubRef = router, publisher
+		peersMu.Unlock()
+
+		if err := node.Join(ctx); err != nil {
+			return err
+		}
+		// Warmup: pull the cluster's learned wrapper state from a member
+		// that is already serving, before this node takes traffic. Failure
+		// (or -warmup-timeout) degrades to serving cold — ordinary
+		// publishes warm the store from here on.
+		if templates != nil {
+			var sources []string
+			for _, m := range node.Serving() {
+				if m.Name != *nodeName {
+					sources = append(sources, peerBaseURL(m.Addr))
+				}
+			}
+			if len(sources) > 0 {
+				n, err := templates.Pull(ctx, template.PullConfig{
+					Sources: sources,
+					Timeout: *warmupTimeout,
+					Metrics: metrics,
+				})
+				if err != nil {
+					fmt.Fprintf(out, "warmup: serving cold: %v\n", err)
+				} else {
+					fmt.Fprintf(out, "warmup: %d templates pulled\n", n)
+				}
+			}
+		}
+		handler = router
+		fmt.Fprintf(out, "membership: node %s advertising %s (%d seeds)\n",
+			*nodeName, advertiseAddr, len(seeds))
+
+	case clusterMode:
+		// The fallback handler serves non-discover routes; replicas own the
+		// result caches (and their journals), so it stays memory-only.
+		fallback := httpapi.NewHandler(apiCfg)
 		var peers []cluster.Peer
 		for i := 0; i < *clusterN; i++ {
 			// Each replica is a full single-node service with its own result
@@ -230,24 +435,30 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			// queues are the cluster's backpressure. The wrapper store is the
 			// exception: all replicas share the one instance.
 			name := fmt.Sprintf("local-%d", i)
-			peers = append(peers, cluster.NewLocalPeer(name,
-				httpapi.NewHandler(httpapi.Config{
-					Metrics:        obs.NewRegistry(),
-					Traces:         traces,
-					Service:        name,
-					CacheSize:      *cacheSize,
-					BatchWorkers:   *batchParallelism,
-					RequestTimeout: *requestTimeout,
-					Limits:         limits,
-					Templates:      templates,
-				})))
+			replicaCfg := httpapi.Config{
+				Metrics:        obs.NewRegistry(),
+				Traces:         traces,
+				Service:        name,
+				CacheSize:      *cacheSize,
+				BatchWorkers:   *batchParallelism,
+				RequestTimeout: *requestTimeout,
+				Limits:         limits,
+				Templates:      templates,
+			}
+			if *cacheJournal != "" {
+				replicaCfg.CacheJournal = *cacheJournal + "." + name
+			}
+			replica, err := httpapi.NewServer(replicaCfg)
+			if err != nil {
+				return fmt.Errorf("-cache-journal (%s): %w", name, err)
+			}
+			defer replica.Close()
+			peers = append(peers, cluster.NewLocalPeer(name, replica))
 		}
 		var remoteURLs []string
-		for _, raw := range strings.Split(*peerList, ",") {
-			if u := strings.TrimSpace(raw); u != "" {
-				peers = append(peers, cluster.NewHTTPPeer(u, nil))
-				remoteURLs = append(remoteURLs, u)
-			}
+		for _, u := range splitList(*peerList) {
+			peers = append(peers, cluster.NewHTTPPeer(u, nil))
+			remoteURLs = append(remoteURLs, u)
 		}
 		if templates != nil && len(remoteURLs) > 0 {
 			publisher = template.NewPublisher(template.PublisherConfig{
@@ -266,7 +477,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Logger:         logger,
 			TraceStore:     traces,
 			Service:        "router",
-			Fallback:       handler,
+			Fallback:       fallback,
 		})
 		if err != nil {
 			return err
@@ -274,12 +485,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		defer router.Close()
 		handler = router
 		fmt.Fprintf(out, "cluster mode: %d replicas (%d in-process)\n", len(peers), *clusterN)
+
+	default:
+		singleCfg := apiCfg
+		singleCfg.CacheJournal = *cacheJournal
+		single, err := httpapi.NewServer(singleCfg)
+		if err != nil {
+			return fmt.Errorf("-cache-journal: %w", err)
+		}
+		defer single.Close()
+		handler = single
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
-	}
 	srv := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
@@ -295,7 +512,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *opsAddr != "" {
 		opsLn, err := net.Listen("tcp", *opsAddr)
 		if err != nil {
-			shutdown(servers, *shutdownTimeout)
+			shutdown(out, servers, *shutdownTimeout)
 			return err
 		}
 		ops := &http.Server{
@@ -310,21 +527,75 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	select {
 	case <-ctx.Done():
 		fmt.Fprintln(out, "shutting down")
-		return shutdown(servers, *shutdownTimeout)
+		if node != nil {
+			// Graceful leave: peers drop this node from their rings now
+			// instead of detecting the silence as Suspect→Dead later.
+			lctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			node.Leave(lctx)
+			cancel()
+		}
+		return shutdown(out, servers, *shutdownTimeout)
 	case err := <-errCh:
-		shutdown(servers, *shutdownTimeout)
+		shutdown(out, servers, *shutdownTimeout)
 		return err
 	}
 }
 
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, raw := range strings.Split(s, ",") {
+		if v := strings.TrimSpace(raw); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// peerBaseURL turns an advertised member address into the base URL the
+// router and the warmup pull dial.
+func peerBaseURL(addr string) string {
+	if strings.Contains(addr, "://") {
+		return strings.TrimRight(addr, "/")
+	}
+	return "http://" + addr
+}
+
+// deriveAdvertise turns the bound listener address into something peers can
+// dial: an unspecified host (":8080", "[::]:8080", "0.0.0.0:8080") becomes
+// 127.0.0.1, which is right for local fleets; multi-host deployments set
+// -advertise explicitly.
+func deriveAdvertise(bound string) string {
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return bound
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
 // shutdown drains every server, allowing up to timeout for in-flight
 // requests; http.ErrServerClosed from the Serve goroutines is expected.
-func shutdown(servers []*http.Server, timeout time.Duration) error {
+func shutdown(out io.Writer, servers []*http.Server, timeout time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	var firstErr error
 	for _, s := range servers {
-		if err := s.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) && firstErr == nil {
+		err := s.Shutdown(ctx)
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The graceful window is exhausted: force-close the stragglers
+			// rather than wedging process exit. This is not necessarily a
+			// stuck handler — net/http counts a pooled client connection
+			// that never sent a request as active for its first 5 seconds,
+			// so a drain window shorter than that can expire on a
+			// connection carrying nothing at all.
+			s.Close()
+			fmt.Fprintf(out, "shutdown: drain window expired after %s; forcing close\n", timeout)
+			continue
+		}
+		if err != nil && !errors.Is(err, http.ErrServerClosed) && firstErr == nil {
 			firstErr = err
 		}
 	}

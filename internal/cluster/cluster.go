@@ -51,6 +51,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faultinject"
@@ -153,26 +154,59 @@ func (c Config) retry() pipeline.RetryPolicy {
 // Router.winners).
 const hedgeWinnerCacheSize = 4096
 
+// routerView is one immutable snapshot of the peer set and its hash ring.
+// Requests load the current view once and route entirely against it, so a
+// membership change mid-request is invisible: in-flight attempts finish
+// against the peers they started with (a removed peer's attempt fails and
+// the normal reroute/retry machinery absorbs it), and the next request —
+// or the next retry pass — sees the new view. Mutations build a fresh view
+// and swap the pointer; they never modify a published one.
+type routerView struct {
+	peers []*peerState
+	ring  *ring
+	index map[string]int // peer name → index in peers
+}
+
+// newView builds a view (and its ring) over the given peer states.
+func newView(peers []*peerState) *routerView {
+	names := make([]string, len(peers))
+	index := make(map[string]int, len(peers))
+	for i, ps := range peers {
+		names[i] = ps.peer.Name()
+		index[names[i]] = i
+	}
+	return &routerView{peers: peers, ring: newRing(names), index: index}
+}
+
 // Router is the cluster frontend: an http.Handler owning POST /v1/discover,
 // /v1/discover/batch, /v1/discover/stream, and GET /healthz, delegating
 // everything else to Config.Fallback. Close it when done — it runs a health
-// checker goroutine.
+// checker goroutine. The peer set is dynamic: AddPeer/RemovePeer rebalance
+// the ring incrementally (names own ring shares, so only the moved vnodes'
+// keys change owner) while requests keep flowing.
 type Router struct {
-	cfg   Config
-	peers []*peerState
-	ring  *ring
+	cfg Config
+
+	mu   sync.Mutex // serializes membership mutations (view swaps)
+	view atomic.Pointer[routerView]
 
 	// winners remembers, per routing key, the peer that won a hedge — so a
 	// hot document on a persistently slow primary is routed straight to the
 	// replica that actually answered (and whose cache now holds the result)
-	// instead of paying the hedge delay again. Bounded LRU; entries for
-	// ejected peers are ignored at lookup.
-	winners *lru.Cache[fingerprint, int]
+	// instead of paying the hedge delay again. Bounded LRU keyed by peer
+	// NAME (indices are unstable under membership churn); entries for
+	// ejected or departed peers are ignored at lookup.
+	winners *lru.Cache[fingerprint, string]
 
 	handler   http.Handler // observability-wrapped mux for owned routes
 	done      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+}
+
+// snapshot returns the current immutable view.
+func (r *Router) snapshot() *routerView {
+	return r.view.Load()
 }
 
 // NewRouter validates cfg, builds the ring, and starts the health checker.
@@ -181,7 +215,6 @@ func NewRouter(cfg Config) (*Router, error) {
 	if len(cfg.Peers) == 0 {
 		return nil, errors.New("cluster: at least one peer is required")
 	}
-	names := make([]string, len(cfg.Peers))
 	seen := make(map[string]bool, len(cfg.Peers))
 	for i, p := range cfg.Peers {
 		name := p.Name()
@@ -192,21 +225,21 @@ func NewRouter(cfg Config) (*Router, error) {
 			return nil, fmt.Errorf("cluster: duplicate peer name %q", name)
 		}
 		seen[name] = true
-		names[i] = name
 	}
 
 	r := &Router{
 		cfg:     cfg,
-		ring:    newRing(names),
-		winners: lru.New[fingerprint, int](hedgeWinnerCacheSize),
+		winners: lru.New[fingerprint, string](hedgeWinnerCacheSize),
 		done:    make(chan struct{}),
 	}
+	peers := make([]*peerState, 0, len(cfg.Peers))
 	for _, p := range cfg.Peers {
-		r.peers = append(r.peers, &peerState{
+		peers = append(peers, &peerState{
 			peer:  p,
 			slots: make(chan struct{}, cfg.queueDepth()),
 		})
 	}
+	r.view.Store(newView(peers))
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/discover", r.handleDiscover)
@@ -224,10 +257,82 @@ func NewRouter(cfg Config) (*Router, error) {
 	}
 	r.handler = obs.Middleware(mux, cfg.Logger, cfg.Metrics, route, tracing)
 
-	r.healthyGauge().Set(float64(len(r.peers)))
+	r.healthyGauge().Set(float64(len(peers)))
 	r.wg.Add(1)
 	go r.healthLoop()
 	return r, nil
+}
+
+// AddPeer adds (or, for a rejoining node whose address changed, replaces) a
+// peer and rebalances the ring. Replacement retains nothing of the old
+// peer's state — a rejoined node is a fresh peer with an empty queue and a
+// clean health record. In-flight requests keep routing against the previous
+// view until they finish.
+func (r *Router) AddPeer(p Peer) error {
+	name := p.Name()
+	if name == "" {
+		return errors.New("cluster: peer has an empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.view.Load()
+	peers := make([]*peerState, 0, len(old.peers)+1)
+	for _, ps := range old.peers {
+		if ps.peer.Name() == name {
+			continue // replaced below
+		}
+		peers = append(peers, ps)
+	}
+	peers = append(peers, &peerState{
+		peer:  p,
+		slots: make(chan struct{}, r.cfg.queueDepth()),
+	})
+	r.swapView(peers, "add", name)
+	return nil
+}
+
+// RemovePeer drops a peer from the rotation and rebalances the ring; its
+// in-flight requests fail over through the normal reroute machinery. It
+// reports whether the peer was present.
+func (r *Router) RemovePeer(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.view.Load()
+	if _, ok := old.index[name]; !ok {
+		return false
+	}
+	peers := make([]*peerState, 0, len(old.peers)-1)
+	for _, ps := range old.peers {
+		if ps.peer.Name() != name {
+			peers = append(peers, ps)
+		}
+	}
+	r.swapView(peers, "remove", name)
+	return true
+}
+
+// swapView publishes a new view (caller holds r.mu) and records the change.
+func (r *Router) swapView(peers []*peerState, op, name string) {
+	r.view.Store(newView(peers))
+	r.healthyGauge().Set(float64(r.healthyCount()))
+	r.cfg.Metrics.Gauge("boundary_cluster_peers",
+		"Peers currently in the ring (any health state).").Set(float64(len(peers)))
+	r.counter("boundary_cluster_membership_changes_total",
+		"Dynamic peer-set changes applied to the ring, by operation.", "op", op).Inc()
+	if r.cfg.Logger != nil {
+		r.cfg.Logger.Info("cluster membership change", "op", op, "peer", name, "peers", len(peers))
+	}
+}
+
+// PeerNames returns the current ring membership, sorted by ring construction
+// order (the order peers were added).
+func (r *Router) PeerNames() []string {
+	v := r.snapshot()
+	names := make([]string, len(v.peers))
+	for i, ps := range v.peers {
+		names[i] = ps.peer.Name()
+	}
+	return names
 }
 
 // ServeHTTP dispatches owned routes through the router (with its own
@@ -284,9 +389,10 @@ func (r *Router) handleClusterMetrics(w http.ResponseWriter, req *http.Request) 
 	ctx, cancel := context.WithTimeout(req.Context(), 2*time.Second)
 	defer cancel()
 
-	results := make([]obs.Scrape, len(r.peers))
+	v := r.snapshot()
+	results := make([]obs.Scrape, len(v.peers))
 	var wg sync.WaitGroup
-	for i, ps := range r.peers {
+	for i, ps := range v.peers {
 		wg.Add(1)
 		go func(i int, ps *peerState) {
 			defer wg.Done()
@@ -323,7 +429,7 @@ func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	healthy := r.healthyCount()
 	if healthy == 0 {
 		writeErr(w, http.StatusServiceUnavailable,
-			fmt.Errorf("cluster: all %d peers are ejected", len(r.peers)))
+			fmt.Errorf("cluster: all %d peers are ejected", len(r.snapshot().peers)))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -356,7 +462,7 @@ func (r *Router) checkPeers(interval time.Duration) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	var wg sync.WaitGroup
-	for _, ps := range r.peers {
+	for _, ps := range r.snapshot().peers {
 		wg.Add(1)
 		go func(ps *peerState) {
 			defer wg.Done()
@@ -416,7 +522,7 @@ func (r *Router) noteSuccess(ps *peerState) {
 // healthyCount returns how many peers are in the rotation.
 func (r *Router) healthyCount() int {
 	n := 0
-	for _, ps := range r.peers {
+	for _, ps := range r.snapshot().peers {
 		if ps.healthy() {
 			n++
 		}

@@ -63,7 +63,17 @@ func NewHTTPPeer(baseURL string, client *http.Client) *HTTPPeer {
 	}
 }
 
-// Name returns the peer's base URL.
+// NewNamedHTTPPeer is NewHTTPPeer with an explicit ring name. Membership
+// mode names remote peers by their stable member name instead of their URL,
+// so a replica that rejoins on a new port keeps its ring position and its
+// routing-affinity history.
+func NewNamedHTTPPeer(name, baseURL string, client *http.Client) *HTTPPeer {
+	p := NewHTTPPeer(baseURL, client)
+	p.name = name
+	return p
+}
+
+// Name returns the peer's base URL (or the explicit name it was given).
 func (p *HTTPPeer) Name() string { return p.name }
 
 // Do posts body to the peer and reads the whole response. When the context

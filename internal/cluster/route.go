@@ -54,21 +54,25 @@ func routingKey(body []byte) fingerprint {
 	return httpapi.RequestFingerprint(mode, doc, env.Ontology, env.SeparatorList)
 }
 
-// preference returns peer indices in routing order for key: the ring's
-// clockwise order, with one adjustment — when a past hedge for this key was
-// won by another peer, that winner is promoted to the front (its cache holds
-// the result; the natural primary was slow last time).
-func (r *Router) preference(key fingerprint) []int {
-	order := r.ring.order(key)
-	if w, ok := r.winners.Get(key); ok && w != order[0] && r.peers[w].healthy() {
-		out := make([]int, 0, len(order))
-		out = append(out, w)
-		for _, p := range order {
-			if p != w {
-				out = append(out, p)
+// preference returns peer indices (into v.peers) in routing order for key:
+// the ring's clockwise order, with one adjustment — when a past hedge for
+// this key was won by another peer, that winner is promoted to the front
+// (its cache holds the result; the natural primary was slow last time).
+// Winners are remembered by name, not index: membership churn renumbers the
+// peer slice, and a stale name simply fails the view lookup and is ignored.
+func (r *Router) preference(v *routerView, key fingerprint) []int {
+	order := v.ring.order(key)
+	if name, ok := r.winners.Get(key); ok {
+		if w, ok := v.index[name]; ok && w != order[0] && v.peers[w].healthy() {
+			out := make([]int, 0, len(order))
+			out = append(out, w)
+			for _, p := range order {
+				if p != w {
+					out = append(out, p)
+				}
 			}
+			return out
 		}
-		return out
 	}
 	return order
 }
@@ -78,8 +82,8 @@ func (r *Router) preference(key fingerprint) []int {
 // signal. blocking selects backpressure (wait for a slot) over shedding
 // (errBusy when the queue is full) — batch/stream fan-out blocks, the
 // interactive path and hedges never do.
-func (r *Router) attempt(ctx context.Context, idx int, path string, body []byte, blocking bool) (int, []byte, error) {
-	ps := r.peers[idx]
+func (r *Router) attempt(ctx context.Context, v *routerView, idx int, path string, body []byte, blocking bool) (int, []byte, error) {
+	ps := v.peers[idx]
 	name := ps.peer.Name()
 	if blocking {
 		if !ps.acquire(ctx) {
@@ -184,10 +188,13 @@ func (r *Router) doDiscover(ctx context.Context, key fingerprint, path string, b
 	if err := r.cfg.Faults.FireCtx(ctx, "cluster/route"); err != nil {
 		return 0, nil, err
 	}
-	prefs := r.preference(key)
+	// One view snapshot serves the whole hedged race; a membership change
+	// mid-race is picked up by the caller's next request or retry pass.
+	v := r.snapshot()
+	prefs := r.preference(v, key)
 	live := make([]int, 0, len(prefs))
 	for _, idx := range prefs {
-		if r.peers[idx].healthy() {
+		if v.peers[idx].healthy() {
 			live = append(live, idx)
 		}
 	}
@@ -195,7 +202,7 @@ func (r *Router) doDiscover(ctx context.Context, key fingerprint, path string, b
 		return 0, nil, errNoPeers
 	}
 	r.trace(ctx).Add("cluster/route", 0,
-		"primary", r.peers[live[0]].peer.Name(),
+		"primary", v.peers[live[0]].peer.Name(),
 		"candidates", strconv.Itoa(len(live)))
 
 	// Attempts run under their own cancel so the losing side of a hedge race
@@ -206,7 +213,7 @@ func (r *Router) doDiscover(ctx context.Context, key fingerprint, path string, b
 	results := make(chan attemptResult, len(live))
 	launch := func(i int) {
 		go func() {
-			status, resp, err := r.attempt(actx, live[i], path, body, false)
+			status, resp, err := r.attempt(actx, v, live[i], path, body, false)
 			results <- attemptResult{idx: i, status: status, body: resp, err: err}
 		}()
 	}
@@ -247,7 +254,7 @@ func (r *Router) doDiscover(ctx context.Context, key fingerprint, path string, b
 				if res.idx == hedgeIdx {
 					r.counter("boundary_cluster_hedges_won_total",
 						"Hedged second attempts that answered before the primary.").Inc()
-					r.winners.Add(key, live[res.idx])
+					r.winners.Add(key, v.peers[live[res.idx]].peer.Name())
 				}
 				return res.status, res.body, nil
 			}
@@ -284,10 +291,13 @@ func (r *Router) routeBlocking(ctx context.Context, key fingerprint, path string
 	if err := r.cfg.Faults.FireCtx(ctx, "cluster/route"); err != nil {
 		return 0, nil, err
 	}
+	// Each blocking pass routes against a fresh view, so a retry after a
+	// membership change sees the rebalanced ring.
+	v := r.snapshot()
 	tried := 0
 	var lastErr error
-	for _, idx := range r.preference(key) {
-		if !r.peers[idx].healthy() {
+	for _, idx := range r.preference(v, key) {
+		if !v.peers[idx].healthy() {
 			continue
 		}
 		if tried > 0 {
@@ -295,7 +305,7 @@ func (r *Router) routeBlocking(ctx context.Context, key fingerprint, path string
 				"Requests rerouted to another peer after a failed attempt.").Inc()
 		}
 		tried++
-		status, resp, err := r.attempt(ctx, idx, path, body, true)
+		status, resp, err := r.attempt(ctx, v, idx, path, body, true)
 		if err == nil {
 			return status, resp, nil
 		}

@@ -30,8 +30,8 @@ type HeuristicExplain struct {
 // certainty-theory arithmetic (CF = 1 − ∏(1−CFi), §3) that combined them.
 // It is the ?explain=1 response payload and the -explain data source.
 type Explanation struct {
-	Separator  string             `json:"separator"`
-	CompoundCF float64            `json:"compound_cf"`
+	Separator  string  `json:"separator"`
+	CompoundCF float64 `json:"compound_cf"`
 	// Formula spells out the combination arithmetic for the chosen
 	// separator with the actual Table 4 factors substituted in.
 	Formula    string             `json:"formula"`

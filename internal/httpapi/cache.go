@@ -3,8 +3,14 @@ package httpapi
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"sync"
 
+	"repro/internal/faultinject"
+	"repro/internal/journal"
 	"repro/internal/lru"
 	"repro/internal/obs"
 )
@@ -18,12 +24,27 @@ import (
 // It also deduplicates in-flight computations (singleflight): while one
 // request is computing a key, identical requests join its inflightCall and
 // wait for the shared result instead of running the pipeline again.
+// With a journal path the cache is durable: every put and capacity eviction
+// is appended to an NDJSON journal (the same torn-tail-tolerant, compacting
+// machinery behind the wrapper store), so a restarted replica replays its
+// memory and serves its first requests warm instead of stampeding the
+// heuristics. Cached responses are wire-form JSON, and the encoder's
+// canonical output (shortest-form floats, sorted map keys) makes the
+// journaled round trip byte-identical — the same property the cluster
+// stream merge already relies on.
 type resultCache struct {
 	c       *lru.Cache[[sha256.Size]byte, *discoverResponse]
 	metrics *obs.Registry
+	journal *journal.Journal // nil when memory-only
 
 	mu       sync.Mutex
 	inflight map[[sha256.Size]byte]*inflightCall
+}
+
+// cacheLine is the journaled wire form of one cached result.
+type cacheLine struct {
+	Key  string            `json:"key"` // hex request fingerprint
+	Resp *discoverResponse `json:"resp"`
 }
 
 // inflightCall is one in-progress computation that followers wait on. done
@@ -37,16 +58,102 @@ type inflightCall struct {
 
 // newResultCache returns a cache holding up to size responses, or nil when
 // size is not positive (caching disabled). Hit/miss/eviction counters and a
-// resident-entry gauge are filed under boundary_cache_* in metrics.
-func newResultCache(size int, metrics *obs.Registry) *resultCache {
+// resident-entry gauge are filed under boundary_cache_* in metrics. A
+// non-empty journalPath makes the cache durable: the journal is replayed
+// into the cache before it sees traffic, and corruption before the final
+// line refuses to open (wrapping journal.ErrCorrupt).
+func newResultCache(size int, journalPath string, metrics *obs.Registry, faults *faultinject.Set) (*resultCache, error) {
 	if size <= 0 {
-		return nil
+		if journalPath != "" {
+			return nil, errors.New("httpapi: a cache journal requires a result cache (CacheSize > 0)")
+		}
+		return nil, nil
 	}
-	return &resultCache{
+	rc := &resultCache{
 		c:        lru.New[[sha256.Size]byte, *discoverResponse](size),
 		metrics:  metrics,
 		inflight: make(map[[sha256.Size]byte]*inflightCall),
 	}
+	if journalPath == "" {
+		return rc, nil
+	}
+	j, err := journal.Open(journal.Config{
+		Path:     journalPath,
+		Snapshot: rc.snapshot,
+		Faults:   faults,
+	}, rc.applyPut, rc.applyEvict)
+	if err != nil {
+		return nil, err
+	}
+	rc.journal = j
+	rc.metrics.Gauge("boundary_cache_entries",
+		"Result-cache entries currently resident.").Set(float64(rc.c.Len()))
+	return rc, nil
+}
+
+// applyPut replays one journaled result into the cache.
+func (rc *resultCache) applyPut(put json.RawMessage) error {
+	var ln cacheLine
+	if err := json.Unmarshal(put, &ln); err != nil {
+		return err
+	}
+	key, err := parseCacheKey(ln.Key)
+	if err != nil {
+		return err
+	}
+	if ln.Resp == nil {
+		return errors.New("cache line missing response")
+	}
+	rc.c.Add(key, ln.Resp)
+	return nil
+}
+
+// applyEvict replays one journaled eviction.
+func (rc *resultCache) applyEvict(key string) error {
+	k, err := parseCacheKey(key)
+	if err != nil {
+		return err
+	}
+	rc.c.Remove(k)
+	return nil
+}
+
+// snapshot emits the live cache for journal compaction, least recently used
+// first so a replay reproduces the recency order.
+func (rc *resultCache) snapshot() []json.RawMessage {
+	items := rc.c.Items()
+	out := make([]json.RawMessage, 0, len(items))
+	for _, it := range items {
+		b, err := json.Marshal(cacheLine{Key: hex.EncodeToString(it.Key[:]), Resp: it.Value})
+		if err != nil {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// parseCacheKey decodes a hex fingerprint back into the cache key.
+func parseCacheKey(s string) ([sha256.Size]byte, error) {
+	var key [sha256.Size]byte
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return key, err
+	}
+	if len(b) != sha256.Size {
+		return key, fmt.Errorf("cache key is %d bytes, want %d", len(b), sha256.Size)
+	}
+	copy(key[:], b)
+	return key, nil
+}
+
+// close compacts and closes the journal; nil-safe for disabled caches and
+// no-op for memory-only ones.
+func (rc *resultCache) close() error {
+	if rc == nil {
+		return nil
+	}
+	return rc.journal.Close()
 }
 
 // RequestFingerprint fingerprints one discover request: parse mode ("html"
@@ -94,17 +201,28 @@ func (rc *resultCache) get(key [sha256.Size]byte) (*discoverResponse, bool) {
 	return resp, ok
 }
 
-// put stores a response, counting any eviction and updating the entry gauge.
+// put stores a response, counting any eviction, updating the entry gauge,
+// and journaling both the put and any capacity eviction when durable.
 func (rc *resultCache) put(key [sha256.Size]byte, resp *discoverResponse) {
 	if rc == nil {
 		return
 	}
-	if rc.c.Add(key, resp) {
+	evictedKey, evicted := rc.c.Add(key, resp)
+	if evicted {
 		rc.metrics.Counter("boundary_cache_evictions_total",
 			"Result-cache entries evicted to make room.").Inc()
 	}
 	rc.metrics.Gauge("boundary_cache_entries",
 		"Result-cache entries currently resident.").Set(float64(rc.c.Len()))
+	if rc.journal == nil {
+		return
+	}
+	if evicted {
+		rc.journal.AppendEvict(hex.EncodeToString(evictedKey[:]), rc.c.Len())
+	}
+	if b, err := json.Marshal(cacheLine{Key: hex.EncodeToString(key[:]), Resp: resp}); err == nil {
+		rc.journal.Append(b, rc.c.Len())
+	}
 }
 
 // join registers interest in key's computation. The first caller becomes the

@@ -36,6 +36,7 @@ import (
 	"repro/internal/dbgen"
 	"repro/internal/faultinject"
 	"repro/internal/htmlparse"
+	"repro/internal/membership"
 	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/tagtree"
@@ -63,6 +64,13 @@ type Config struct {
 	// options are answered from the cache; hits, misses, and evictions
 	// surface as boundary_cache_* metrics. Zero or negative disables it.
 	CacheSize int
+	// CacheJournal, if non-empty, makes the result cache durable: puts and
+	// evictions are appended to an NDJSON journal at this path (torn-tail
+	// tolerant, compacting — see internal/journal) and replayed on startup,
+	// so a restarted replica answers its first requests warm. Requires
+	// CacheSize > 0 and the NewServer constructor (NewHandler has no error
+	// path and ignores it).
+	CacheJournal string
 	// BatchWorkers bounds how many documents one /v1/discover/batch request
 	// processes concurrently. Zero or negative selects GOMAXPROCS.
 	BatchWorkers int
@@ -92,8 +100,15 @@ type Config struct {
 	// discover requests are fingerprinted before any parsing and served
 	// straight from the store on a hit; misses learn the discovered
 	// answer. The store also backs POST /v1/template/publish (cluster
-	// warming) and GET /v1/template/stats. See docs/WRAPPER.md.
+	// warming), GET /v1/template/stats, and GET /v1/template/export (the
+	// warmup state-transfer stream). See docs/WRAPPER.md.
 	Templates *template.Store
+	// Membership, if non-nil, mounts this node's gossip surface: POST
+	// /v1/cluster/gossip (and /v1/cluster/join, its alias) exchange views,
+	// GET /v1/cluster/members serves the member table. Membership routes
+	// bypass load shedding and the request timeout so a saturated replica
+	// keeps heartbeating. See docs/MEMBERSHIP.md.
+	Membership *membership.Node
 }
 
 // server binds the handlers to one Config.
@@ -105,9 +120,37 @@ type server struct {
 
 // NewHandler returns the full service handler: the routing table wrapped in
 // load shedding + request timeout (for /v1/ routes) and request-logging +
-// metrics middleware, plus GET /metrics and GET /debug/vars.
+// metrics middleware, plus GET /metrics and GET /debug/vars. It has no
+// error path, so it ignores Config.CacheJournal — durable callers use
+// NewServer.
 func NewHandler(cfg Config) http.Handler {
-	s := server{cfg: cfg, cache: newResultCache(cfg.CacheSize, cfg.Metrics)}
+	cfg.CacheJournal = ""
+	srv, _ := NewServer(cfg) // cannot fail without a journal
+	return srv
+}
+
+// Server is the full service handler plus the resources it owns: with
+// Config.CacheJournal set, Close compacts and closes the result-cache
+// journal so the next start replays a minimal file.
+type Server struct {
+	http.Handler
+	cache *resultCache
+}
+
+// Close flushes the server's durable state. Safe on a journal-less server.
+func (s *Server) Close() error {
+	return s.cache.close()
+}
+
+// NewServer is NewHandler with an error path: it opens (and replays) the
+// result-cache journal when Config.CacheJournal is set, failing on a
+// corrupt journal body rather than serving from a partial memory.
+func NewServer(cfg Config) (*Server, error) {
+	cache, err := newResultCache(cfg.CacheSize, cfg.CacheJournal, cfg.Metrics, cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
+	s := server{cfg: cfg, cache: cache}
 	if cfg.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInFlight)
 	}
@@ -125,7 +168,8 @@ func NewHandler(cfg Config) http.Handler {
 	}
 	// Shedding sits inside the observability middleware so shed requests
 	// still show up in the request log and the per-route HTTP metrics.
-	return obs.Middleware(s.limit(mux), cfg.Logger, cfg.Metrics, route, tracing)
+	h := obs.Middleware(s.limit(mux), cfg.Logger, cfg.Metrics, route, tracing)
+	return &Server{Handler: h, cache: cache}, nil
 }
 
 // limit wraps next with the serving-layer protections for /v1/ routes: a
@@ -137,7 +181,10 @@ func (s server) limit(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+		// /v1/cluster/ is membership traffic: shedding or timing out a
+		// heartbeat under load would read as a dead peer and flap the ring,
+		// so it bypasses both protections like the non-API paths do.
+		if !strings.HasPrefix(r.URL.Path, "/v1/") || strings.HasPrefix(r.URL.Path, "/v1/cluster/") {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -181,6 +228,7 @@ func newMux(s server) *http.ServeMux {
 	mux.HandleFunc("GET /v1/ontologies", s.handleOntologies)
 	registerWrapperRoutes(mux, s)
 	registerTemplateRoutes(mux, s)
+	registerClusterRoutes(mux, s)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")

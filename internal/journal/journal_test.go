@@ -1,0 +1,240 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// testEntry is the toy payload the tests journal.
+type testEntry struct {
+	Key string `json:"key"`
+	Val int    `json:"val"`
+}
+
+// openInto opens path and replays it into a fresh map, returning both.
+func openInto(t *testing.T, cfg Config) (*Journal, map[string]int) {
+	t.Helper()
+	state := make(map[string]int)
+	if cfg.Snapshot == nil {
+		cfg.Snapshot = snapshotOf(state)
+	}
+	j, err := Open(cfg,
+		func(put json.RawMessage) error {
+			var e testEntry
+			if err := json.Unmarshal(put, &e); err != nil {
+				return err
+			}
+			if e.Key == "" {
+				return errors.New("missing key")
+			}
+			state[e.Key] = e.Val
+			return nil
+		},
+		func(key string) error {
+			delete(state, key)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, state
+}
+
+// snapshotOf emits the live map as marshaled entries (order is irrelevant
+// to these tests' assertions).
+func snapshotOf(state map[string]int) func() []json.RawMessage {
+	return func() []json.RawMessage {
+		var out []json.RawMessage
+		for k, v := range state {
+			b, _ := json.Marshal(testEntry{Key: k, Val: v})
+			out = append(out, b)
+		}
+		return out
+	}
+}
+
+func put(t *testing.T, j *Journal, e testEntry, live int) {
+	t.Helper()
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(b, live)
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ndjson")
+	// Close compacts from the snapshot, so the live map must track appends.
+	j, live := openInto(t, Config{Path: path})
+	live["a"] = 1
+	put(t, j, testEntry{Key: "a", Val: 1}, 1)
+	live["b"] = 2
+	put(t, j, testEntry{Key: "b", Val: 2}, 2)
+	live["a"] = 3
+	put(t, j, testEntry{Key: "a", Val: 3}, 2) // supersedes a=1
+	delete(live, "b")
+	j.AppendEvict("b", 1)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, state := openInto(t, Config{Path: path})
+	defer j2.Close()
+	if len(state) != 1 || state["a"] != 3 {
+		t.Fatalf("replayed state = %v, want map[a:3]", state)
+	}
+}
+
+func TestTornTailIsTolerated(t *testing.T) {
+	for _, tear := range []string{
+		`{"v":1,"put":{"key":"b","va`,      // mid-record cut
+		`{"v":1,"put":{"key":"","val":9}}`, // apply rejects it
+		`{"v":1}`,                          // neither put nor evict
+		`garbage`,                          // not JSON at all
+	} {
+		t.Run(tear, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "j.ndjson")
+			intact := `{"v":1,"put":{"key":"a","val":1}}` + "\n"
+			if err := os.WriteFile(path, []byte(intact+tear), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			j, state := openInto(t, Config{Path: path})
+			defer j.Close()
+			if len(state) != 1 || state["a"] != 1 {
+				t.Fatalf("state after torn tail = %v, want map[a:1]", state)
+			}
+		})
+	}
+}
+
+func TestCorruptBodyRefusesToOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ndjson")
+	body := `garbage` + "\n" + `{"v":1,"put":{"key":"a","val":1}}` + "\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(Config{Path: path},
+		func(json.RawMessage) error { return nil },
+		func(string) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("error %v should wrap ErrCorrupt", err)
+	}
+}
+
+func TestAutoCompactionRewritesLiveSet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ndjson")
+	state := make(map[string]int)
+	cfg := Config{Path: path, CompactThreshold: 8, Snapshot: snapshotOf(state)}
+	j, err := Open(cfg, func(json.RawMessage) error { return nil }, func(string) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	// Churn one key: every put supersedes the last, so the live set stays
+	// at 1 while lines pile up past the threshold.
+	state["a"] = 0
+	for i := 0; i < 20; i++ {
+		state["a"] = i
+		put(t, j, testEntry{Key: "a", Val: i}, 1)
+	}
+	if n := j.Lines(); n > 8 {
+		t.Fatalf("journal holds %d lines after churn, want compaction to have shrunk it", n)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != j.Lines() {
+		t.Fatalf("file has %d lines, journal thinks %d", lines, j.Lines())
+	}
+}
+
+// TestKillMidCompaction is the crash-safety contract of the satellite fix:
+// a compaction that dies between writing the temp file and renaming it must
+// leave the original journal fully intact — recovery sees every record, and
+// the stray temp file is ignored.
+func TestKillMidCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ndjson")
+	faults := faultinject.New()
+	state := make(map[string]int)
+	j, err := Open(Config{Path: path, Snapshot: snapshotOf(state), Faults: faults},
+		func(json.RawMessage) error { return nil }, func(string) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("k%d", i)
+		state[k] = i
+		put(t, j, testEntry{Key: k, Val: i}, len(state))
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The "kill": compaction aborts after the temp write, before the rename.
+	faults.Inject(FaultCompact, faultinject.Fault{Err: errors.New("killed")})
+	j.Compact()
+	if got := faults.Fired(FaultCompact); got != 1 {
+		t.Fatalf("journal/compact fired %d times, want 1", got)
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(before) {
+		t.Fatalf("aborted compaction changed the journal:\nbefore %q\nafter  %q", before, after)
+	}
+	if _, err := os.Stat(path + ".tmp"); err != nil {
+		t.Fatalf("simulated crash should leave the temp file behind: %v", err)
+	}
+
+	// The journal keeps accepting appends after the aborted compaction,
+	// and a restart (fresh Open over the same file) sees everything.
+	state["late"] = 99
+	put(t, j, testEntry{Key: "late", Val: 99}, len(state))
+	j2, replayed := openInto(t, Config{Path: path})
+	defer j2.Close()
+	if len(replayed) != 11 || replayed["late"] != 99 || replayed["k3"] != 3 {
+		t.Fatalf("recovered state = %v, want all 11 entries", replayed)
+	}
+
+	// With the fault disarmed the retried compaction commits: the file
+	// shrinks to one line per live entry and replays identically.
+	faults.Reset()
+	j.Compact()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, final := openInto(t, Config{Path: path})
+	defer j3.Close()
+	if len(final) != 11 {
+		t.Fatalf("post-compaction state has %d entries, want 11", len(final))
+	}
+	if j3.Lines() != 11 {
+		t.Fatalf("compacted journal has %d lines, want 11", j3.Lines())
+	}
+}
+
+func TestMissingFileIsEmptyJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.ndjson")
+	j, state := openInto(t, Config{Path: path})
+	defer j.Close()
+	if len(state) != 0 {
+		t.Fatalf("fresh journal replayed %v", state)
+	}
+}
+
+func TestOpenRequiresPath(t *testing.T) {
+	if _, err := Open(Config{}, nil, nil); err == nil {
+		t.Fatal("Open with no path should error")
+	}
+}

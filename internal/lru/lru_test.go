@@ -11,7 +11,7 @@ func TestGetAddBasics(t *testing.T) {
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("empty cache returned a value")
 	}
-	if evicted := c.Add("a", 1); evicted {
+	if _, evicted := c.Add("a", 1); evicted {
 		t.Fatal("first Add evicted")
 	}
 	c.Add("b", 2)
@@ -28,8 +28,8 @@ func TestEvictsLeastRecentlyUsed(t *testing.T) {
 	c.Add("a", 1)
 	c.Add("b", 2)
 	c.Get("a") // b is now least recently used
-	if evicted := c.Add("c", 3); !evicted {
-		t.Fatal("Add over capacity did not evict")
+	if k, evicted := c.Add("c", 3); !evicted || k != "b" {
+		t.Fatalf("Add over capacity evicted (%q, %v), want (b, true)", k, evicted)
 	}
 	if _, ok := c.Get("b"); ok {
 		t.Fatal("b should have been evicted")
@@ -45,7 +45,7 @@ func TestAddRefreshesExistingKey(t *testing.T) {
 	c := New[string, int](2)
 	c.Add("a", 1)
 	c.Add("b", 2)
-	if evicted := c.Add("a", 10); evicted {
+	if _, evicted := c.Add("a", 10); evicted {
 		t.Fatal("refreshing a resident key must not evict")
 	}
 	if v, _ := c.Get("a"); v != 10 {
@@ -54,6 +54,17 @@ func TestAddRefreshesExistingKey(t *testing.T) {
 	c.Add("c", 3) // evicts b, not the refreshed a
 	if _, ok := c.Get("a"); !ok {
 		t.Fatal("refreshed key was evicted")
+	}
+}
+
+func TestItemsReplayOrder(t *testing.T) {
+	c := New[string, int](4)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Get("a") // a becomes most recently used
+	items := c.Items()
+	if len(items) != 2 || items[0].Key != "b" || items[1].Key != "a" {
+		t.Fatalf("Items = %v, want b then a (LRU first)", items)
 	}
 }
 

@@ -1,0 +1,13 @@
+package membership
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain fails the package if any test leaks a goroutine — gossip loops
+// and failure-detector tickers must all stop on Close.
+func TestMain(m *testing.M) {
+	testutil.VerifyTestMain(m)
+}

@@ -1,0 +1,65 @@
+package membership
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// GossipPath is where every node mounts its gossip receiver (see
+// internal/httpapi's cluster routes); JoinPath is an alias for it — a join
+// is just a node's first gossip.
+const (
+	GossipPath = "/v1/cluster/gossip"
+	JoinPath   = "/v1/cluster/join"
+)
+
+// HTTPTransport gossips over the serving HTTP port: POST GossipPath with a
+// JSON Message, reply is the peer's Message. The zero value is usable.
+type HTTPTransport struct {
+	// Client overrides http.DefaultClient (tests inject short timeouts).
+	Client *http.Client
+}
+
+// Gossip implements Transport. addr may be host:port or a full URL.
+func (t *HTTPTransport) Gossip(ctx context.Context, addr string, msg Message) (Message, error) {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return Message{}, err
+	}
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimSuffix(url, "/")+GossipPath, bytes.NewReader(body))
+	if err != nil {
+		return Message{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := t.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return Message{}, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return Message{}, fmt.Errorf("membership: gossip to %s: status %d: %.200s", addr, resp.StatusCode, b)
+	}
+	var reply Message
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return Message{}, fmt.Errorf("membership: gossip to %s: bad reply: %w", addr, err)
+	}
+	return reply, nil
+}

@@ -57,6 +57,22 @@ func NewPublisher(cfg PublisherConfig) *Publisher {
 	return p
 }
 
+// SetTargets replaces the publish target set. The membership layer calls it
+// on every serving-set change, so warming follows the live cluster: joiners
+// start receiving publishes, leavers stop costing delivery attempts.
+func (p *Publisher) SetTargets(targets []string) {
+	p.mu.Lock()
+	p.cfg.Targets = append([]string(nil), targets...)
+	p.mu.Unlock()
+}
+
+// targets snapshots the current target set for one delivery round.
+func (p *Publisher) targets() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cfg.Targets
+}
+
 // Publish enqueues an entry for delivery to every target, dropping it (with
 // an outcome metric) when the backlog is full or the publisher is closed.
 // Its signature matches Store.OnStore.
@@ -97,7 +113,7 @@ func (p *Publisher) run() {
 			p.outcome("error").Inc()
 			continue
 		}
-		for _, target := range p.cfg.Targets {
+		for _, target := range p.targets() {
 			p.deliver(target, body)
 		}
 	}

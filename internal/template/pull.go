@@ -1,0 +1,124 @@
+package template
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// FaultTransfer is the chaos hook inside a joiner's warmup state transfer;
+// an armed error fails the current source so tests can prove a joiner falls
+// through to its next ring neighbor, or degrades to serving cold. The name
+// lives in the membership namespace — membership.FaultTransfer is the same
+// string — because the transfer is a membership-lifecycle event that merely
+// executes here.
+const FaultTransfer = "membership/transfer"
+
+// ExportPath is where every warm replica streams its wrapper state as
+// NDJSON (one Entry per line); Pull reads it, httpapi serves it.
+const ExportPath = "/v1/template/export"
+
+// PullConfig configures one warmup state transfer into a joining replica.
+type PullConfig struct {
+	// Sources are candidate base URLs to pull from — the joiner's ring
+	// neighbors, nearest first. Pull takes the full state of the first
+	// source that answers; the rest are fallbacks, not a merge.
+	Sources []string
+	// Client is the HTTP client; nil means a 5-second-timeout default.
+	Client *http.Client
+	// Timeout bounds the whole transfer (the -warmup-timeout flag); a
+	// joiner that cannot warm in time serves cold rather than blocking
+	// forever. Zero leaves only the caller's ctx in charge.
+	Timeout time.Duration
+	// Metrics receives boundary_template_pull* series; nil disables.
+	Metrics *obs.Registry
+	// Faults is the chaos hook set (FaultTransfer); nil disables.
+	Faults *faultinject.Set
+}
+
+// Pull streams another replica's journaled wrapper state into s — the
+// joiner's half of cluster warming, run after membership Join and before the
+// node takes traffic. Entries arrive through Absorb, so they are validated,
+// journaled locally (on a durable store), and never re-announced through
+// OnStore. Returns how many entries were absorbed; the error is non-nil only
+// when every source failed. An empty source list (bootstrap: no one to pull
+// from) is a successful no-op.
+func (s *Store) Pull(ctx context.Context, cfg PullConfig) (int, error) {
+	if len(cfg.Sources) == 0 {
+		return 0, nil
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	var errs []error
+	for _, source := range cfg.Sources {
+		n, err := s.pullFrom(ctx, cfg, source)
+		if err == nil {
+			cfg.Metrics.Counter("boundary_template_pulls_total",
+				"Warmup state transfers attempted, by outcome.", "outcome", "ok").Inc()
+			return n, nil
+		}
+		cfg.Metrics.Counter("boundary_template_pulls_total",
+			"Warmup state transfers attempted, by outcome.", "outcome", "error").Inc()
+		errs = append(errs, fmt.Errorf("%s: %w", source, err))
+		if ctx.Err() != nil {
+			break // the budget is spent; further sources would fail the same way
+		}
+	}
+	return 0, fmt.Errorf("template: warmup pull failed from every source: %w", errors.Join(errs...))
+}
+
+// pullFrom transfers one source's full state: GET its export stream and
+// absorb entry by entry. A mid-stream failure aborts this source; entries
+// already absorbed are kept (they are individually valid), and the caller
+// moves on to the next source.
+func (s *Store) pullFrom(ctx context.Context, cfg PullConfig, source string) (int, error) {
+	if err := cfg.Faults.Fire(FaultTransfer); err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, source+ExportPath, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, fmt.Errorf("status %d: %.200s", resp.StatusCode, b)
+	}
+	absorbed := 0
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var e Entry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return absorbed, fmt.Errorf("bad export stream after %d entries: %w", absorbed, err)
+		}
+		if err := s.Absorb(&e); err != nil {
+			return absorbed, fmt.Errorf("invalid entry %q in export stream: %w", e.Key, err)
+		}
+		absorbed++
+	}
+	cfg.Metrics.Counter("boundary_template_pull_entries_total",
+		"Wrapper entries absorbed through warmup state transfers.").Add(float64(absorbed))
+	return absorbed, nil
+}

@@ -1,0 +1,257 @@
+package template
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// exportServer serves entries as NDJSON at ExportPath, the way a warm
+// replica's httpapi does.
+func exportServer(t *testing.T, entries []*Entry) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != ExportPath {
+			t.Errorf("unexpected path %s", r.URL.Path)
+			http.NotFound(w, r)
+			return
+		}
+		enc := json.NewEncoder(w)
+		for _, e := range entries {
+			enc.Encode(e)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func pullEntries() []*Entry {
+	return []*Entry{
+		testEntry("<html><body><hr><hr></body></html>", 0.99),
+		testEntry("<html><body><p><p><p></body></html>", 0.95),
+		testEntry("<html><body><li><li></body></html>", 0.90),
+	}
+}
+
+func TestPullWarmsStoreFromSource(t *testing.T) {
+	entries := pullEntries()
+	srv := exportServer(t, entries)
+
+	dst, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	var published []string
+	dst.OnStore = func(e *Entry) { published = append(published, e.Key) }
+
+	reg := obs.NewRegistry()
+	n, err := dst.Pull(context.Background(), PullConfig{
+		Sources: []string{srv.URL},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(entries) {
+		t.Fatalf("absorbed %d entries, want %d", n, len(entries))
+	}
+	for _, e := range entries {
+		got, ok := dst.Lookup(mustKey(t, e))
+		if !ok {
+			t.Fatalf("pulled entry %s missing from store", e.Key)
+		}
+		if got.Separator != e.Separator {
+			t.Fatalf("pulled entry %s mangled: %+v", e.Key, got)
+		}
+	}
+	// Pulled state arrives via Absorb: re-announcing it through OnStore
+	// would bounce entries between warmed replicas forever.
+	if len(published) != 0 {
+		t.Fatalf("pull re-announced %v through OnStore", published)
+	}
+	if v := reg.Counter("boundary_template_pulls_total", "", "outcome", "ok").Value(); v != 1 {
+		t.Errorf("ok pulls = %v, want 1", v)
+	}
+	if v := reg.Counter("boundary_template_pull_entries_total", "").Value(); v != 3 {
+		t.Errorf("pulled entries = %v, want 3", v)
+	}
+}
+
+func TestPullFallsThroughToNextSource(t *testing.T) {
+	entries := pullEntries()
+	good := exportServer(t, entries)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // connection refused
+
+	dst, _ := Open(Config{})
+	defer dst.Close()
+	reg := obs.NewRegistry()
+	n, err := dst.Pull(context.Background(), PullConfig{
+		Sources: []string{dead.URL, good.URL},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(entries) {
+		t.Fatalf("absorbed %d entries, want %d", n, len(entries))
+	}
+	if v := reg.Counter("boundary_template_pulls_total", "", "outcome", "error").Value(); v != 1 {
+		t.Errorf("error pulls = %v, want 1", v)
+	}
+}
+
+// TestPullTransferFaultFailsOver drives the membership/transfer hook: an
+// armed fault kills the first source's transfer, and the joiner falls
+// through to the next ring neighbor instead of blocking.
+func TestPullTransferFaultFailsOver(t *testing.T) {
+	entries := pullEntries()
+	srv := exportServer(t, entries)
+
+	dst, _ := Open(Config{})
+	defer dst.Close()
+	faults := faultinject.New()
+	faults.Inject(FaultTransfer, faultinject.Fault{Err: errors.New("transfer torn"), Times: 1})
+
+	n, err := dst.Pull(context.Background(), PullConfig{
+		Sources: []string{srv.URL, srv.URL},
+		Faults:  faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(entries) {
+		t.Fatalf("absorbed %d entries, want %d", n, len(entries))
+	}
+	if got := faults.Fired(FaultTransfer); got != 2 {
+		t.Fatalf("membership/transfer fired %d times, want 2 (one fault, one pass)", got)
+	}
+}
+
+func TestPullAllSourcesFailingReturnsError(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	dst, _ := Open(Config{})
+	defer dst.Close()
+	n, err := dst.Pull(context.Background(), PullConfig{
+		Sources: []string{dead.URL, dead.URL},
+	})
+	if err == nil {
+		t.Fatal("pull with every source down should fail")
+	}
+	if n != 0 {
+		t.Fatalf("failed pull reported %d entries", n)
+	}
+}
+
+func TestPullNoSourcesIsBootstrapNoop(t *testing.T) {
+	dst, _ := Open(Config{})
+	defer dst.Close()
+	if n, err := dst.Pull(context.Background(), PullConfig{}); n != 0 || err != nil {
+		t.Fatalf("bootstrap pull = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestPullCorruptStreamAbortsSource(t *testing.T) {
+	e := testEntry("<html><body><hr><hr></body></html>", 0.99)
+	line, _ := json.Marshal(e)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write(line)
+		w.Write([]byte("\n{this is not json\n"))
+	}))
+	t.Cleanup(srv.Close)
+
+	dst, _ := Open(Config{})
+	defer dst.Close()
+	_, err := dst.Pull(context.Background(), PullConfig{Sources: []string{srv.URL}})
+	if err == nil {
+		t.Fatal("pull of a corrupt stream should fail")
+	}
+	if !strings.Contains(err.Error(), "bad export stream") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// The entries absorbed before the tear are individually valid and kept.
+	if _, ok := dst.Lookup(mustKey(t, e)); !ok {
+		t.Fatal("entry absorbed before the stream tore was discarded")
+	}
+}
+
+func TestPullTimeoutServesColdRatherThanBlocking(t *testing.T) {
+	blocked := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-blocked:
+		case <-r.Context().Done():
+		}
+	}))
+	t.Cleanup(func() { close(blocked); srv.Close() })
+
+	dst, _ := Open(Config{})
+	defer dst.Close()
+	start := time.Now()
+	_, err := dst.Pull(context.Background(), PullConfig{
+		Sources: []string{srv.URL, srv.URL},
+		Timeout: 50 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("pull past the warmup timeout should fail")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("pull blocked %v past its 50ms budget", d)
+	}
+}
+
+func TestPublisherSetTargetsFollowsMembership(t *testing.T) {
+	var mu sync.Mutex
+	var got []string
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var e Entry
+		json.NewDecoder(r.Body).Decode(&e)
+		mu.Lock()
+		got = append(got, e.Key)
+		mu.Unlock()
+	}))
+	t.Cleanup(peer.Close)
+
+	reg := obs.NewRegistry()
+	pub := NewPublisher(PublisherConfig{Metrics: reg}) // born with no peers
+
+	pub.SetTargets([]string{peer.URL}) // a peer joined
+	e1 := testEntry("<html><body><hr><hr></body></html>", 0.99)
+	pub.Publish(e1)
+	// Targets are read at delivery time, so wait for e1 to land before
+	// retargeting — otherwise it would (correctly) go nowhere.
+	okCount := func() float64 {
+		return reg.Counter("boundary_template_publishes_total", "", "outcome", "ok").Value()
+	}
+	for deadline := time.Now().Add(5 * time.Second); okCount() < 1; {
+		if time.Now().After(deadline) {
+			t.Fatal("first publish never delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	pub.SetTargets(nil) // the peer left
+	e2 := testEntry("<html><body><p><p></body></html>", 0.95)
+	pub.Publish(e2)
+	pub.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0] != e1.Key {
+		t.Fatalf("peer received %v, want only the pre-departure %s", got, e1.Key)
+	}
+	if v := reg.Counter("boundary_template_publishes_total", "", "outcome", "ok").Value(); v != 1 {
+		t.Errorf("ok publishes = %v, want 1", v)
+	}
+}

@@ -43,11 +43,11 @@ type elemRec struct {
 }
 
 type docScanner struct {
-	events []shapeEvent
-	stack  []int32 // open element name IDs, innermost last
-	open   []int32 // enter-event index per open element
-	fan    []int32 // child count per open element
-	elems  []elemRec
+	events  []shapeEvent
+	stack   []int32 // open element name IDs, innermost last
+	open    []int32 // enter-event index per open element
+	fan     []int32 // child count per open element
+	elems   []elemRec
 	rootFan int32
 
 	nbuf []byte // lowercased tag-name scratch

@@ -1,15 +1,13 @@
 package template
 
 import (
-	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/faultinject"
+	"repro/internal/journal"
 	"repro/internal/lru"
 	"repro/internal/obs"
 )
@@ -166,9 +164,7 @@ type Config struct {
 type Store struct {
 	cfg Config
 
-	mu    sync.Mutex // guards file, lines, and the journal write order
-	file  *os.File
-	lines int // journal lines since last compaction
+	journal *journal.Journal // nil when memory-only
 
 	cache *lru.Cache[Key, *Entry]
 
@@ -183,14 +179,11 @@ type Store struct {
 	mEntries                                       *obs.Gauge
 }
 
-// compactThreshold is how many journal lines (puts + evictions) accumulate
-// before the journal is rewritten as one line per live entry.
-const compactThreshold = 4096
-
 // Open creates a store. With a non-empty cfg.Path it replays the journal
-// (tolerating a torn final line, exactly like the bulk checkpoint journal)
-// and keeps the file open for appends; a journal corrupt before its final
-// line returns an error wrapping ErrCorrupt.
+// through the shared internal/journal machinery (tolerating a torn final
+// line, exactly like the bulk checkpoint journal) and keeps the file open
+// for appends; a journal corrupt before its final line returns an error
+// wrapping ErrCorrupt.
 func Open(cfg Config) (*Store, error) {
 	if cfg.Capacity <= 0 {
 		cfg.Capacity = DefaultCapacity
@@ -210,160 +203,74 @@ func Open(cfg Config) (*Store, error) {
 		mEntries:    cfg.Metrics.Gauge("boundary_template_entries", "Learned wrappers currently held in memory."),
 	}
 	if cfg.Path != "" {
-		if err := s.replay(); err != nil {
-			return nil, err
-		}
-		f, err := os.OpenFile(cfg.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		j, err := journal.Open(journal.Config{
+			Path:     cfg.Path,
+			Snapshot: s.snapshot,
+			Faults:   cfg.Faults,
+		}, s.applyPut, s.applyEvict)
 		if err != nil {
+			if errors.Is(err, journal.ErrCorrupt) {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
 			return nil, err
 		}
-		s.file = f
+		s.journal = j
 	}
 	s.mEntries.Set(float64(s.cache.Len()))
 	return s, nil
 }
 
-// journalLine is one NDJSON journal record: exactly one of Put or Evict.
-type journalLine struct {
-	V     int    `json:"v"`
-	Put   *Entry `json:"put,omitempty"`
-	Evict string `json:"evict,omitempty"`
-}
-
-// replay loads the journal into the cache. The final line may be torn (a
-// crash mid-append) and is skipped; an undecodable line anywhere else means
-// the file body is damaged and the error wraps ErrCorrupt.
-func (s *Store) replay() error {
-	data, err := os.ReadFile(s.cfg.Path)
-	if err != nil {
-		if errors.Is(err, os.ErrNotExist) {
-			return nil
-		}
+// applyPut replays one journaled put into the cache; a malformed or invalid
+// entry is an error the journal layer maps to torn-tail tolerance or
+// ErrCorrupt by position.
+func (s *Store) applyPut(put json.RawMessage) error {
+	var e Entry
+	if err := json.Unmarshal(put, &e); err != nil {
 		return err
 	}
-	lines := splitLines(data)
-	for i, ln := range lines {
-		var rec journalLine
-		if err := json.Unmarshal(ln, &rec); err != nil {
-			if i == len(lines)-1 {
-				return nil // torn tail: the entry was never acknowledged
-			}
-			return fmt.Errorf("%w: line %d: %v", ErrCorrupt, i+1, err)
-		}
-		switch {
-		case rec.Put != nil:
-			if err := rec.Put.Validate(); err != nil {
-				if i == len(lines)-1 {
-					return nil
-				}
-				return fmt.Errorf("%w: line %d: %v", ErrCorrupt, i+1, err)
-			}
-			k, _ := ParseKey(rec.Put.Key)
-			s.cache.Add(k, rec.Put)
-		case rec.Evict != "":
-			k, err := ParseKey(rec.Evict)
-			if err != nil {
-				if i == len(lines)-1 {
-					return nil
-				}
-				return fmt.Errorf("%w: line %d: %v", ErrCorrupt, i+1, err)
-			}
-			s.cache.Remove(k)
-		default:
-			if i == len(lines)-1 {
-				return nil
-			}
-			return fmt.Errorf("%w: line %d: neither put nor evict", ErrCorrupt, i+1)
-		}
-		s.lines++
+	if err := e.Validate(); err != nil {
+		return err
 	}
+	k, _ := ParseKey(e.Key)
+	s.cache.Add(k, &e)
 	return nil
 }
 
-// splitLines splits on '\n', dropping empty lines (a trailing newline is the
-// normal committed state, not a torn record).
-func splitLines(data []byte) [][]byte {
-	var out [][]byte
-	start := 0
-	for i, b := range data {
-		if b == '\n' {
-			if i > start {
-				out = append(out, data[start:i])
-			}
-			start = i + 1
-		}
+// applyEvict replays one journaled eviction.
+func (s *Store) applyEvict(key string) error {
+	k, err := ParseKey(key)
+	if err != nil {
+		return err
 	}
-	if start < len(data) {
-		out = append(out, data[start:])
+	s.cache.Remove(k)
+	return nil
+}
+
+// snapshot emits every live entry for journal compaction, least recently
+// used first (the order that, replayed, reproduces the recency state).
+func (s *Store) snapshot() []json.RawMessage {
+	vals := s.cache.Values()
+	out := make([]json.RawMessage, 0, len(vals))
+	for _, e := range vals {
+		b, err := json.Marshal(e)
+		if err != nil {
+			continue
+		}
+		out = append(out, b)
 	}
 	return out
 }
 
-// append writes one journal record and compacts when the journal has
-// accumulated enough dead lines. Callers hold no store locks.
-func (s *Store) append(rec journalLine) {
-	if s.cfg.Path == "" {
+// appendPut journals one stored entry.
+func (s *Store) appendPut(e *Entry) {
+	if s.journal == nil {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.file == nil {
-		return // closed
-	}
-	b, err := json.Marshal(rec)
+	b, err := json.Marshal(e)
 	if err != nil {
 		return
 	}
-	b = append(b, '\n')
-	if _, err := s.file.Write(b); err != nil {
-		return
-	}
-	s.lines++
-	if s.lines >= compactThreshold && s.lines > 2*s.cache.Len() {
-		s.compactLocked()
-	}
-}
-
-// compactLocked rewrites the journal as one put line per live entry, oldest
-// first. A temp-file rename keeps the journal always-valid on crash.
-func (s *Store) compactLocked() {
-	tmp := s.cfg.Path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return
-	}
-	w := bufio.NewWriter(f)
-	n := 0
-	for _, e := range s.cache.Values() {
-		b, err := json.Marshal(journalLine{V: 1, Put: e})
-		if err != nil {
-			continue
-		}
-		w.Write(b)
-		w.WriteByte('\n')
-		n++
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return
-	}
-	if err := os.Rename(tmp, s.cfg.Path); err != nil {
-		os.Remove(tmp)
-		return
-	}
-	s.file.Close()
-	nf, err := os.OpenFile(s.cfg.Path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		s.file = nil
-		return
-	}
-	s.file = nf
-	s.lines = n
+	s.journal.Append(b, s.cache.Len())
 }
 
 // Lookup returns the stored entry for key, if one exists and is healthy. A
@@ -457,7 +364,7 @@ func (s *Store) add(e *Entry, local bool) error {
 	} else {
 		s.mAbsorbs.Inc()
 	}
-	s.append(journalLine{V: 1, Put: e})
+	s.appendPut(e)
 	if local && s.OnStore != nil {
 		s.OnStore(e)
 	}
@@ -475,8 +382,8 @@ func (s *Store) ReportDrift(key Key, reason string) {
 }
 
 func (s *Store) evict(key Key, reason string) {
-	if s.cache.Remove(key) {
-		s.append(journalLine{V: 1, Evict: key.String()})
+	if s.cache.Remove(key) && s.journal != nil {
+		s.journal.AppendEvict(key.String(), s.cache.Len())
 	}
 	s.mEntries.Set(float64(s.cache.Len()))
 	s.cfg.Metrics.Counter("boundary_template_drift_total",
@@ -549,19 +456,8 @@ func (s *Store) Reset() {
 // Close compacts and closes the journal. The store must not be used after
 // Close; a memory-only store's Close is a no-op.
 func (s *Store) Close() error {
-	if s == nil || s.cfg.Path == "" {
+	if s == nil {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.file == nil {
-		return nil
-	}
-	s.compactLocked()
-	var err error
-	if s.file != nil {
-		err = s.file.Close()
-		s.file = nil
-	}
-	return err
+	return s.journal.Close()
 }

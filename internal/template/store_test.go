@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/faultinject"
@@ -342,7 +343,7 @@ func TestStoreCompaction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := len(splitLines(data)); n != 1 {
+	if n := strings.Count(strings.TrimRight(string(data), "\n"), "\n") + 1; n != 1 {
 		t.Fatalf("compacted journal has %d lines, want 1", n)
 	}
 	re, err := Open(Config{Path: path})
