@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test testshort race shuffle cover cover-pipeline bench bench-smoke bench-gate cluster obs-smoke wrapper-smoke membership-smoke fuzz chaos experiments corpus examples clean
+.PHONY: all build test testshort race shuffle cover cover-pipeline cover-eval bench bench-smoke bench-gate evalrun quality-gate cluster obs-smoke wrapper-smoke membership-smoke fuzz chaos experiments corpus examples clean
 
 all: build test
 
@@ -38,6 +38,16 @@ cover-pipeline:
 	echo "internal/pipeline statement coverage: $$total%"; \
 	awk "BEGIN{exit !($$total >= 80.0)}" || { \
 		echo "FAIL: internal/pipeline coverage $$total% is below the 80% floor"; exit 1; }
+
+# Coverage gate for the evaluation harness: the leaderboard, the
+# structural-match metric, and the quality gate decide what "no worse than
+# the baseline" means, so their statement coverage must stay at or above 80%.
+cover-eval:
+	$(GO) test -coverprofile=eval_cover.out ./internal/eval/
+	@total=$$($(GO) tool cover -func=eval_cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/eval statement coverage: $$total%"; \
+	awk "BEGIN{exit !($$total >= 80.0)}" || { \
+		echo "FAIL: internal/eval coverage $$total% is below the 80% floor"; exit 1; }
 
 # Full benchmark run, archived as BENCH_<n>.json (next free index) via
 # cmd/benchjson so runs can be diffed across commits. CI runs the cheaper
@@ -75,6 +85,31 @@ bench-gate:
 	@echo "comparing against $(BENCH_BASELINE) (tolerance $(BENCH_TOLERANCE))"
 	$(GO) test -bench=. -benchmem -count=3 -run='^$$' . ./internal/core/ ./internal/heuristic/ | \
 		$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) -tolerance $(BENCH_TOLERANCE)
+
+# Full leaderboard run over the 220-document corpus, archived as
+# QUALITY_<n>.json (next free index) — the quality counterpart of `bench`.
+# Commit the new file alongside the code change that justified it.
+evalrun:
+	n=0; for f in QUALITY_*.json; do \
+		[ -e "$$f" ] || continue; \
+		i=$${f#QUALITY_}; i=$${i%.json}; \
+		case "$$i" in *[!0-9]*) continue;; esac; \
+		[ "$$i" -ge "$$n" ] && n=$$((i+1)); \
+	done; \
+	$(GO) run ./cmd/evalrun -out QUALITY_$$n.json
+
+# Quality-regression gate: a fresh leaderboard run compared against the
+# newest committed QUALITY_<n>.json; any tracked extractor whose F1 (exact
+# or forgiving) dropped more than 2 absolute points fails (improvements and
+# new extractors are informational). Everything is deterministic, so unlike
+# bench-gate there is no noise to fold away.
+# QUALITY_BASELINE / QUALITY_TOLERANCE override the defaults.
+QUALITY_BASELINE ?= $(lastword $(sort $(wildcard QUALITY_*.json)))
+QUALITY_TOLERANCE ?= 0.02
+quality-gate:
+	@test -n "$(QUALITY_BASELINE)" || { echo "no QUALITY_<n>.json baseline committed"; exit 1; }
+	@echo "comparing against $(QUALITY_BASELINE) (tolerance $(QUALITY_TOLERANCE))"
+	$(GO) run ./cmd/evalrun -compare $(QUALITY_BASELINE) -tolerance $(QUALITY_TOLERANCE)
 
 # The cluster-mode serving tier (see docs/SCALING.md) under the race
 # detector: routing/conformance suites, the chaos scenarios (hedging, peer
@@ -150,4 +185,4 @@ examples:
 	$(GO) run ./examples/xmlfeed
 
 clean:
-	rm -rf corpus cover.out pipeline_cover.out test_output.txt bench_output.txt $(BENCH_DIR)
+	rm -rf corpus cover.out pipeline_cover.out eval_cover.out test_output.txt bench_output.txt $(BENCH_DIR)

@@ -1,0 +1,79 @@
+package main
+
+// Golden snapshots for the leaderboard surface: the full-corpus table and
+// the machine-readable QUALITY json are locked byte for byte. The corpus,
+// the extractors, and the metric are all deterministic, so any diff here is
+// a real quality movement (update the snapshot AND the committed
+// QUALITY_<n>.json baseline deliberately, together) or a formatting break.
+//
+// To accept an intentional change:
+//
+//	go test ./cmd/evalrun -run TestGolden -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the .golden snapshots")
+
+func TestGoldenLeaderboard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus leaderboard run is slow")
+	}
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "leaderboard.golden", out.String())
+}
+
+func TestGoldenQualityJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus leaderboard run is slow")
+	}
+	var out strings.Builder
+	if err := run([]string{"-table=false", "-out", "-"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "quality.golden", out.String())
+}
+
+// TestReportsDeterministic pins the property the golden files and the
+// committed QUALITY baseline rely on: two independent runs emit
+// byte-identical output, table and json alike.
+func TestReportsDeterministic(t *testing.T) {
+	render := func() string {
+		var out strings.Builder
+		if err := run([]string{"-docs", "test", "-out", "-"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Errorf("two runs produced different bytes:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+// checkGolden compares got with testdata/<name>, rewriting the file under
+// -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./cmd/evalrun -run TestGolden -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from its snapshot.\n--- got\n%s\n--- want\n%s", name, got, want)
+	}
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+func TestSelectDocs(t *testing.T) {
+	cases := map[string]int{"all": 220, "training": 200, "test": 20}
+	for which, want := range cases {
+		docs, err := selectDocs(which)
+		if err != nil {
+			t.Fatalf("%s: %v", which, err)
+		}
+		if len(docs) != want {
+			t.Errorf("%s: %d documents, want %d", which, len(docs), want)
+		}
+	}
+	if _, err := selectDocs("bogus"); err == nil {
+		t.Error("unknown -docs value must be rejected")
+	}
+}
+
+func TestRunTestCorpusTable(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-docs", "test"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "20 documents") || !strings.Contains(out.String(), "ORSIH") {
+		t.Errorf("unexpected leaderboard output:\n%s", out.String())
+	}
+}
+
+func TestRunWritesReportFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "QUALITY_test.json")
+	var out strings.Builder
+	if err := run([]string{"-docs", "test", "-table=false", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := &eval.QualityReport{}
+	if err := json.Unmarshal(data, report); err != nil {
+		t.Fatalf("report is not valid json: %v", err)
+	}
+	if report.Documents != 20 || len(report.Extractors) < 5 {
+		t.Errorf("unexpected report shape: %d documents, %d extractors",
+			report.Documents, len(report.Extractors))
+	}
+}
+
+// TestCompareGateEndToEnd is the acceptance check at the CLI level: the
+// gate passes against a faithful baseline and fails once a tracked
+// extractor's baseline F1 is doctored more than two points above what the
+// code now delivers.
+func TestCompareGateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "QUALITY_base.json")
+	var out strings.Builder
+	if err := run([]string{"-docs", "test", "-table=false", "-out", baseline}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	// Faithful baseline: the gate passes.
+	out.Reset()
+	if err := run([]string{"-docs", "test", "-compare", baseline}, &out); err != nil {
+		t.Fatalf("gate failed against a baseline the same code just wrote: %v", err)
+	}
+	if !strings.Contains(out.String(), "no tracked extractor regressed") {
+		t.Errorf("missing pass summary:\n%s", out.String())
+	}
+
+	// Doctored baseline: claim OM-only used to be 2.5 points better than it
+	// is; the fresh run now reads as a regression and the gate must fail.
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := &eval.QualityReport{}
+	if err := json.Unmarshal(data, report); err != nil {
+		t.Fatal(err)
+	}
+	doctored := false
+	for i, e := range report.Extractors {
+		if e.Name == "OM-only" {
+			report.Extractors[i].Exact.F1 += 0.025
+			report.Extractors[i].Forgiving.F1 += 0.025
+			doctored = true
+		}
+	}
+	if !doctored {
+		t.Fatal("no OM-only row to doctor")
+	}
+	data, err = json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = run([]string{"-docs", "test", "-compare", baseline}, &out)
+	if err == nil {
+		t.Fatal("gate passed despite an injected 2.5-point F1 regression")
+	}
+	if !strings.Contains(err.Error(), "OM-only") {
+		t.Errorf("gate error does not name the regressed extractor: %v", err)
+	}
+
+	// A wider tolerance absorbs the same injected drop.
+	out.Reset()
+	if err := run([]string{"-docs", "test", "-compare", baseline, "-tolerance", "0.05"}, &out); err != nil {
+		t.Fatalf("5-point tolerance should absorb a 2.5-point drop: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-docs", "everything"}, &strings.Builder{}); err == nil {
+		t.Error("bad -docs must error")
+	}
+	if err := run([]string{"-docs", "test", "-compare", filepath.Join(t.TempDir(), "missing.json")}, &strings.Builder{}); err == nil {
+		t.Error("missing baseline must error")
+	}
+}

@@ -640,6 +640,34 @@ func Split(doc string, res *Result) []Record {
 	return out
 }
 
+// Boundaries returns the record boundaries Split produces as byte spans —
+// the machine-comparable form the evaluation harness scores extractors on
+// (see internal/eval and docs/EVALUATION.md).
+func (r *Result) Boundaries(doc string) []tagtree.Span {
+	recs := Split(doc, r)
+	spans := make([]tagtree.Span, len(recs))
+	for i, rec := range recs {
+		spans[i] = tagtree.Span{Start: rec.Start, End: rec.End}
+	}
+	return spans
+}
+
+// SplitAt partitions a document at a known separator tag without running
+// discovery: parse, locate the highest-fan-out subtree, split. This is the
+// oracle path for callers that already know a page's wrapper — the
+// evaluation harness uses it to materialize ground-truth boundaries from a
+// corpus document's planted separator, and it is the cheapest way to
+// re-split a page whose separator was learned out of band. It returns no
+// records when the separator never occurs inside the subtree.
+func SplitAt(doc, separator string, limits tagtree.Limits) ([]Record, error) {
+	tree, err := tagtree.ParseContext(context.Background(), doc, limits)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Separator: separator, Subtree: tree.HighestFanOut(), Tree: tree}
+	return Split(doc, res), nil
+}
+
 // Explain renders a human-readable report of a discovery result: the chosen
 // separator, each heuristic's ranking, and the compound scores — the
 // worked-example format of §5.3.

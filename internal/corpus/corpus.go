@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/ontology"
+	"repro/internal/tagtree"
 )
 
 // Domain is an application area of the paper's experiments.
@@ -174,6 +175,14 @@ type Document struct {
 	// Facts holds the planted field values of each record, in page order —
 	// the ground truth for extraction-quality measurement.
 	Facts []Fact
+	// Boundaries are the ground-truth record boundaries: one byte span per
+	// record in page order, running from the record's separator tag to the
+	// next record's separator (delimited layouts) or from the wrapping
+	// element to the next one, with the last record closed at the record
+	// container's end tag. This is exactly the segmentation an ideal
+	// splitter produces given the correct separator, so extractor output is
+	// comparable span-by-span (see internal/eval's structural matching).
+	Boundaries []tagtree.Span
 }
 
 // IsCorrect reports whether tag is one of the document's correct separators.
@@ -250,9 +259,15 @@ func (s *Site) Generate(index int) *Document {
 
 	var body strings.Builder
 	var facts []Fact
+	// marks records the body-relative start of each record's markup; tail is
+	// where the record region ends (the trailing separator on delimited
+	// layouts). Both become Document.Boundaries once the body's offset in
+	// the full page is known.
+	marks := make([]int, 0, n)
 	for i := 0; i < n; i++ {
 		var rec strings.Builder
 		facts = append(facts, write(&rec, r, p, newOMPlan(r, p)))
+		marks = append(marks, body.Len())
 		if p.Layout == Wrapped {
 			body.WriteString(wrapRecord(p.Separator, rec.String()))
 			body.WriteByte('\n')
@@ -262,6 +277,7 @@ func (s *Site) Generate(index int) *Document {
 			body.WriteByte('\n')
 		}
 	}
+	tail := body.Len()
 	if p.Layout == Delimited {
 		body.WriteString("<" + p.Separator + ">\n")
 	}
@@ -277,19 +293,39 @@ func (s *Site) Generate(index int) *Document {
 		doc.WriteString("<" + c + ">")
 	}
 	doc.WriteByte('\n')
+	bodyOff := doc.Len()
 	doc.WriteString(body.String())
+	// The last wrapped record runs to the end tag of the innermost container
+	// (the highest-fan-out subtree's close), which is written first below.
+	innerEnd := doc.Len()
 	for i := len(p.Container) - 1; i >= 0; i-- {
 		doc.WriteString("</" + p.Container[i] + ">")
+		if i == len(p.Container)-1 {
+			innerEnd = doc.Len()
+		}
 	}
 	doc.WriteString("\nAll material is copyrighted. <a href=\"index.html\">Home</a>\n</body>\n</html>\n")
 
+	bounds := make([]tagtree.Span, n)
+	for i, m := range marks {
+		end := innerEnd
+		switch {
+		case i+1 < len(marks):
+			end = bodyOff + marks[i+1]
+		case p.Layout == Delimited:
+			end = bodyOff + tail
+		}
+		bounds[i] = tagtree.Span{Start: bodyOff + m, End: end}
+	}
+
 	return &Document{
-		Site:    s,
-		Index:   index,
-		HTML:    doc.String(),
-		Truth:   p.Truth(),
-		Records: n,
-		Facts:   facts,
+		Site:       s,
+		Index:      index,
+		HTML:       doc.String(),
+		Truth:      p.Truth(),
+		Records:    n,
+		Facts:      facts,
+		Boundaries: bounds,
 	}
 }
 

@@ -242,3 +242,49 @@ func TestProfileTruth(t *testing.T) {
 		t.Errorf("Truth = %v", got)
 	}
 }
+
+// TestBoundariesCoverEveryRecord pins the planted ground truth the
+// evaluation harness scores against: one byte span per record, ascending
+// and non-overlapping, starting at the record's separator tag, with
+// record-identifying text inside the span.
+func TestBoundariesCoverEveryRecord(t *testing.T) {
+	for _, d := range AllDomains {
+		for _, site := range append(TrainingSites(d), TestSites(d)...) {
+			doc := site.Generate(0)
+			if len(doc.Boundaries) != doc.Records {
+				t.Fatalf("%s: %d boundary spans for %d records",
+					site.Name, len(doc.Boundaries), doc.Records)
+			}
+			prevEnd := 0
+			for i, sp := range doc.Boundaries {
+				if sp.Start < prevEnd || sp.End <= sp.Start || sp.End > len(doc.HTML) {
+					t.Fatalf("%s: span %d %+v malformed (prev end %d, doc %d bytes)",
+						site.Name, i, sp, prevEnd, len(doc.HTML))
+				}
+				if !strings.HasPrefix(doc.HTML[sp.Start:], "<"+site.Profile.Separator) {
+					t.Fatalf("%s: span %d does not start at a <%s> tag: %q...",
+						site.Name, i, site.Profile.Separator, doc.HTML[sp.Start:sp.Start+12])
+				}
+				if body := doc.HTML[sp.Start:sp.End]; !strings.ContainsAny(body, "abcdefghijklmnopqrstuvwxyz") {
+					t.Fatalf("%s: span %d carries no text", site.Name, i)
+				}
+				prevEnd = sp.End
+			}
+		}
+	}
+}
+
+// TestBoundariesDeterministic: ground truth, like the documents themselves,
+// is identical across generations.
+func TestBoundariesDeterministic(t *testing.T) {
+	site := TestSites(CarAds)[0]
+	a, b := site.Generate(1), site.Generate(1)
+	if len(a.Boundaries) != len(b.Boundaries) {
+		t.Fatalf("boundary counts differ: %d vs %d", len(a.Boundaries), len(b.Boundaries))
+	}
+	for i := range a.Boundaries {
+		if a.Boundaries[i] != b.Boundaries[i] {
+			t.Fatalf("span %d differs: %+v vs %+v", i, a.Boundaries[i], b.Boundaries[i])
+		}
+	}
+}

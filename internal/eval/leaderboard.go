@@ -1,0 +1,258 @@
+package eval
+
+// The leaderboard: every registered Extractor scored over one corpus with
+// structural matching, aggregated per extractor at corpus level (micro:
+// pooled match counts; macro: mean per-document F1), rendered as a table
+// and serialized as a QUALITY_<n>.json report. The report is deterministic
+// byte for byte — fixed extractor registry, deterministic corpus,
+// order-independent aggregation, six-decimal rounding — so it supports the
+// same committed-baseline regression gating that BENCH_<n>.json gives
+// performance (see CompareQuality and `evalrun -compare`).
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/tagtree"
+)
+
+// QualityOptions configure a leaderboard run. The zero value scores the
+// registered extractors with DefaultBoundarySlack across GOMAXPROCS
+// workers.
+type QualityOptions struct {
+	// Slack is the forgiving variant's boundary tolerance in bytes; 0
+	// means DefaultBoundarySlack.
+	Slack int
+	// Workers bounds evaluation concurrency; <= 0 means GOMAXPROCS.
+	// Concurrency never changes the report: per-document results land in
+	// per-index slots and are reduced in document order.
+	Workers int
+	// Extractors overrides the method registry; nil means Registrations().
+	Extractors []Registration
+}
+
+func (o QualityOptions) slack() int {
+	if o.Slack == 0 {
+		return DefaultBoundarySlack
+	}
+	return o.Slack
+}
+
+func (o QualityOptions) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (o QualityOptions) registrations() []Registration {
+	if o.Extractors == nil {
+		return Registrations()
+	}
+	return o.Extractors
+}
+
+// MetricSet is one variant's corpus-level outcome: pooled match counts and
+// the micro precision/recall/F1 they induce.
+type MetricSet struct {
+	Counts
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+}
+
+func newMetricSet(c Counts) MetricSet {
+	return MetricSet{
+		Counts:    c,
+		Precision: round6(c.Precision()),
+		Recall:    round6(c.Recall()),
+		F1:        round6(c.F1()),
+	}
+}
+
+// ExtractorQuality is one leaderboard row.
+type ExtractorQuality struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Documents is how many documents the extractor was scored on; Errors
+	// how many of those failed outright (scored as empty predictions).
+	Documents int `json:"documents"`
+	Errors    int `json:"errors"`
+	// Exact and Forgiving are the micro-aggregated variants.
+	Exact     MetricSet `json:"exact"`
+	Forgiving MetricSet `json:"forgiving"`
+	// MacroF1* average the per-document F1, weighting every document
+	// equally regardless of record count.
+	MacroF1Exact     float64 `json:"macro_f1_exact"`
+	MacroF1Forgiving float64 `json:"macro_f1_forgiving"`
+}
+
+// QualityReport is the machine-readable leaderboard (QUALITY_<n>.json).
+// Extractors are in leaderboard order: descending forgiving F1, then
+// descending exact F1, then name.
+type QualityReport struct {
+	Documents  int                `json:"documents"`
+	SlackBytes int                `json:"slack_bytes"`
+	Extractors []ExtractorQuality `json:"extractors"`
+}
+
+// Row returns the named extractor's leaderboard row, if present.
+func (r *QualityReport) Row(name string) (ExtractorQuality, bool) {
+	for _, e := range r.Extractors {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return ExtractorQuality{}, false
+}
+
+// TruthSegmentations materializes every acceptable ground-truth
+// segmentation of a document: one span list per correct separator tag
+// (most documents have exactly one; wrapped table rows also accept the
+// inner cell). Segmentations come from the oracle splitter — parse, locate
+// the highest-fan-out subtree, split at the known-correct tag — so they are
+// well-defined for any document variant carrying the same truth tags,
+// including corpus.Mangle output whose byte offsets have shifted.
+func TruthSegmentations(doc *corpus.Document) [][]tagtree.Span {
+	var out [][]tagtree.Span
+	for _, sep := range doc.Truth {
+		recs, err := core.SplitAt(doc.HTML, sep, tagtree.Limits{})
+		if err != nil || len(recs) == 0 {
+			continue
+		}
+		spans := make([]tagtree.Span, len(recs))
+		for i, rec := range recs {
+			spans[i] = tagtree.Span{Start: rec.Start, End: rec.End}
+		}
+		out = append(out, spans)
+	}
+	return out
+}
+
+// RunLeaderboard scores every registered extractor over the documents and
+// assembles the report. Extractor failures on individual documents count
+// against that extractor (empty prediction, Errors incremented); they never
+// abort the run.
+func RunLeaderboard(docs []*corpus.Document, opt QualityOptions) *QualityReport {
+	slack := opt.slack()
+
+	// Ground truth once per document, shared by every extractor.
+	truths := make([][][]tagtree.Span, len(docs))
+	forEachIndex(len(docs), opt.workers(len(docs)), func(i int) {
+		truths[i] = TruthSegmentations(docs[i])
+	})
+
+	report := &QualityReport{Documents: len(docs), SlackBytes: slack}
+	for _, reg := range opt.registrations() {
+		ext := reg.New()
+		scores := make([]BoundaryScore, len(docs))
+		failed := make([]bool, len(docs))
+		forEachIndex(len(docs), opt.workers(len(docs)), func(i int) {
+			doc := docs[i]
+			spans, err := ext.Extract(doc, doc.Site.Domain.Ontology())
+			if err != nil {
+				failed[i] = true
+				spans = nil
+			}
+			scores[i] = ScoreBoundaries(spans, truths[i], slack)
+		})
+
+		row := ExtractorQuality{
+			Name:        reg.Name,
+			Description: reg.Description,
+			Documents:   len(docs),
+		}
+		var exact, forgiving Counts
+		var macroExact, macroForgiving float64
+		for i, s := range scores {
+			if failed[i] {
+				row.Errors++
+			}
+			exact.Add(s.Exact)
+			forgiving.Add(s.Forgiving)
+			macroExact += s.Exact.F1()
+			macroForgiving += s.Forgiving.F1()
+		}
+		row.Exact = newMetricSet(exact)
+		row.Forgiving = newMetricSet(forgiving)
+		if len(docs) > 0 {
+			row.MacroF1Exact = round6(macroExact / float64(len(docs)))
+			row.MacroF1Forgiving = round6(macroForgiving / float64(len(docs)))
+		}
+		report.Extractors = append(report.Extractors, row)
+	}
+
+	sort.SliceStable(report.Extractors, func(i, j int) bool {
+		a, b := report.Extractors[i], report.Extractors[j]
+		if a.Forgiving.F1 != b.Forgiving.F1 {
+			return a.Forgiving.F1 > b.Forgiving.F1
+		}
+		if a.Exact.F1 != b.Exact.F1 {
+			return a.Exact.F1 > b.Exact.F1
+		}
+		return a.Name < b.Name
+	})
+	return report
+}
+
+// forEachIndex runs fn(0..n-1) across workers goroutines and waits.
+func forEachIndex(n, workers int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// FormatLeaderboard renders the report as the deterministic table evalrun
+// prints.
+func FormatLeaderboard(r *QualityReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "record-boundary extraction leaderboard — %d documents, slack ±%d bytes\n",
+		r.Documents, r.SlackBytes)
+	fmt.Fprintf(&b, "%4s %-12s %5s %8s %8s %8s %8s %8s %8s %9s %9s\n",
+		"rank", "extractor", "errs",
+		"exP", "exR", "exF1",
+		"fgP", "fgR", "fgF1",
+		"macroEx", "macroFg")
+	for i, e := range r.Extractors {
+		fmt.Fprintf(&b, "%4d %-12s %5d %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %8.1f%% %8.1f%%\n",
+			i+1, e.Name, e.Errors,
+			e.Exact.Precision*100, e.Exact.Recall*100, e.Exact.F1*100,
+			e.Forgiving.Precision*100, e.Forgiving.Recall*100, e.Forgiving.F1*100,
+			e.MacroF1Exact*100, e.MacroF1Forgiving*100)
+	}
+	return b.String()
+}

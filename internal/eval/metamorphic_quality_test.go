@@ -1,0 +1,77 @@
+package eval
+
+// Metamorphic suite for the leaderboard itself: every registered extractor's
+// corpus-level quality must be invariant under corpus.Mangle. The manglings
+// shift byte offsets, so this only holds because ground truth is re-derived
+// by the oracle (TruthSegmentations) from whatever HTML the document
+// carries — which is exactly the property the suite is meant to pin down.
+// An extractor whose exact score moves under mangling is either sensitive
+// to markup noise the tag-tree normalization should absorb, or scored
+// against stale offsets.
+//
+// The exact variant must match strictly. The forgiving variant measures
+// near-misses in bytes, and manglings insert bytes (comments, whitespace)
+// between a wrong separator and the true boundary — so for extractors that
+// pick the wrong tag, slack matches can legitimately cross the ±16-byte
+// threshold. That drift is bounded, not eliminated: a few points at most,
+// never enough to reorder the leaderboard tiers.
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// mangledCorpus deep-copies docs with Mangle applied to each document's
+// HTML. Generator-recorded Boundaries are dropped: they index the clean
+// bytes, and the leaderboard must not depend on them.
+func mangledCorpus(docs []*corpus.Document, seed int64) []*corpus.Document {
+	out := make([]*corpus.Document, len(docs))
+	for i, doc := range docs {
+		md := *doc
+		md.HTML = corpus.Mangle(doc.HTML, seed+int64(i))
+		md.Boundaries = nil
+		out[i] = &md
+	}
+	return out
+}
+
+func TestLeaderboardInvariantUnderMangling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus metamorphic quality sweep is slow")
+	}
+	docs := fullCorpus()
+	clean := RunLeaderboard(docs, QualityOptions{})
+
+	for _, seed := range []int64{11, 12, 13} {
+		report := RunLeaderboard(mangledCorpus(docs, seed), QualityOptions{})
+		if len(report.Extractors) != len(clean.Extractors) {
+			t.Fatalf("seed %d: %d leaderboard rows, clean run had %d",
+				seed, len(report.Extractors), len(clean.Extractors))
+		}
+		const slackDrift = 0.03 // observed max ≈ 2.2 points (RP-only macro)
+		for _, cleanRow := range clean.Extractors {
+			row, ok := report.Row(cleanRow.Name)
+			if !ok {
+				t.Errorf("seed %d: extractor %s missing from mangled leaderboard", seed, cleanRow.Name)
+				continue
+			}
+			if row.Errors != cleanRow.Errors {
+				t.Errorf("seed %d: %s errors changed under mangling: %d → %d",
+					seed, cleanRow.Name, cleanRow.Errors, row.Errors)
+			}
+			if row.Exact != cleanRow.Exact || row.MacroF1Exact != cleanRow.MacroF1Exact {
+				t.Errorf("seed %d: %s exact quality changed under mangling:\n  clean   %+v macro %v\n  mangled %+v macro %v",
+					seed, cleanRow.Name, cleanRow.Exact, cleanRow.MacroF1Exact, row.Exact, row.MacroF1Exact)
+			}
+			if d := row.Forgiving.F1 - cleanRow.Forgiving.F1; d > slackDrift || d < -slackDrift {
+				t.Errorf("seed %d: %s forgiving F1 drifted %+.4f under mangling (bound ±%.2f)",
+					seed, cleanRow.Name, d, slackDrift)
+			}
+			if d := row.MacroF1Forgiving - cleanRow.MacroF1Forgiving; d > slackDrift || d < -slackDrift {
+				t.Errorf("seed %d: %s forgiving macro F1 drifted %+.4f under mangling (bound ±%.2f)",
+					seed, cleanRow.Name, d, slackDrift)
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package eval
+
+// The quality-regression gate: the leaderboard counterpart of cmd/benchjson's
+// -compare mode. A fresh QualityReport is diffed against a committed
+// QUALITY_<n>.json baseline and the gate fails when any tracked extractor's
+// F1 — exact or forgiving, micro-aggregated — dropped by more than the
+// tolerance in absolute points. Improvements, extractors present on only
+// one side, and corpus-size changes are reported informationally, never as
+// failures: the gate catches regressions, not leaderboard growth.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DefaultQualityTolerance is the allowed absolute F1 drop (0.02 = two
+// points) before the gate fails. Quality on a deterministic corpus has no
+// measurement noise, so the tolerance only absorbs intentional minor
+// trade-offs; anything larger must be an explicit baseline update.
+const DefaultQualityTolerance = 0.02
+
+// CompareQuality diffs current against baseline, writing one line per
+// extractor to w, and returns an error naming every extractor whose exact
+// or forgiving F1 dropped by more than tolerance.
+func CompareQuality(baseline, current *QualityReport, tolerance float64, w io.Writer) error {
+	if tolerance <= 0 {
+		return fmt.Errorf("tolerance must be > 0, got %v", tolerance)
+	}
+	if baseline.Documents != current.Documents {
+		fmt.Fprintf(w, "note: corpus size changed: %d -> %d documents\n",
+			baseline.Documents, current.Documents)
+	}
+	if baseline.SlackBytes != current.SlackBytes {
+		fmt.Fprintf(w, "note: slack changed: %d -> %d bytes\n",
+			baseline.SlackBytes, current.SlackBytes)
+	}
+
+	var regressions []string
+	matched := map[string]bool{}
+	for _, cur := range current.Extractors {
+		base, ok := baseline.Row(cur.Name)
+		if !ok {
+			fmt.Fprintf(w, "new       %-14s forgiving F1 %6.2f%% (no baseline)\n",
+				cur.Name, cur.Forgiving.F1*100)
+			continue
+		}
+		matched[cur.Name] = true
+		deltaExact := cur.Exact.F1 - base.Exact.F1
+		deltaForgiving := cur.Forgiving.F1 - base.Forgiving.F1
+		status := "ok"
+		switch {
+		case deltaExact < -tolerance || deltaForgiving < -tolerance:
+			status = "BELOW"
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: exact F1 %.2f%% -> %.2f%% (%+.2f), forgiving F1 %.2f%% -> %.2f%% (%+.2f)",
+				cur.Name,
+				base.Exact.F1*100, cur.Exact.F1*100, deltaExact*100,
+				base.Forgiving.F1*100, cur.Forgiving.F1*100, deltaForgiving*100))
+		case deltaExact > tolerance || deltaForgiving > tolerance:
+			status = "better"
+		}
+		fmt.Fprintf(w, "%-9s %-14s exact F1 %6.2f%% -> %6.2f%% (%+5.2f)  forgiving F1 %6.2f%% -> %6.2f%% (%+5.2f)\n",
+			status, cur.Name,
+			base.Exact.F1*100, cur.Exact.F1*100, deltaExact*100,
+			base.Forgiving.F1*100, cur.Forgiving.F1*100, deltaForgiving*100)
+	}
+	for _, base := range baseline.Extractors {
+		if !matched[base.Name] {
+			fmt.Fprintf(w, "gone      %-14s forgiving F1 was %6.2f%% in the baseline\n",
+				base.Name, base.Forgiving.F1*100)
+		}
+	}
+
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d extractor(s) regressed beyond the %.1f-point F1 tolerance:\n  %s",
+			len(regressions), tolerance*100, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(w, "no tracked extractor regressed beyond %.1f F1 points of the baseline (%d matched)\n",
+		tolerance*100, len(matched))
+	return nil
+}

@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// gateReport builds a small QualityReport for gate tests; f1 maps extractor
+// name to both micro F1s (exact == forgiving, the common perfect case).
+func gateReport(f1 map[string]float64) *QualityReport {
+	r := &QualityReport{Documents: 220, SlackBytes: DefaultBoundarySlack}
+	for name, v := range f1 {
+		r.Extractors = append(r.Extractors, ExtractorQuality{
+			Name:      name,
+			Exact:     MetricSet{F1: v},
+			Forgiving: MetricSet{F1: v},
+		})
+	}
+	return r
+}
+
+func TestCompareQualityPassesOnIdenticalReports(t *testing.T) {
+	base := gateReport(map[string]float64{"ORSIH": 1.0, "OM-only": 0.8})
+	var out strings.Builder
+	if err := CompareQuality(base, gateReport(map[string]float64{"ORSIH": 1.0, "OM-only": 0.8}), DefaultQualityTolerance, &out); err != nil {
+		t.Fatalf("identical reports must pass the gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "no tracked extractor regressed") {
+		t.Errorf("missing pass summary:\n%s", out.String())
+	}
+}
+
+// TestCompareQualityFailsOnRegression is the acceptance check: an injected
+// drop of more than two F1 points on any tracked extractor fails the gate
+// and names the extractor.
+func TestCompareQualityFailsOnRegression(t *testing.T) {
+	base := gateReport(map[string]float64{"ORSIH": 1.0, "OM-only": 0.8})
+	cur := gateReport(map[string]float64{"ORSIH": 1.0, "OM-only": 0.775}) // -2.5 points
+	var out strings.Builder
+	err := CompareQuality(base, cur, DefaultQualityTolerance, &out)
+	if err == nil {
+		t.Fatal("a 2.5-point F1 drop must fail the gate")
+	}
+	if !strings.Contains(err.Error(), "OM-only") {
+		t.Errorf("gate error does not name the regressed extractor: %v", err)
+	}
+	if !strings.Contains(out.String(), "BELOW") {
+		t.Errorf("regressed row not flagged BELOW:\n%s", out.String())
+	}
+}
+
+func TestCompareQualityToleratesSmallDrop(t *testing.T) {
+	base := gateReport(map[string]float64{"ORSIH": 1.0})
+	cur := gateReport(map[string]float64{"ORSIH": 0.99}) // -1 point, within 2
+	if err := CompareQuality(base, cur, DefaultQualityTolerance, &strings.Builder{}); err != nil {
+		t.Fatalf("a 1-point drop is within tolerance: %v", err)
+	}
+}
+
+// TestCompareQualityForgivingRegressionAlone: the gate watches both
+// variants — a forgiving-only drop fails even when exact is stable.
+func TestCompareQualityForgivingRegressionAlone(t *testing.T) {
+	base := gateReport(map[string]float64{"RP-only": 0.6})
+	cur := gateReport(map[string]float64{"RP-only": 0.6})
+	cur.Extractors[0].Forgiving.F1 = 0.55
+	if err := CompareQuality(base, cur, DefaultQualityTolerance, &strings.Builder{}); err == nil {
+		t.Fatal("a forgiving-only regression must fail the gate")
+	}
+}
+
+// TestCompareQualityNewAndGoneAreInformational: extractors present on only
+// one side never fail the gate — it catches regressions, not registry
+// growth.
+func TestCompareQualityNewAndGoneAreInformational(t *testing.T) {
+	base := gateReport(map[string]float64{"ORSIH": 1.0, "retired": 0.5})
+	cur := gateReport(map[string]float64{"ORSIH": 1.0, "novel": 0.1})
+	var out strings.Builder
+	if err := CompareQuality(base, cur, DefaultQualityTolerance, &out); err != nil {
+		t.Fatalf("new/gone extractors must be informational: %v", err)
+	}
+	for _, want := range []string{"new", "novel", "gone", "retired"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("diff output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCompareQualityImprovementIsBetter(t *testing.T) {
+	base := gateReport(map[string]float64{"SD-only": 0.6})
+	cur := gateReport(map[string]float64{"SD-only": 0.7})
+	var out strings.Builder
+	if err := CompareQuality(base, cur, DefaultQualityTolerance, &out); err != nil {
+		t.Fatalf("improvements must pass: %v", err)
+	}
+	if !strings.Contains(out.String(), "better") {
+		t.Errorf("improvement not flagged:\n%s", out.String())
+	}
+}
+
+func TestCompareQualityRejectsBadTolerance(t *testing.T) {
+	base := gateReport(nil)
+	for _, tol := range []float64{0, -0.02} {
+		if err := CompareQuality(base, base, tol, &strings.Builder{}); err == nil {
+			t.Errorf("tolerance %v must be rejected", tol)
+		}
+	}
+}
+
+func TestCompareQualityNotesCorpusChanges(t *testing.T) {
+	base := gateReport(map[string]float64{"ORSIH": 1.0})
+	cur := gateReport(map[string]float64{"ORSIH": 1.0})
+	cur.Documents = 240
+	cur.SlackBytes = 32
+	var out strings.Builder
+	if err := CompareQuality(base, cur, DefaultQualityTolerance, &out); err != nil {
+		t.Fatalf("corpus-shape changes are notes, not failures: %v", err)
+	}
+	if !strings.Contains(out.String(), "corpus size changed") || !strings.Contains(out.String(), "slack changed") {
+		t.Errorf("missing corpus-change notes:\n%s", out.String())
+	}
+}

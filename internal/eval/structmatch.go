@@ -1,0 +1,154 @@
+package eval
+
+// Structural matching for record boundaries, following NEXT-EVAL's framing:
+// an extractor's output for one document is a list of byte spans (one per
+// predicted record), scored against ground-truth spans with record-level
+// precision/recall/F1. Two variants are computed side by side:
+//
+//   - exact      — a predicted record counts only when both its boundaries
+//     equal a truth record's exactly;
+//   - forgiving  — both boundaries may differ by up to a slack of N bytes,
+//     absorbing near-miss segmentations (an extractor answering <td> where
+//     <tr> also correctly wraps each record lands a few bytes inside the
+//     truth span).
+//
+// Matching is one-to-one and order-preserving: both lists are ascending
+// partitions of the same record region, so a two-pointer sweep pairs them
+// deterministically without an assignment solver.
+
+import (
+	"math"
+
+	"repro/internal/tagtree"
+)
+
+// DefaultBoundarySlack is the forgiving variant's boundary tolerance in
+// bytes. 16 covers a nested wrapper tag (`<tr><td>` is 8 bytes) plus
+// whitespace without reaching across a whole record (corpus records are
+// hundreds of bytes).
+const DefaultBoundarySlack = 16
+
+// Counts accumulates record-level match bookkeeping: how many predicted
+// records matched a truth record, and the sizes of both sides.
+type Counts struct {
+	Matched   int `json:"matched"`
+	Predicted int `json:"predicted"`
+	Truth     int `json:"truth"`
+}
+
+// Add accumulates another measurement (micro-aggregation across documents).
+func (c *Counts) Add(o Counts) {
+	c.Matched += o.Matched
+	c.Predicted += o.Predicted
+	c.Truth += o.Truth
+}
+
+// Precision is Matched/Predicted. An extractor that predicted nothing has
+// precision 1 against an empty truth and 0 otherwise.
+func (c Counts) Precision() float64 {
+	if c.Predicted == 0 {
+		if c.Truth == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(c.Matched) / float64(c.Predicted)
+}
+
+// Recall is Matched/Truth, with the symmetric empty-side convention.
+func (c Counts) Recall() float64 {
+	if c.Truth == 0 {
+		if c.Predicted == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(c.Matched) / float64(c.Truth)
+}
+
+// F1 is the harmonic mean of precision and recall (0 when both are 0).
+func (c Counts) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MatchCount pairs predicted spans with truth spans one-to-one, in order,
+// and returns how many pairs agree within slack bytes on both boundaries.
+// slack 0 is the exact variant. Both inputs must be in ascending span order
+// (extractor output and ground truth both are, by construction).
+func MatchCount(pred, truth []tagtree.Span, slack int) int {
+	i, j, matched := 0, 0, 0
+	for i < len(pred) && j < len(truth) {
+		p, t := pred[i], truth[j]
+		if absInt(p.Start-t.Start) <= slack && absInt(p.End-t.End) <= slack {
+			matched++
+			i++
+			j++
+			continue
+		}
+		// No match: drop whichever span ends first — it cannot match any
+		// later span on the other side without crossing one that starts
+		// earlier.
+		if p.End < t.End || (p.End == t.End && p.Start <= t.Start) {
+			i++
+		} else {
+			j++
+		}
+	}
+	return matched
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// BoundaryScore is one document's structural-match outcome under both
+// variants.
+type BoundaryScore struct {
+	Exact     Counts
+	Forgiving Counts
+}
+
+// ScoreBoundaries scores a prediction against every acceptable truth
+// segmentation (a document with several correct separator tags — a wrapped
+// <tr> whose lone <td> splits the records equally well — has one
+// segmentation per truth tag) and keeps the most favorable: highest
+// forgiving F1, then highest exact F1, then the earliest segmentation.
+// With no truth segmentations the prediction is scored against emptiness.
+func ScoreBoundaries(pred []tagtree.Span, truths [][]tagtree.Span, slack int) BoundaryScore {
+	if len(truths) == 0 {
+		truths = [][]tagtree.Span{nil}
+	}
+	var best BoundaryScore
+	bestF := -1.0
+	bestE := -1.0
+	for _, truth := range truths {
+		s := BoundaryScore{
+			Exact: Counts{
+				Matched:   MatchCount(pred, truth, 0),
+				Predicted: len(pred),
+				Truth:     len(truth),
+			},
+			Forgiving: Counts{
+				Matched:   MatchCount(pred, truth, slack),
+				Predicted: len(pred),
+				Truth:     len(truth),
+			},
+		}
+		f, e := s.Forgiving.F1(), s.Exact.F1()
+		if f > bestF || (f == bestF && e > bestE) {
+			best, bestF, bestE = s, f, e
+		}
+	}
+	return best
+}
+
+// round6 fixes a metric to six decimals so reports are stable, readable,
+// and byte-identical across runs and platforms.
+func round6(v float64) float64 { return math.Round(v*1e6) / 1e6 }

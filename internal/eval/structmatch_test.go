@@ -1,0 +1,239 @@
+package eval
+
+// Property-based tests for the structural-match metric. Rather than pinning
+// hand-picked examples, these sweep randomly generated partitions (seeded,
+// so failures reproduce) and assert the properties any record-level
+// boundary metric must have: scores bounded in [0,1], F1 = 1 exactly when
+// the partitions agree, corpus aggregates blind to document order, and
+// scores that only degrade as predictions are perturbed further from the
+// truth.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tagtree"
+)
+
+// randomPartition generates an ascending, non-overlapping span list —
+// the shape every extractor and every truth segmentation has.
+func randomPartition(r *rand.Rand, maxSpans int) []tagtree.Span {
+	n := r.Intn(maxSpans + 1)
+	spans := make([]tagtree.Span, 0, n)
+	pos := r.Intn(64)
+	for i := 0; i < n; i++ {
+		start := pos + r.Intn(32)
+		end := start + 1 + r.Intn(400)
+		spans = append(spans, tagtree.Span{Start: start, End: end})
+		pos = end
+	}
+	return spans
+}
+
+func TestScoreBoundariesBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 2000; iter++ {
+		pred := randomPartition(r, 8)
+		truths := make([][]tagtree.Span, r.Intn(3))
+		for i := range truths {
+			truths[i] = randomPartition(r, 8)
+		}
+		slack := r.Intn(64)
+		s := ScoreBoundaries(pred, truths, slack)
+		for _, c := range []Counts{s.Exact, s.Forgiving} {
+			if c.Matched < 0 || c.Matched > c.Predicted || c.Matched > c.Truth {
+				t.Fatalf("iter %d: impossible counts %+v", iter, c)
+			}
+			for name, v := range map[string]float64{
+				"precision": c.Precision(), "recall": c.Recall(), "f1": c.F1(),
+			} {
+				if v < 0 || v > 1 {
+					t.Fatalf("iter %d: %s = %v out of [0,1] for %+v", iter, name, v, c)
+				}
+			}
+		}
+		// Slack can only help: forgiving matches ⊇ exact matches.
+		if s.Forgiving.Matched < s.Exact.Matched {
+			t.Fatalf("iter %d: forgiving matched %d < exact matched %d",
+				iter, s.Forgiving.Matched, s.Exact.Matched)
+		}
+	}
+}
+
+// TestExactF1IffEqual: with slack 0, F1 = 1 exactly when the prediction is
+// one of the truth segmentations, span for span.
+func TestExactF1IffEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	equalSpans := func(a, b []tagtree.Span) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for iter := 0; iter < 2000; iter++ {
+		truth := randomPartition(r, 8)
+		var pred []tagtree.Span
+		if r.Intn(2) == 0 {
+			pred = append(pred, truth...) // identical prediction
+		} else {
+			pred = randomPartition(r, 8)
+		}
+		s := ScoreBoundaries(pred, [][]tagtree.Span{truth}, 0)
+		if got, want := s.Exact.F1() == 1, equalSpans(pred, truth); got != want {
+			t.Fatalf("iter %d: exact F1==1 is %v, partitions equal is %v\npred  %+v\ntruth %+v",
+				iter, got, want, pred, truth)
+		}
+	}
+}
+
+// TestAggregateOrderInvariance: micro and macro corpus aggregates must not
+// depend on document order. This is the property that lets RunLeaderboard
+// evaluate documents concurrently and still emit byte-identical reports.
+func TestAggregateOrderInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	const docs = 50
+	scores := make([]BoundaryScore, docs)
+	for i := range scores {
+		truth := randomPartition(r, 8)
+		scores[i] = ScoreBoundaries(randomPartition(r, 8), [][]tagtree.Span{truth}, 16)
+	}
+	aggregate := func(order []int) (Counts, float64) {
+		var micro Counts
+		var macro float64
+		for _, i := range order {
+			micro.Add(scores[i].Forgiving)
+			macro += scores[i].Forgiving.F1()
+		}
+		return micro, round6(macro / docs)
+	}
+	base := make([]int, docs)
+	for i := range base {
+		base[i] = i
+	}
+	wantMicro, wantMacro := aggregate(base)
+	for trial := 0; trial < 20; trial++ {
+		perm := r.Perm(docs)
+		micro, macro := aggregate(perm)
+		if micro != wantMicro || macro != wantMacro {
+			t.Fatalf("trial %d: aggregate changed under permutation: micro %+v vs %+v, macro %v vs %v",
+				trial, micro, wantMicro, macro, wantMacro)
+		}
+	}
+}
+
+// TestMonotonicDegradation: shifting every predicted boundary by a growing
+// delta can never raise the forgiving match count — scores degrade
+// monotonically as predictions move away from the truth. Spans here are
+// wide relative to the delta sweep; with spans shorter than the shift, a
+// prediction can legitimately realign with the NEXT truth record (the
+// matcher is order-preserving, not index-preserving), which is correct
+// metric behavior but not monotone.
+func TestMonotonicDegradation(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for iter := 0; iter < 500; iter++ {
+		truth := randomPartition(r, 8)
+		for i := range truth {
+			// Widen every span past the sweep's reach, preserving order:
+			// records are hundreds of bytes in practice.
+			truth[i].Start += 200 * i
+			truth[i].End += 200 * (i + 1)
+		}
+		if len(truth) == 0 {
+			continue
+		}
+		slack := 8 + r.Intn(24)
+		prev := -1
+		for delta := 0; delta <= 2*slack+8; delta += 2 {
+			pred := make([]tagtree.Span, len(truth))
+			for i, sp := range truth {
+				pred[i] = tagtree.Span{Start: sp.Start + delta, End: sp.End + delta}
+			}
+			m := MatchCount(pred, truth, slack)
+			if prev >= 0 && m > prev {
+				t.Fatalf("iter %d: matches rose from %d to %d as delta grew to %d",
+					iter, prev, m, delta)
+			}
+			prev = m
+			if delta == 0 && m != len(truth) {
+				t.Fatalf("iter %d: unshifted prediction matched %d of %d", iter, m, len(truth))
+			}
+			if delta > slack && m != 0 {
+				t.Fatalf("iter %d: delta %d beyond slack %d still matched %d", iter, delta, slack, m)
+			}
+		}
+	}
+}
+
+// TestDegradationInPerturbedCount: corrupting k of the truth's boundaries
+// (beyond slack) yields an F1 that never increases with k, and each
+// corruption leaves the remaining spans matched.
+func TestDegradationInPerturbedCount(t *testing.T) {
+	r := rand.New(rand.NewSource(45))
+	const slack = 16
+	for iter := 0; iter < 500; iter++ {
+		truth := randomPartition(r, 8)
+		n := len(truth)
+		if n == 0 {
+			continue
+		}
+		prevF1 := 2.0
+		for k := 0; k <= n; k++ {
+			pred := make([]tagtree.Span, n)
+			copy(pred, truth)
+			for i := 0; i < k; i++ {
+				// Push the span's start past the slack window while keeping
+				// the list ascending: starts move toward the span's own end.
+				sp := pred[i]
+				shift := slack + 1
+				if sp.Start+shift >= sp.End {
+					shift = sp.End - sp.Start - 1
+				}
+				if shift <= slack { // span too short to corrupt cleanly; skip doc
+					pred = nil
+					break
+				}
+				pred[i] = tagtree.Span{Start: sp.Start + shift, End: sp.End}
+			}
+			if pred == nil {
+				break
+			}
+			s := ScoreBoundaries(pred, [][]tagtree.Span{truth}, slack)
+			if got, want := s.Forgiving.Matched, n-k; got != want {
+				t.Fatalf("iter %d k=%d: matched %d, want %d", iter, k, got, want)
+			}
+			f1 := s.Forgiving.F1()
+			if f1 > prevF1 {
+				t.Fatalf("iter %d: F1 rose from %v to %v at k=%d", iter, prevF1, f1, k)
+			}
+			prevF1 = f1
+		}
+	}
+}
+
+// TestEmptySideConventions pins the documented conventions for empty
+// predictions and empty truths.
+func TestEmptySideConventions(t *testing.T) {
+	span := []tagtree.Span{{Start: 0, End: 10}}
+	cases := []struct {
+		name        string
+		pred, truth []tagtree.Span
+		p, rec, f1  float64
+	}{
+		{"both empty", nil, nil, 1, 1, 1},
+		{"empty pred", nil, span, 0, 0, 0},
+		{"empty truth", span, nil, 0, 0, 0},
+		{"perfect", span, span, 1, 1, 1},
+	}
+	for _, tc := range cases {
+		s := ScoreBoundaries(tc.pred, [][]tagtree.Span{tc.truth}, 0)
+		if s.Exact.Precision() != tc.p || s.Exact.Recall() != tc.rec || s.Exact.F1() != tc.f1 {
+			t.Errorf("%s: got P=%v R=%v F1=%v, want P=%v R=%v F1=%v", tc.name,
+				s.Exact.Precision(), s.Exact.Recall(), s.Exact.F1(), tc.p, tc.rec, tc.f1)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package eval
+
+// Grounding of the evaluation harness's truth oracle: TruthSegmentations
+// derives record boundaries by splitting at a document's known-correct
+// separator, and the corpus generator independently records each record's
+// byte span while writing the page. The two must agree exactly on every
+// clean corpus document — otherwise either the oracle or the generator
+// bookkeeping is wrong, and every leaderboard number is suspect.
+
+import (
+	"testing"
+)
+
+func TestTruthSegmentationsMatchGeneratorBoundaries(t *testing.T) {
+	for _, doc := range fullCorpus() {
+		truths := TruthSegmentations(doc)
+		if len(truths) == 0 {
+			t.Errorf("%s/%d: no truth segmentations", doc.Site.Name, doc.Index)
+			continue
+		}
+		// The first segmentation is the profile's primary separator — the
+		// same segmentation the generator recorded.
+		got := truths[0]
+		if len(got) != len(doc.Boundaries) {
+			t.Errorf("%s/%d (%s): oracle found %d records, generator recorded %d",
+				doc.Site.Name, doc.Index, doc.Site.Domain, len(got), len(doc.Boundaries))
+			continue
+		}
+		for i := range got {
+			if got[i] != doc.Boundaries[i] {
+				t.Errorf("%s/%d (%s): record %d: oracle %+v, generator %+v",
+					doc.Site.Name, doc.Index, doc.Site.Domain, i, got[i], doc.Boundaries[i])
+				break
+			}
+		}
+		// Every segmentation must cover the same record count: alternate
+		// truth tags (a wrapped row's inner cell) split the records too.
+		for s, spans := range truths {
+			if len(spans) != doc.Records {
+				t.Errorf("%s/%d: segmentation %d has %d spans, want %d records",
+					doc.Site.Name, doc.Index, s, len(spans), doc.Records)
+			}
+		}
+	}
+}
+
+// TestGeneratorBoundariesWellFormed pins the structural invariants of the
+// planted ground truth: one ascending, non-overlapping span per record,
+// inside the document, each starting at the record's separator tag.
+func TestGeneratorBoundariesWellFormed(t *testing.T) {
+	for _, doc := range fullCorpus() {
+		if len(doc.Boundaries) != doc.Records {
+			t.Fatalf("%s/%d: %d boundary spans for %d records",
+				doc.Site.Name, doc.Index, len(doc.Boundaries), doc.Records)
+		}
+		prevEnd := 0
+		for i, sp := range doc.Boundaries {
+			if sp.Start < prevEnd || sp.End <= sp.Start || sp.End > len(doc.HTML) {
+				t.Fatalf("%s/%d: span %d %+v malformed (prev end %d, doc %d bytes)",
+					doc.Site.Name, doc.Index, i, sp, prevEnd, len(doc.HTML))
+			}
+			want := "<" + doc.Site.Profile.Separator
+			if got := doc.HTML[sp.Start : sp.Start+len(want)]; got != want {
+				t.Fatalf("%s/%d: span %d starts with %q, want %q",
+					doc.Site.Name, doc.Index, i, got, want)
+			}
+			prevEnd = sp.End
+		}
+	}
+}

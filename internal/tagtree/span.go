@@ -1,0 +1,18 @@
+package tagtree
+
+// Span is a half-open byte range [Start, End) in a document. Record
+// boundaries — both the ground truth a corpus generator plants and the
+// predictions an extractor emits — are exchanged in this form, so methods
+// can be compared span-by-span by the evaluation harness.
+type Span struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Len returns the span's byte length (never negative).
+func (s Span) Len() int {
+	if s.End < s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
