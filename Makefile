@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test testshort race shuffle cover cover-pipeline cover-eval bench bench-smoke bench-gate evalrun quality-gate cluster obs-smoke wrapper-smoke membership-smoke fuzz chaos experiments corpus examples clean
+.PHONY: all build test testshort race shuffle cover cover-pipeline cover-eval bench bench-smoke bench-gate throughput-gate evalrun quality-gate cluster obs-smoke wrapper-smoke membership-smoke fuzz chaos experiments corpus examples clean
 
 all: build test
 
@@ -83,7 +83,22 @@ BENCH_TOLERANCE ?= 0.30
 bench-gate:
 	@test -n "$(BENCH_BASELINE)" || { echo "no BENCH_<n>.json baseline committed"; exit 1; }
 	@echo "comparing against $(BENCH_BASELINE) (tolerance $(BENCH_TOLERANCE))"
+	mkdir -p $(BENCH_DIR)
 	$(GO) test -bench=. -benchmem -count=3 -run='^$$' . ./internal/core/ ./internal/heuristic/ | \
+		tee $(BENCH_DIR)/bench_gate_output.txt | \
+		$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) -tolerance $(BENCH_TOLERANCE)
+
+# Throughput gate for the byte-level hot path: the whole-corpus MB/s
+# macro-benchmark compared against the committed baseline. benchjson diffs
+# SetBytes benchmarks on MB/s (payload-invariant), so corpus growth does not
+# read as a regression; a real throughput loss beyond the tolerance fails.
+# CI runs this as its own job — see .github/workflows/ci.yml.
+throughput-gate:
+	@test -n "$(BENCH_BASELINE)" || { echo "no BENCH_<n>.json baseline committed"; exit 1; }
+	@echo "comparing against $(BENCH_BASELINE) (tolerance $(BENCH_TOLERANCE))"
+	mkdir -p $(BENCH_DIR)
+	$(GO) test -bench='^BenchmarkCorpusThroughput$$' -benchmem -count=3 -run='^$$' . | \
+		tee $(BENCH_DIR)/throughput_gate_output.txt | \
 		$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) -tolerance $(BENCH_TOLERANCE)
 
 # Full leaderboard run over the 220-document corpus, archived as
@@ -157,6 +172,7 @@ fuzz:
 	$(GO) test -fuzz='^FuzzDecodeEntities$$' -fuzztime=30s ./internal/htmlparse/
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s ./internal/tagtree/
 	$(GO) test -fuzz='^FuzzParseXML$$' -fuzztime=30s ./internal/tagtree/
+	$(GO) test -fuzz='^FuzzByteVsStringParse$$' -fuzztime=30s ./internal/tagtree/
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s ./internal/ontology/
 	$(GO) test -fuzz='^FuzzDiscoverRequest$$' -fuzztime=30s ./internal/httpapi/
 

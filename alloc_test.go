@@ -1,0 +1,163 @@
+package repro
+
+// Allocation gates for the byte-level hot path (docs/PERFORMANCE.md). Each
+// test pins an AllocsPerRun ceiling on a fixed corpus document, so a change
+// that quietly reintroduces per-request allocation — a string conversion in
+// the tokenizer, a forgotten pooled buffer, an escaping scratch slice —
+// fails here with the measured count instead of surfacing months later as a
+// throughput regression. Ceilings are measured numbers plus ~20% headroom,
+// not aspirations: lower them when the measured count drops.
+//
+// The structural layers have hard zero gates (warm target 0): the arena
+// parse itself (tagtree.TestParseArenaWarmZeroAllocs) and the template
+// fingerprint scan (TestFingerprintDocAllocs below). Full discovery
+// legitimately allocates its per-request answer — rankings, score maps, the
+// Result — and the recognizer's regexp matches; those ceilings bound that
+// spend.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/tagtree"
+	"repro/internal/template"
+)
+
+// allocDoc returns the fixed document the ceilings are calibrated against.
+func allocDoc(t *testing.T) *corpus.Document {
+	t.Helper()
+	docs := corpus.TestDocuments()
+	if len(docs) == 0 {
+		t.Fatal("empty test corpus")
+	}
+	return docs[0]
+}
+
+// skipUnderRace skips allocation/throughput gates when the race detector is
+// on: its instrumentation allocates shadow state of its own and slows the
+// hot path several-fold, so the measured numbers gate the detector, not the
+// code. The arena-safety tests below do NOT skip — -race is their point.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation/throughput gates are meaningless under -race instrumentation")
+	}
+}
+
+func TestDiscoverAllocs(t *testing.T) {
+	skipUnderRace(t)
+	d := allocDoc(t)
+	doc := []byte(d.HTML)
+	arena := tagtree.AcquireArena()
+	defer arena.Release()
+
+	t.Run("NoOntology", func(t *testing.T) {
+		// Parse + heuristics + answer assembly; no recognizer. Measured 93
+		// on the seed corpus document.
+		const ceiling = 120
+		opts := core.Options{Arena: arena}
+		got := testing.AllocsPerRun(50, func() {
+			if _, err := core.DiscoverBytes(doc, opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > ceiling {
+			t.Errorf("DiscoverBytes (no ontology) allocates %.0f/run, ceiling %d", got, ceiling)
+		}
+	})
+
+	t.Run("WithOntology", func(t *testing.T) {
+		// Adds the recognizer scan: each regexp match allocates its index
+		// pair, so this scales with the document's match count. Measured
+		// 1112 on the seed corpus document.
+		const ceiling = 1400
+		opts := core.Options{Ontology: BuiltinOntology(string(d.Site.Domain)), Arena: arena}
+		got := testing.AllocsPerRun(20, func() {
+			if _, err := core.DiscoverBytes(doc, opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > ceiling {
+			t.Errorf("DiscoverBytes (ontology) allocates %.0f/run, ceiling %d", got, ceiling)
+		}
+	})
+}
+
+func TestSplitAllocs(t *testing.T) {
+	skipUnderRace(t)
+	d := allocDoc(t)
+	arena := tagtree.AcquireArena()
+	defer arena.Release()
+	res, err := core.DiscoverBytes([]byte(d.HTML), core.Options{Arena: arena})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One Record (with its cleaned text) per boundary, plus the merge-walk's
+	// collapsed text chunks. Measured 92 on the seed corpus document.
+	const ceiling = 120
+	got := testing.AllocsPerRun(50, func() {
+		core.Split(d.HTML, res)
+	})
+	if got > ceiling {
+		t.Errorf("Split allocates %.0f/run, ceiling %d", got, ceiling)
+	}
+}
+
+func TestFingerprintDocAllocs(t *testing.T) {
+	skipUnderRace(t)
+	d := allocDoc(t)
+	template.FingerprintDoc(d.HTML) // warm the scanner pool
+	// The tag-only fingerprint scan is fully pooled: zero allocations warm,
+	// exactly — this is what keeps the template fast path ~50× cheaper than
+	// full discovery.
+	if got := testing.AllocsPerRun(50, func() {
+		template.FingerprintDoc(d.HTML)
+	}); got != 0 {
+		t.Errorf("FingerprintDoc allocates %.0f/run warm, want 0", got)
+	}
+}
+
+// TestArenaReleaseDoesNotCorruptWireResults is the consumer-side half of the
+// arena safety contract: everything a caller keeps from a discovery must be
+// deep-copied out before the arena is released (see docs/PERFORMANCE.md).
+// The wire snapshot taken while the arena was live must be byte-identical to
+// the string path's answer even after the arena has been released,
+// re-acquired, and dirtied by parsing a different document.
+func TestArenaReleaseDoesNotCorruptWireResults(t *testing.T) {
+	docs := corpus.TestDocuments()
+	if len(docs) < 2 {
+		t.Fatal("need two corpus documents")
+	}
+	d, other := docs[0], docs[1]
+	opts := core.Options{Ontology: BuiltinOntology(string(d.Site.Domain))}
+
+	arena := tagtree.AcquireArena()
+	aopts := opts
+	aopts.Arena = arena
+	res, err := core.DiscoverBytes([]byte(d.HTML), aopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := fromCore(res) // deep copy, taken while the arena is live
+	arena.Release()
+
+	// Dirty the pool: the released arena (or one recycled from it) parses an
+	// unrelated document, overwriting any scratch the snapshot could have
+	// wrongly aliased.
+	arena2 := tagtree.AcquireArena()
+	defer arena2.Release()
+	dirty := core.Options{Ontology: BuiltinOntology(string(other.Site.Domain)), Arena: arena2}
+	if _, err := core.DiscoverBytes([]byte(other.HTML), dirty); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := core.Discover(d.HTML, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fromCore(ref); !reflect.DeepEqual(snapshot, want) {
+		t.Errorf("wire snapshot corrupted after arena release:\n got %+v\nwant %+v", snapshot, want)
+	}
+}

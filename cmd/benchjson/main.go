@@ -15,7 +15,9 @@
 // -compare switches to regression-gate mode: instead of emitting JSON, the
 // parsed run is diffed against a committed BENCH_<n>.json baseline and the
 // command fails when any benchmark's ns/op slowed by more than -tolerance
-// (a fraction; 0.30 allows +30%). Speed-ups, benchmarks present on only
+// (a fraction; 0.30 allows +30%). Benchmarks reporting MB/s on both sides
+// (b.SetBytes throughput benchmarks) are diffed and gated on MB/s instead,
+// which stays comparable when the per-op payload (e.g. the corpus) grows. Speed-ups, benchmarks present on only
 // one side, and benchmarks faster than the -min-ns noise floor are
 // reported informationally, never as failures — the gate catches real
 // regressions, not improvements, suite growth, or scheduling jitter on
@@ -208,6 +210,11 @@ func baseName(name string) string {
 // drift far more than tolerance from scheduling alone) are informational
 // only.
 //
+// Throughput benchmarks — both sides carrying an MB/s column (b.SetBytes) —
+// are diffed and gated on MB/s instead of ns/op: their per-op payload is a
+// whole corpus, so suite growth would otherwise read as a slowdown, while
+// MB/s stays comparable across payload sizes.
+//
 // Repeated measurements (`go test -count=N`) of the same benchmark are
 // folded to the fastest observed ns/op on both sides before diffing — the
 // minimum is the standard noise-robust estimator for benchmark time, since
@@ -249,6 +256,32 @@ func compare(base, current *Report, tolerance, minNs float64, w io.Writer) error
 		matched[k] = true
 		if b.NsPerOp == 0 {
 			fmt.Fprintf(w, "skip      %-44s baseline has zero ns/op\n", c.Name)
+			continue
+		}
+		if b.MBPerS > 0 && c.MBPerS > 0 {
+			// Throughput benchmark: diff MB/s, not ns/op. ns/op on a
+			// SetBytes benchmark scales with the per-op payload (e.g. the
+			// whole corpus), so corpus growth would read as a regression;
+			// MB/s is payload-invariant. The slowdown direction flips:
+			// lower MB/s is worse.
+			delta := c.MBPerS/b.MBPerS - 1
+			status := "ok"
+			switch {
+			case b.NsPerOp < minNs:
+				status = "tiny"
+				if delta > tolerance {
+					status = "faster"
+				}
+			case delta < -tolerance:
+				status = "SLOWER"
+				regressions = append(regressions,
+					fmt.Sprintf("%s (%s): %.2f -> %.2f MB/s (%+.1f%%)",
+						baseName(c.Name), c.Package, b.MBPerS, c.MBPerS, delta*100))
+			case delta > tolerance:
+				status = "faster"
+			}
+			fmt.Fprintf(w, "%-9s %-44s %12.2f -> %12.2f MB/s   %+6.1f%%\n",
+				status, c.Name, b.MBPerS, c.MBPerS, delta*100)
 			continue
 		}
 		delta := c.NsPerOp/b.NsPerOp - 1

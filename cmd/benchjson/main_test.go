@@ -330,3 +330,48 @@ func TestCompareFoldsRepeatedMeasurements(t *testing.T) {
 		t.Fatalf("consistently slow repeats must still fail:\n%s", out.String())
 	}
 }
+
+// TestCompareThroughputGatesOnMBs: benchmarks with an MB/s column on both
+// sides diff on MB/s, not ns/op. A SetBytes benchmark's ns/op scales with
+// its per-op payload (the whole corpus), so adding documents would read as
+// a huge ns/op regression even at identical throughput — MB/s stays
+// comparable. Lower MB/s beyond tolerance fails; payload-driven ns/op
+// growth at steady MB/s passes.
+func TestCompareThroughputGatesOnMBs(t *testing.T) {
+	baseline := writeBaseline(t, Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkCorpusThroughput/ByteArena", Package: "repro", NsPerOp: 16000000, MBPerS: 70.0},
+	}})
+
+	// Corpus grew: ns/op doubled but MB/s held. Not a regression.
+	input := "pkg: repro\n" +
+		"BenchmarkCorpusThroughput/ByteArena-4 100 32000000 ns/op 69.00 MB/s\n"
+	var out strings.Builder
+	if err := run([]string{"-compare", baseline}, strings.NewReader(input), &out); err != nil {
+		t.Fatalf("steady MB/s failed the gate on payload growth: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "MB/s") {
+		t.Errorf("throughput diff should report MB/s:\n%s", out.String())
+	}
+
+	// Throughput halved: gated even though ns/op alone also moved.
+	input = "pkg: repro\n" +
+		"BenchmarkCorpusThroughput/ByteArena-4 100 33000000 ns/op 34.00 MB/s\n"
+	out.Reset()
+	err := run([]string{"-compare", baseline}, strings.NewReader(input), &out)
+	if err == nil {
+		t.Fatalf("halved MB/s passed the gate:\n%s", out.String())
+	}
+	for _, want := range []string{"BenchmarkCorpusThroughput/ByteArena", "MB/s"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+
+	// A current run without the MB/s column (benchmem-only rerun) falls back
+	// to the ns/op diff rather than silently passing.
+	input = "pkg: repro\n" +
+		"BenchmarkCorpusThroughput/ByteArena-4 100 32000000 ns/op\n"
+	if err := run([]string{"-compare", baseline}, strings.NewReader(input), &strings.Builder{}); err == nil {
+		t.Error("+100% ns/op with no MB/s column should gate on ns/op")
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/httpapi"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/tagtree"
 	"repro/internal/template"
 )
 
@@ -200,6 +201,29 @@ func TestConformanceAcrossSurfaces(t *testing.T) {
 		}
 	})
 
+	t.Run("ByteArena", func(t *testing.T) {
+		// The byte-level hot path: one arena reused across the whole corpus,
+		// serial heuristics, []byte input. Must be bit-identical to the
+		// string path's answers on every document.
+		arena := tagtree.AcquireArena()
+		defer arena.Release()
+		for i, d := range docs {
+			res, err := core.DiscoverBytesContext(context.Background(), []byte(d.HTML), core.Options{
+				Ontology: BuiltinOntology(string(d.Site.Domain)),
+				Arena:    arena,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", d.Site.Name, err)
+			}
+			// fromCore copies everything compared, so the next iteration's
+			// arena reset cannot corrupt this document's snapshot.
+			if got := fromCore(res); !reflect.DeepEqual(got, want[i]) {
+				t.Errorf("%s: DiscoverBytesContext (arena) disagrees with Discover:\n got %+v\nwant %+v",
+					d.Site.Name, got, want[i])
+			}
+		}
+	})
+
 	t.Run("HTTPMissAndHit", func(t *testing.T) {
 		for _, label := range []string{"miss", "hit"} {
 			for i, d := range docs {
@@ -330,6 +354,20 @@ func TestConformanceXML(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := fromCore(res)
+
+	arena := tagtree.AcquireArena()
+	bres, err := core.DiscoverXMLBytesContext(context.Background(), []byte(feed), core.Options{
+		SeparatorList: []string{"item"},
+		Arena:         arena,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fromCore(bres)
+	arena.Release()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DiscoverXMLBytesContext (arena) disagrees:\n got %+v\nwant %+v", got, want)
+	}
 
 	body := conformancePost(t, srv.URL+"/v1/discover", map[string]any{
 		"xml": feed, "separator_list": []string{"item"},

@@ -1,0 +1,14 @@
+package core
+
+import "unsafe"
+
+// bytesView returns a string view sharing doc's backing array — the one
+// unsafe conversion of the byte-level hot path. The contract is the usual
+// one for zero-copy views: the caller must not mutate doc while the view
+// (or anything derived from it: trees, results, records) is reachable.
+func bytesView(doc []byte) string {
+	if len(doc) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(doc), len(doc))
+}

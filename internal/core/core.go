@@ -79,6 +79,15 @@ type Options struct {
 	// Required whenever Templates is set and any of mode, ontology, or
 	// separator list can vary between callers sharing the store.
 	TemplateSalt string
+	// Arena, if non-nil, runs parsing and discovery on the byte-level hot
+	// path: tokens, tree nodes, and event buffers come from the arena
+	// (acquire with tagtree.AcquireArena, release when the result has been
+	// copied out), and the heuristics run serially on the caller's
+	// goroutine instead of fanning out — per-request goroutine spawning is
+	// itself a hot-path cost, and an arena caller is already managing
+	// per-request resources. Results are byte-identical to the default
+	// path; see docs/PERFORMANCE.md for the ownership rules.
+	Arena *tagtree.Arena
 }
 
 // observed reports whether any observability sink is attached.
@@ -188,7 +197,7 @@ func DiscoverContext(ctx context.Context, doc string, opts Options) (*Result, er
 	if err := opts.Faults.FireCtx(ctx, "core/parse"); err != nil {
 		return nil, opts.failDocument(err)
 	}
-	tree, err := tagtree.ParseContext(ctx, doc, opts.Limits)
+	tree, err := parseHTML(ctx, doc, opts)
 	if err != nil {
 		return nil, opts.failDocument(err)
 	}
@@ -197,6 +206,40 @@ func DiscoverContext(ctx context.Context, doc string, opts Options) (*Result, er
 			"mode", "html", "bytes", strconv.Itoa(len(doc)))
 	}
 	return DiscoverTreeContext(ctx, tree, opts)
+}
+
+// parseHTML routes to the arena (byte-level) parser when one is attached.
+func parseHTML(ctx context.Context, doc string, opts Options) (*tagtree.Tree, error) {
+	if opts.Arena != nil {
+		return tagtree.ParseArenaContext(ctx, doc, opts.Limits, opts.Arena, opts.Faults)
+	}
+	return tagtree.ParseContext(ctx, doc, opts.Limits)
+}
+
+// parseXML is parseHTML with XML tokenization semantics.
+func parseXML(ctx context.Context, doc string, opts Options) (*tagtree.Tree, error) {
+	if opts.Arena != nil {
+		return tagtree.ParseXMLArenaContext(ctx, doc, opts.Limits, opts.Arena, opts.Faults)
+	}
+	return tagtree.ParseXMLContext(ctx, doc, opts.Limits)
+}
+
+// DiscoverBytes runs discovery directly over document bytes without copying
+// them into a string: the bytes are viewed zero-copy, so the caller must not
+// mutate doc until the result (and anything aliasing it) is dead. Pair it
+// with Options.Arena for the fully allocation-free hot path.
+func DiscoverBytes(doc []byte, opts Options) (*Result, error) {
+	return DiscoverBytesContext(context.Background(), doc, opts)
+}
+
+// DiscoverBytesContext is DiscoverBytes with cancellation.
+func DiscoverBytesContext(ctx context.Context, doc []byte, opts Options) (*Result, error) {
+	return DiscoverContext(ctx, bytesView(doc), opts)
+}
+
+// DiscoverXMLBytesContext is the XML counterpart of DiscoverBytesContext.
+func DiscoverXMLBytesContext(ctx context.Context, doc []byte, opts Options) (*Result, error) {
+	return DiscoverXMLContext(ctx, bytesView(doc), opts)
 }
 
 // DiscoverXML runs the algorithm on an XML document (the paper's footnote 1
@@ -216,7 +259,7 @@ func DiscoverXMLContext(ctx context.Context, doc string, opts Options) (*Result,
 	if err := opts.Faults.FireCtx(ctx, "core/parse"); err != nil {
 		return nil, opts.failDocument(err)
 	}
-	tree, err := tagtree.ParseXMLContext(ctx, doc, opts.Limits)
+	tree, err := parseXML(ctx, doc, opts)
 	if err != nil {
 		return nil, opts.failDocument(err)
 	}
@@ -315,36 +358,48 @@ func DiscoverTreeContext(ctx context.Context, tree *tagtree.Tree, opts Options) 
 	// sinks race-free.
 	hs := opts.heuristics()
 	answers := make([]heuristicAnswer, len(hs))
-	var wg sync.WaitGroup
-	for i, h := range hs {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			start := time.Now()
-			defer func() {
-				if r := recover(); r != nil {
-					answers[i] = heuristicAnswer{
-						name: h.Name(), d: time.Since(start),
-						panicked: true, panicMsg: fmt.Sprint(r),
-					}
+	runOne := func(i int, h heuristic.Heuristic) {
+		start := time.Now()
+		defer func() {
+			if r := recover(); r != nil {
+				answers[i] = heuristicAnswer{
+					name: h.Name(), d: time.Since(start),
+					panicked: true, panicMsg: fmt.Sprint(r),
 				}
-			}()
-			// A canceled context turns the remaining heuristics into
-			// declines; the post-join check below fails the whole call.
-			if ctx.Err() != nil {
-				answers[i] = heuristicAnswer{name: h.Name()}
-				return
 			}
-			if err := opts.Faults.FireCtx(ctx, "core/heuristic/"+h.Name()); err != nil {
-				answers[i] = heuristicAnswer{name: h.Name(), d: time.Since(start),
-					reason: "fault injected"}
-				return
-			}
-			r, ok := h.Rank(hctx)
-			answers[i] = heuristicAnswer{name: h.Name(), d: time.Since(start), r: r, ok: ok}
 		}()
+		// A canceled context turns the remaining heuristics into
+		// declines; the post-join check below fails the whole call.
+		if ctx.Err() != nil {
+			answers[i] = heuristicAnswer{name: h.Name()}
+			return
+		}
+		if err := opts.Faults.FireCtx(ctx, "core/heuristic/"+h.Name()); err != nil {
+			answers[i] = heuristicAnswer{name: h.Name(), d: time.Since(start),
+				reason: "fault injected"}
+			return
+		}
+		r, ok := h.Rank(hctx)
+		answers[i] = heuristicAnswer{name: h.Name(), d: time.Since(start), r: r, ok: ok}
 	}
-	wg.Wait()
+	if opts.Arena != nil {
+		// Byte-level hot path: per-request goroutine spawning is a
+		// measurable cost at arena throughput, and the answers (panic
+		// isolation included) are identical either way, so run in place.
+		for i, h := range hs {
+			runOne(i, h)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, h := range hs {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				runOne(i, h)
+			}()
+		}
+		wg.Wait()
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, opts.failDocument(err)
 	}

@@ -85,7 +85,11 @@ type discoverExtractor struct {
 func (e *discoverExtractor) Name() string { return e.name }
 
 func (e *discoverExtractor) Extract(doc *corpus.Document, ont *ontology.Ontology) ([]tagtree.Span, error) {
-	res, err := core.Discover(doc.HTML, core.Options{Ontology: ont, Combination: e.combo})
+	// Per-call arena: the leaderboard runs one Extractor instance across
+	// worker goroutines, so the arena cannot live on the extractor itself.
+	arena := tagtree.AcquireArena()
+	defer arena.Release()
+	res, err := core.Discover(doc.HTML, core.Options{Ontology: ont, Combination: e.combo, Arena: arena})
 	if err != nil {
 		return nil, err
 	}
@@ -116,10 +120,13 @@ func newWrapperExtractor() Extractor {
 func (e *wrapperExtractor) Name() string { return "wrapper" }
 
 func (e *wrapperExtractor) Extract(doc *corpus.Document, ont *ontology.Ontology) ([]tagtree.Span, error) {
+	arena := tagtree.AcquireArena()
+	defer arena.Release()
 	opts := core.Options{
 		Ontology:     ont,
 		Templates:    e.store,
 		TemplateSalt: template.Salt("html", string(doc.Site.Domain), nil),
+		Arena:        arena,
 	}
 	if _, err := core.Discover(doc.HTML, opts); err != nil { // cold: learn
 		return nil, err

@@ -8,6 +8,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/dbgen"
 	"repro/internal/reldb"
+	"repro/internal/tagtree"
 )
 
 // Quality measures the back half of the Figure 1 pipeline against the
@@ -57,7 +58,9 @@ func (q *Quality) Add(o Quality) {
 func MeasureExtraction(doc *corpus.Document) (Quality, error) {
 	var q Quality
 	ont := doc.Site.Domain.Ontology()
-	res, err := core.Discover(doc.HTML, core.Options{Ontology: ont})
+	arena := tagtree.AcquireArena()
+	defer arena.Release()
+	res, err := core.Discover(doc.HTML, core.Options{Ontology: ont, Arena: arena})
 	if err != nil {
 		return q, fmt.Errorf("quality: %s #%d: %w", doc.Site.Name, doc.Index, err)
 	}

@@ -17,10 +17,15 @@ type Pair struct {
 // each ordered candidate pair occurs at a potential boundary. For the
 // paper's Figure 2, RPPairs yields {hr b}:2 and {br hr}:2.
 func RPPairs(ctx *Context) map[Pair]int {
-	raw := adjacentPairs(ctx)
-	out := make(map[Pair]int, len(raw))
-	for p, n := range raw {
-		out[Pair{First: p.a, Second: p.b}] = n
+	counts, _ := adjacentPairs(ctx)
+	nc := len(ctx.Candidates)
+	out := make(map[Pair]int)
+	for a := 0; a < nc; a++ {
+		for b := 0; b < nc; b++ {
+			if n := counts[a*nc+b]; n > 0 {
+				out[Pair{First: ctx.Candidates[a].Name, Second: ctx.Candidates[b].Name}] = n
+			}
+		}
 	}
 	return out
 }
@@ -29,7 +34,14 @@ func RPPairs(ctx *Context) map[Pair]int {
 // between its consecutive occurrences — the samples whose standard
 // deviation SD ranks by.
 func SDIntervals(ctx *Context) map[string][]float64 {
-	return intervalLengths(ctx)
+	intervals := intervalLengths(ctx)
+	out := make(map[string][]float64, len(ctx.Candidates))
+	for i, c := range ctx.Candidates {
+		if len(intervals[i]) > 0 {
+			out[c.Name] = intervals[i]
+		}
+	}
+	return out
 }
 
 // OMEstimate returns the record-count estimate OM ranks against (the mean
@@ -65,7 +77,7 @@ func DeclineReason(name string, ctx *Context) string {
 			}
 		}
 	case "RP":
-		if len(adjacentPairs(ctx)) == 0 {
+		if _, any := adjacentPairs(ctx); !any {
 			return "no adjacent candidate start-tag pairs"
 		}
 		return "no tag pair above the pair-count floor"

@@ -42,6 +42,13 @@ type Context struct {
 	// Table is the Data-Record Table over the subtree's plain text; nil
 	// unless an ontology was supplied.
 	Table *recognizer.Table
+	// SubtreeTextLens caches, aligned with Tree.SubtreeEvents(Subtree), the
+	// whitespace-collapsed text length of each text event (zero for tag
+	// events). NewContextCtx fills it in one pass so SD and RP — which both
+	// need "how much real text is here" per chunk — don't each re-scan
+	// every text byte. Contexts assembled by hand may leave it nil; the
+	// heuristics then fall back to computing lengths on the fly.
+	SubtreeTextLens []int32
 }
 
 // NewContext parses nothing itself; it derives the heuristic context from an
@@ -95,11 +102,19 @@ func NewContextCtx(ctx context.Context, tree *tagtree.Tree, threshold float64, o
 		}})
 		start = time.Now()
 	}
+	events := tree.SubtreeEvents(sub)
+	lens := make([]int32, len(events))
+	for i := range events {
+		if ev := &events[i]; ev.Kind == tagtree.EventText {
+			lens[i] = int32(tagtree.CollapsedLen(ev.Text))
+		}
+	}
 	hctx := &Context{
-		Tree:       tree,
-		Subtree:    sub,
-		Candidates: tagtree.Candidates(sub, threshold),
-		Ontology:   ont,
+		Tree:            tree,
+		Subtree:         sub,
+		Candidates:      tagtree.Candidates(sub, threshold),
+		Ontology:        ont,
+		SubtreeTextLens: lens,
 	}
 	if onStage != nil {
 		onStage(Stage{Name: "candidates", Duration: time.Since(start), Attrs: []string{
@@ -136,6 +151,28 @@ func (c *Context) CandidateCount(name string) int {
 // IsCandidate reports whether name is one of the candidate tags.
 func (c *Context) IsCandidate(name string) bool {
 	return c.CandidateCount(name) > 0
+}
+
+// candidateIndex maps each candidate tag name to its position in
+// c.Candidates, for heuristics that scan the event stream and want O(1)
+// membership tests plus dense per-candidate accumulators instead of
+// per-event map traffic.
+func candidateIndex(c *Context) map[string]int {
+	m := make(map[string]int, len(c.Candidates))
+	for i, cand := range c.Candidates {
+		m[cand.Name] = i
+	}
+	return m
+}
+
+// collapsedTextLen returns the whitespace-collapsed length of the i-th
+// subtree event's text: the cached value when the context carries one, a
+// direct scan otherwise.
+func collapsedTextLen(c *Context, events []tagtree.Event, i int) int {
+	if c.SubtreeTextLens != nil {
+		return int(c.SubtreeTextLens[i])
+	}
+	return tagtree.CollapsedLen(events[i].Text)
 }
 
 // Ranked is one entry of a heuristic's answer: a candidate tag, its 1-based

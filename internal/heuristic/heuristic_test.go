@@ -143,11 +143,11 @@ func TestSDTooFewOccurrencesRankLast(t *testing.T) {
 
 func TestRPFigure2Pairs(t *testing.T) {
 	ctx := figure2Context(t)
-	pairs := adjacentPairs(ctx)
-	if got := pairs[pair{"hr", "b"}]; got != 2 {
+	pairs := RPPairs(ctx)
+	if got := pairs[Pair{First: "hr", Second: "b"}]; got != 2 {
 		t.Errorf("<hr><b> pairs = %d, want 2", got)
 	}
-	if got := pairs[pair{"br", "hr"}]; got != 2 {
+	if got := pairs[Pair{First: "br", Second: "hr"}]; got != 2 {
 		t.Errorf("<br><hr> pairs = %d, want 2", got)
 	}
 	// No other pair should exist in the Figure 2 document: every other
@@ -184,8 +184,8 @@ func TestRPDeclinesWithoutPairs(t *testing.T) {
 func TestRPWhitespaceDoesNotBreakAdjacency(t *testing.T) {
 	doc := "<div><hr>\n\t <b>x</b>text<hr>\n<b>y</b>text<hr>\n<b>z</b>text<hr></div>"
 	ctx := NewContext(tagtree.Parse(doc), 0, nil)
-	pairs := adjacentPairs(ctx)
-	if got := pairs[pair{"hr", "b"}]; got != 3 {
+	pairs := RPPairs(ctx)
+	if got := pairs[Pair{First: "hr", Second: "b"}]; got != 3 {
 		t.Errorf("<hr><b> pairs = %d, want 3 (whitespace must not break adjacency)", got)
 	}
 }
@@ -195,14 +195,14 @@ func TestRPEndTagsDoNotBreakAdjacency(t *testing.T) {
 	// but (br, hr) later is, even crossing the </b>.
 	doc := "<div><b>x</b><br><hr><b>y</b><br><hr><b>z</b><br><hr></div>"
 	ctx := NewContext(tagtree.Parse(doc), 0, nil)
-	pairs := adjacentPairs(ctx)
-	if got := pairs[pair{"b", "br"}]; got != 0 {
+	pairs := RPPairs(ctx)
+	if got := pairs[Pair{First: "b", Second: "br"}]; got != 0 {
 		t.Errorf("(b,br) pairs = %d, want 0 (text inside b intervenes)", got)
 	}
-	if got := pairs[pair{"br", "hr"}]; got != 3 {
+	if got := pairs[Pair{First: "br", Second: "hr"}]; got != 3 {
 		t.Errorf("(br,hr) pairs = %d, want 3", got)
 	}
-	if got := pairs[pair{"hr", "b"}]; got != 2 {
+	if got := pairs[Pair{First: "hr", Second: "b"}]; got != 2 {
 		t.Errorf("(hr,b) pairs = %d, want 2", got)
 	}
 }

@@ -22,9 +22,6 @@ type RP struct {
 // Name returns "RP".
 func (RP) Name() string { return "RP" }
 
-// pair is an ordered adjacency of two candidate start-tags.
-type pair struct{ a, b string }
-
 // Rank counts adjacent candidate-tag pairs in the subtree's event stream,
 // keeps pairs whose count exceeds the floor (10% of the lowest-count
 // candidate), scores each tag of each kept pair by |count(pair) −
@@ -32,7 +29,8 @@ type pair struct{ a, b string }
 // ok is false when no pair survives — the paper notes the list may be empty,
 // in which case RP "simply does not supply an answer".
 func (h RP) Rank(ctx *Context) (Ranking, bool) {
-	if len(ctx.Candidates) == 0 {
+	nc := len(ctx.Candidates)
+	if nc == 0 {
 		return nil, false
 	}
 	floor := h.PairFloor
@@ -40,23 +38,27 @@ func (h RP) Rank(ctx *Context) (Ranking, bool) {
 		floor = 0.10
 	}
 
-	pairs := adjacentPairs(ctx)
-	if len(pairs) == 0 {
+	pairs, any := adjacentPairs(ctx)
+	if !any {
 		return nil, false
 	}
 
-	lowest := ctx.Candidates[len(ctx.Candidates)-1].Count // candidates sorted by count desc
+	lowest := ctx.Candidates[nc-1].Count // candidates sorted by count desc
 	cutoff := floor * float64(lowest)
 
 	scores := make(map[string]float64)
-	for p, n := range pairs {
-		if float64(n) <= cutoff {
-			continue
-		}
-		for _, tag := range []string{p.a, p.b} {
-			d := math.Abs(float64(n) - float64(ctx.CandidateCount(tag)))
-			if best, ok := scores[tag]; !ok || d < best {
-				scores[tag] = d
+	for a := 0; a < nc; a++ {
+		for b := 0; b < nc; b++ {
+			n := pairs[a*nc+b]
+			if n == 0 || float64(n) <= cutoff {
+				continue
+			}
+			for _, k := range [2]int{a, b} {
+				c := ctx.Candidates[k]
+				d := math.Abs(float64(n) - float64(c.Count))
+				if best, ok := scores[c.Name]; !ok || d < best {
+					scores[c.Name] = d
+				}
 			}
 		}
 	}
@@ -67,39 +69,42 @@ func (h RP) Rank(ctx *Context) (Ranking, bool) {
 }
 
 // adjacentPairs scans the subtree's event stream and counts ordered pairs of
-// candidate start-tags with no non-whitespace plain text between them.
-// Intervening end-tags and whitespace do not break adjacency — the paper's
-// own example pairs, <hr><b> and <br><hr> in Figure 2, span newlines and a
-// </b> respectively.
-func adjacentPairs(ctx *Context) map[pair]int {
-	candidate := make(map[string]bool, len(ctx.Candidates))
-	for _, c := range ctx.Candidates {
-		candidate[c.Name] = true
-	}
-	pairs := make(map[pair]int)
-	prev := "" // last candidate start-tag not yet separated by text
-	for _, ev := range ctx.Tree.SubtreeEvents(ctx.Subtree) {
+// candidate start-tags with no non-whitespace plain text between them, as a
+// dense nc×nc matrix indexed by candidate position ([a*nc+b] is the count of
+// candidate a immediately followed by candidate b). any is false when no
+// pair was observed at all. Intervening end-tags and whitespace do not break
+// adjacency — the paper's own example pairs, <hr><b> and <br><hr> in Figure
+// 2, span newlines and a </b> respectively.
+func adjacentPairs(ctx *Context) (counts []int, any bool) {
+	idx := candidateIndex(ctx)
+	nc := len(ctx.Candidates)
+	counts = make([]int, nc*nc)
+	prev := -1 // last candidate start-tag not yet separated by text
+	events := ctx.Tree.SubtreeEvents(ctx.Subtree)
+	for i := range events {
+		ev := &events[i]
 		switch ev.Kind {
 		case tagtree.EventText:
-			if tagtree.CollapseSpace(ev.Text) != "" {
-				prev = ""
+			if collapsedTextLen(ctx, events, i) != 0 {
+				prev = -1
 			}
 		case tagtree.EventStart:
-			name := ev.Node.Name
 			if ev.Node == ctx.Subtree {
 				continue
 			}
-			if !candidate[name] {
+			k, ok := idx[ev.Node.Name]
+			if !ok {
 				// A non-candidate tag (e.g. an irrelevant h1) interrupts
 				// adjacency between candidates.
-				prev = ""
+				prev = -1
 				continue
 			}
-			if prev != "" {
-				pairs[pair{prev, name}]++
+			if prev >= 0 {
+				counts[prev*nc+k]++
+				any = true
 			}
-			prev = name
+			prev = k
 		}
 	}
-	return pairs
+	return counts, any
 }

@@ -29,8 +29,8 @@ func (SD) Rank(ctx *Context) (Ranking, bool) {
 	}
 	intervals := intervalLengths(ctx)
 	scores := make(map[string]float64, len(ctx.Candidates))
-	for _, c := range ctx.Candidates {
-		iv := intervals[c.Name]
+	for i, c := range ctx.Candidates {
+		iv := intervals[i]
 		if len(iv) < 2 {
 			scores[c.Name] = math.Inf(1)
 			continue
@@ -40,37 +40,37 @@ func (SD) Rank(ctx *Context) (Ranking, bool) {
 	return rankByScore(scores, true), true
 }
 
-// intervalLengths scans the subtree's event stream once and accumulates, for
-// every candidate tag, the plain-text lengths between its consecutive
-// occurrences.
-func intervalLengths(ctx *Context) map[string][]float64 {
-	candidate := make(map[string]bool, len(ctx.Candidates))
-	for _, c := range ctx.Candidates {
-		candidate[c.Name] = true
-	}
-	// running[tag] is the number of characters seen since the tag's last
-	// occurrence; present only after its first occurrence.
-	running := make(map[string]int, len(candidate))
-	out := make(map[string][]float64, len(candidate))
-	for _, ev := range ctx.Tree.SubtreeEvents(ctx.Subtree) {
+// intervalLengths scans the subtree's event stream once and accumulates, per
+// candidate (indexed as in ctx.Candidates), the plain-text lengths between
+// its consecutive occurrences. The text between a candidate's occurrences is
+// the running document total minus the total at its previous occurrence, so
+// one cumulative counter serves every candidate — O(1) per event instead of
+// bumping a per-candidate table on every text chunk.
+func intervalLengths(ctx *Context) [][]float64 {
+	idx := candidateIndex(ctx)
+	out := make([][]float64, len(ctx.Candidates))
+	lastCum := make([]int, len(ctx.Candidates))
+	seen := make([]bool, len(ctx.Candidates))
+	cum := 0
+	events := ctx.Tree.SubtreeEvents(ctx.Subtree)
+	for i := range events {
+		ev := &events[i]
 		switch ev.Kind {
 		case tagtree.EventText:
-			n := len(tagtree.CollapseSpace(ev.Text))
-			if n == 0 {
-				continue
-			}
-			for tag := range running {
-				running[tag] += n
-			}
+			cum += collapsedTextLen(ctx, events, i)
 		case tagtree.EventStart:
-			name := ev.Node.Name
-			if ev.Node == ctx.Subtree || !candidate[name] {
+			if ev.Node == ctx.Subtree {
 				continue
 			}
-			if _, seen := running[name]; seen {
-				out[name] = append(out[name], float64(running[name]))
+			k, ok := idx[ev.Node.Name]
+			if !ok {
+				continue
 			}
-			running[name] = 0
+			if seen[k] {
+				out[k] = append(out[k], float64(cum-lastCum[k]))
+			}
+			seen[k] = true
+			lastCum[k] = cum
 		}
 	}
 	return out

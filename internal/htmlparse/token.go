@@ -85,25 +85,28 @@ func (t *Token) Attr(key string) (string, bool) {
 	return "", false
 }
 
-// voidElements are HTML elements that never have end-tags. The set reflects
-// HTML 3.2/4.0 usage (the paper's era) plus the modern HTML5 void list.
-var voidElements = map[string]bool{
-	"area": true, "base": true, "basefont": true, "bgsound": true,
-	"br": true, "col": true, "embed": true, "frame": true, "hr": true,
-	"img": true, "input": true, "isindex": true, "keygen": true,
-	"link": true, "meta": true, "param": true, "source": true,
-	"spacer": true, "track": true, "wbr": true,
-}
-
 // IsVoid reports whether the (lowercased) tag name is a void element — one
 // with no end-tag and therefore no region of its own beyond the tag itself.
-func IsVoid(name string) bool { return voidElements[name] }
-
-// rawTextElements have content that is not parsed as markup.
-var rawTextElements = map[string]bool{
-	"script": true, "style": true, "textarea": true, "title": true,
-	"xmp": true, "plaintext": true,
+// The set reflects HTML 3.2/4.0 usage (the paper's era) plus the modern
+// HTML5 void list. A switch rather than a map: the compiler dispatches on
+// length first, so the per-tag check in the tokenizer hot loop avoids map
+// hashing entirely.
+func IsVoid(name string) bool {
+	switch name {
+	case "area", "base", "basefont", "bgsound", "br", "col", "embed",
+		"frame", "hr", "img", "input", "isindex", "keygen", "link",
+		"meta", "param", "source", "spacer", "track", "wbr":
+		return true
+	}
+	return false
 }
 
-// IsRawText reports whether the element's content is raw text (e.g. script).
-func IsRawText(name string) bool { return rawTextElements[name] }
+// IsRawText reports whether the element's content is not parsed as markup
+// (e.g. script). Same length-dispatch reasoning as IsVoid.
+func IsRawText(name string) bool {
+	switch name {
+	case "script", "style", "textarea", "title", "xmp", "plaintext":
+		return true
+	}
+	return false
+}

@@ -239,15 +239,12 @@ func (z *Tokenizer) scanStartTag() Token {
 func (z *Tokenizer) scanRawText() Token {
 	s := z.input
 	start := z.pos
-	needle := "</" + z.rawEnd
-	low := strings.ToLower(s[start:])
-	idx := strings.Index(low, needle)
-	var end int
-	if idx < 0 {
-		end = len(s)
-	} else {
-		end = start + idx
-	}
+	// ASCII case-insensitive search for "</name" (tag names are ASCII by
+	// construction). The old strings.ToLower(s[start:]) approach allocated
+	// the whole remainder per raw-text element and, worse, Unicode case
+	// mappings that change byte length (U+0130 shrinks) shifted the match
+	// offset relative to the original bytes.
+	end := RawTextEnd(s, start, z.rawEnd)
 	z.pos = end
 	z.rawEnd = ""
 	// Raw text is not entity-decoded (scripts may contain '&&').

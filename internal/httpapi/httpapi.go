@@ -475,7 +475,9 @@ func (s server) computeDiscover(ctx context.Context, mode, doc string, req *requ
 	if s.cfg.Templates != nil && mode == "html" {
 		return s.computeDiscoverTemplated(ctx, doc, req)
 	}
-	res, _, apiErr := s.runDiscover(ctx, mode, doc, req, true)
+	arena := tagtree.AcquireArena()
+	defer arena.Release()
+	res, _, apiErr := s.runDiscover(ctx, mode, doc, req, true, arena)
 	if apiErr != nil {
 		return nil, apiErr
 	}
@@ -500,7 +502,9 @@ func (s server) computeDiscoverTemplated(ctx context.Context, doc string, req *r
 			"separator", e.Separator, "key", e.Key)
 		return responseFromEntry(e), nil
 	}
-	res, _, apiErr := s.runDiscover(ctx, "html", doc, req, false)
+	arena := tagtree.AcquireArena()
+	defer arena.Release()
+	res, _, apiErr := s.runDiscover(ctx, "html", doc, req, false, arena)
 	if apiErr != nil {
 		return nil, apiErr
 	}
@@ -526,8 +530,11 @@ func (s server) computeDiscoverTemplated(ctx context.Context, doc string, req *r
 // combination rule that produced the result. templated enables core's
 // tree-level template fast path; pass false when the caller already did its
 // own store lookup (the document-level path) or must observe the real
-// heuristics (explain, spot-checks).
-func (s server) runDiscover(ctx context.Context, mode, doc string, req *request, templated bool) (*core.Result, core.Options, *apiError) {
+// heuristics (explain, spot-checks). arena, when non-nil, puts the run on
+// the byte-level hot path; the caller owns its lifetime and must not release
+// it until it is done with the returned Result (which retains arena-owned
+// tree nodes — see docs/PERFORMANCE.md).
+func (s server) runDiscover(ctx context.Context, mode, doc string, req *request, templated bool, arena *tagtree.Arena) (*core.Result, core.Options, *apiError) {
 	if s.cfg.Faults != nil {
 		if err := s.cfg.Faults.FireCtx(ctx, "httpapi/discover"); err != nil {
 			return nil, core.Options{}, pipelineError(err)
@@ -538,6 +545,7 @@ func (s server) runDiscover(ctx context.Context, mode, doc string, req *request,
 		return nil, core.Options{}, &apiError{http.StatusBadRequest, err}
 	}
 	opts := s.pipelineOptions(ctx, ont, req.SeparatorList)
+	opts.Arena = arena
 	if templated {
 		s.templatedOptions(&opts, mode, req.Ontology, req.SeparatorList)
 	}
@@ -599,7 +607,9 @@ func (s server) handleDiscoverExplain(w http.ResponseWriter, r *http.Request, re
 	}
 	// templated=false: an explanation must come from the real heuristics,
 	// never from a stored wrapper.
-	res, opts, apiErr := s.runDiscover(r.Context(), mode, doc, req, false)
+	arena := tagtree.AcquireArena()
+	defer arena.Release()
+	res, opts, apiErr := s.runDiscover(r.Context(), mode, doc, req, false, arena)
 	if apiErr != nil {
 		writeErr(w, apiErr.status, apiErr.err)
 		return
@@ -632,6 +642,9 @@ func (s server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ropts := s.pipelineOptions(r.Context(), ont, req.SeparatorList)
+	arena := tagtree.AcquireArena()
+	defer arena.Release()
+	ropts.Arena = arena
 	s.templatedOptions(&ropts, "html", req.Ontology, req.SeparatorList)
 	res, err := core.DiscoverContext(r.Context(), req.HTML, ropts)
 	if err != nil {
@@ -668,6 +681,9 @@ func (s server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	xopts := s.pipelineOptions(r.Context(), ont, nil)
+	arena := tagtree.AcquireArena()
+	defer arena.Release()
+	xopts.Arena = arena
 	s.templatedOptions(&xopts, "html", req.Ontology, nil)
 	res, err := core.DiscoverContext(r.Context(), req.HTML, xopts)
 	if err != nil {

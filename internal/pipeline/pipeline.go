@@ -236,6 +236,11 @@ func (e *Engine) Run(ctx context.Context, src Source, sink Sink, jr *Journal) (S
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One arena per worker for the byte-level hot path: each attempt
+			// resets and reuses it, and fillResult deep-copies everything an
+			// Outcome carries before the next task overwrites the tree.
+			arena := tagtree.AcquireArena()
+			defer arena.Release()
 			for t := range work {
 				var o *Outcome
 				if jr != nil && jr.Done(t.Seq) {
@@ -244,7 +249,7 @@ func (e *Engine) Run(ctx context.Context, src Source, sink Sink, jr *Journal) (S
 					e.countDocument("skipped")
 				} else {
 					inflight.Inc()
-					o = e.process(runCtx, t, &retries)
+					o = e.process(runCtx, t, &retries, arena)
 					inflight.Dec()
 					switch {
 					case o.canceled:
@@ -323,7 +328,7 @@ func (e *Engine) Run(ctx context.Context, src Source, sink Sink, jr *Journal) (S
 // process runs one document to completion: validation, ontology resolution,
 // then up to Retry.MaxAttempts pipeline attempts with backoff between
 // transient failures.
-func (e *Engine) process(ctx context.Context, t *Task, retries *atomic.Int64) *Outcome {
+func (e *Engine) process(ctx context.Context, t *Task, retries *atomic.Int64, arena *tagtree.Arena) *Outcome {
 	o := &Outcome{Seq: t.Seq, ID: t.TaskID(), Shard: t.Shard}
 	if t.invalid != nil {
 		o.Error = t.invalid.Error()
@@ -345,7 +350,7 @@ func (e *Engine) process(ctx context.Context, t *Task, retries *atomic.Int64) *O
 			o.canceled = true
 			return o
 		}
-		res, err := e.attempt(ctx, t, ont)
+		res, err := e.attempt(ctx, t, ont, arena)
 		if err == nil {
 			o.fillResult(res)
 			if attempt > 1 {
@@ -381,7 +386,7 @@ func (e *Engine) process(ctx context.Context, t *Task, retries *atomic.Int64) *O
 // attempt runs one discovery pass under the per-attempt timeout, isolating
 // panics and classifying an attempt-deadline expiry (run context still
 // alive) as transient.
-func (e *Engine) attempt(ctx context.Context, t *Task, ont *ontology.Ontology) (res *core.Result, err error) {
+func (e *Engine) attempt(ctx context.Context, t *Task, ont *ontology.Ontology, arena *tagtree.Arena) (res *core.Result, err error) {
 	actx := ctx
 	if e.cfg.AttemptTimeout > 0 {
 		var cancel context.CancelFunc
@@ -407,6 +412,7 @@ func (e *Engine) attempt(ctx context.Context, t *Task, ont *ontology.Ontology) (
 		Trace:         e.cfg.Trace,
 		Limits:        e.cfg.Limits,
 		Faults:        e.cfg.Faults,
+		Arena:         arena,
 	}
 	if e.cfg.Templates != nil {
 		mode := "html"

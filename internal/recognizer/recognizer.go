@@ -129,6 +129,45 @@ func Recognize(ont *ontology.Ontology, tree *tagtree.Tree, n *tagtree.Node) *Tab
 // context checks.
 const scanCheckEvery = 64
 
+// scanScratch is the transient per-scan state RecognizeContext reuses via a
+// pool: the text-chunk gather list and the per-chunk output table of the
+// parallel path. Only scratch is pooled — the returned Table's entries are
+// always freshly allocated, so results never alias pooled memory.
+type scanScratch struct {
+	chunks   []tagtree.Event
+	perChunk [][]Entry
+}
+
+// maxRetainedChunks bounds a pooled scratch's kept capacity.
+const maxRetainedChunks = 1 << 14
+
+var scanScratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
+
+// release scrubs document references (chunk text, node pointers, per-chunk
+// entry slices) and repools. Deferred right after Get, so a panicking scan
+// still returns its entry.
+func (s *scanScratch) release() {
+	if cap(s.chunks) > maxRetainedChunks {
+		s.chunks = nil
+	} else {
+		ch := s.chunks[:cap(s.chunks)]
+		for i := range ch {
+			ch[i] = tagtree.Event{}
+		}
+		s.chunks = s.chunks[:0]
+	}
+	if cap(s.perChunk) > maxRetainedChunks {
+		s.perChunk = nil
+	} else {
+		pc := s.perChunk[:cap(s.perChunk)]
+		for i := range pc {
+			pc[i] = nil
+		}
+		s.perChunk = s.perChunk[:0]
+	}
+	scanScratchPool.Put(s)
+}
+
 // RecognizeContext is Recognize with cancellation and fault injection: the
 // scan — serial or fanned out across the worker pool — stops promptly when
 // ctx is canceled, a panicking chunk scan is contained and surfaced as an
@@ -137,8 +176,11 @@ const scanCheckEvery = 64
 func RecognizeContext(ctx context.Context, ont *ontology.Ontology, tree *tagtree.Tree, n *tagtree.Node, faults *faultinject.Set) (*Table, error) {
 	rules := ont.Rules()
 
+	scr := scanScratchPool.Get().(*scanScratch)
+	defer scr.release()
+
 	events := tree.SubtreeEvents(n)
-	chunks := make([]tagtree.Event, 0, len(events)/2)
+	chunks := scr.chunks[:0]
 	total := 0
 	for _, ev := range events {
 		if ev.Kind == tagtree.EventText {
@@ -146,6 +188,7 @@ func RecognizeContext(ctx context.Context, ont *ontology.Ontology, tree *tagtree
 			total += len(ev.Text)
 		}
 	}
+	scr.chunks = chunks
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(chunks) {
@@ -178,7 +221,13 @@ func RecognizeContext(ctx context.Context, ont *ontology.Ontology, tree *tagtree
 		})
 	}
 
-	perChunk := make([][]Entry, len(chunks))
+	if cap(scr.perChunk) < len(chunks) {
+		scr.perChunk = make([][]Entry, len(chunks))
+	}
+	perChunk := scr.perChunk[:len(chunks)]
+	for i := range perChunk {
+		perChunk[i] = nil // a canceled prior scan may have left stale rows
+	}
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {

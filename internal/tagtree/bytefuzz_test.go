@@ -1,0 +1,84 @@
+package tagtree
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzByteVsStringParse is the differential gate for the byte-level hot
+// path: for any input, the arena parse (byte tokenizer, pooled memory) must
+// produce a tree identical — shape, offsets, decoded text, attributes,
+// event stream — to the pre-change string reference, in both HTML and XML
+// modes. The seed set mixes handcrafted grammar corners with every file
+// under internal/htmlparse/testdata.
+func FuzzByteVsStringParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"plain < text > only",
+		arenaTestDoc,
+		"<ul><li>a<li>b</ul>",
+		"<table><tr><td>1<td>2<tr><td>3</table>",
+		"<SCRIPT>if (a<b && c) { s = \"</div>\" }</SCRIPT>",
+		"<script>x</SCRIPT tail>",
+		"<style>p { color: red }</style><p>done",
+		"<textarea>unclosed raw text",
+		"<!DOCTYPE html><!-- c --><?pi?><p>t</p>",
+		"<!doctype junk<!-->-->",
+		"<a href=\"x>y\" b='q' c=unquoted d>t</a>",
+		"<a/><b /><c / d><e =f>",
+		"<p>&amp; &#65; &#x41; &unknown; &AMP</p>",
+		"<DIV CLASS=UPPER><Span>MiXeD</sPaN></dIv>",
+		"<![CDATA[raw <&> here]]><item>x</item>",
+		"<?xml version=\"1.0\"?><Feed><It3m.x:y-z_/></Feed>",
+		"<x><y><z></y></x>",
+		"</orphan><p>t</p></also-orphan>",
+		"< notatag <1 <\x00<",
+		"<p title='a&lt;b'>v</p>",
+		"\xffbin\xfe<b\x80r attr\x9d=\"\xc3\x89\">t\xcc</b\x80r>",
+		"<br></br><hr/><img src=x>",
+		"<b><i>deep</b></i>",
+	} {
+		f.Add(seed)
+	}
+	// Every file under the htmlparse testdata tree is a seed too (fuzz
+	// corpus entries are fed raw: still valid differential inputs).
+	root := filepath.Join("..", "htmlparse", "testdata")
+	_ = filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return nil
+		}
+		if data, err := os.ReadFile(path); err == nil {
+			f.Add(string(data))
+		}
+		return nil
+	})
+
+	f.Fuzz(func(t *testing.T, doc string) {
+		a := AcquireArena()
+		defer a.Release()
+
+		ref, refErr := ParseContext(context.Background(), doc, Limits{})
+		got, gotErr := ParseArenaContext(context.Background(), doc, Limits{}, a, nil)
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("HTML error divergence: ref %v, arena %v", refErr, gotErr)
+		}
+		if refErr == nil {
+			if d := diffTrees(ref, got); d != "" {
+				t.Fatalf("HTML tree divergence: %s", d)
+			}
+		}
+
+		refX, refXErr := ParseXMLContext(context.Background(), doc, Limits{})
+		gotX, gotXErr := ParseXMLArenaContext(context.Background(), doc, Limits{}, a, nil)
+		if (refXErr == nil) != (gotXErr == nil) {
+			t.Fatalf("XML error divergence: ref %v, arena %v", refXErr, gotXErr)
+		}
+		if refXErr == nil {
+			if d := diffTrees(refX, gotX); d != "" {
+				t.Fatalf("XML tree divergence: %s", d)
+			}
+		}
+	})
+}

@@ -47,18 +47,23 @@ var tableScoped = map[string]bool{"table": true}
 // stream contains only StartTag, EndTag, and Text tokens, and every non-void
 // StartTag has exactly one matching EndTag.
 func Normalize(tokens []htmlparse.Token) []htmlparse.Token {
-	out := make([]htmlparse.Token, 0, len(tokens)+len(tokens)/4)
-	var stack []string // open non-void element names, innermost last
+	out, _ := normalizeHTMLInto(tokens, make([]htmlparse.Token, 0, len(tokens)+len(tokens)/4), nil)
+	return out
+}
 
-	closeTop := func(pos int) {
-		name := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		out = append(out, htmlparse.Token{
-			Type: htmlparse.EndTag, Name: name,
-			Pos: pos, End: pos, Synthetic: true,
-		})
+// syntheticEnd is the end-tag Normalize inserts for a missing close.
+func syntheticEnd(name string, pos int) htmlparse.Token {
+	return htmlparse.Token{
+		Type: htmlparse.EndTag, Name: name,
+		Pos: pos, End: pos, Synthetic: true,
 	}
+}
 
+// normalizeHTMLInto is Normalize writing into caller-provided buffers (both
+// may carry reusable capacity; the arena hot path passes its slabs). It
+// returns the filled stream and the (emptied) stack so callers can retain
+// their grown capacity. No closures, so a warm caller pays zero allocations.
+func normalizeHTMLInto(tokens, out []htmlparse.Token, stack []string) ([]htmlparse.Token, []string) {
 	for _, tok := range tokens {
 		switch tok.Type {
 		case htmlparse.Comment, htmlparse.Doctype:
@@ -83,7 +88,8 @@ func Normalize(tokens []htmlparse.Token) []htmlparse.Token {
 					if !closes[top] || tableScoped[top] {
 						break
 					}
-					closeTop(tok.Pos)
+					stack = stack[:len(stack)-1]
+					out = append(out, syntheticEnd(top, tok.Pos))
 				}
 			}
 			if tok.SelfClosing {
@@ -110,7 +116,9 @@ func Normalize(tokens []htmlparse.Token) []htmlparse.Token {
 			}
 			// Insert missing end-tags for everything opened above the match.
 			for len(stack) > match+1 {
-				closeTop(tok.Pos)
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				out = append(out, syntheticEnd(top, tok.Pos))
 			}
 			stack = stack[:len(stack)-1]
 			out = append(out, tok)
@@ -122,7 +130,9 @@ func Normalize(tokens []htmlparse.Token) []htmlparse.Token {
 		end = tokens[len(tokens)-1].End
 	}
 	for len(stack) > 0 {
-		closeTop(end)
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, syntheticEnd(top, end))
 	}
-	return out
+	return out, stack
 }

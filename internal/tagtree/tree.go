@@ -263,6 +263,35 @@ func CollapseSpace(s string) string {
 	return strings.TrimRight(b.String(), " ")
 }
 
+// CollapsedLen returns len(CollapseSpace(s)) without allocating — the
+// heuristics only need the collapsed length (or whether it is nonzero), and
+// building the collapsed string for every text event dominated their
+// allocation profile.
+func CollapsedLen(s string) int {
+	n := 0
+	i := 0
+	for {
+		// Skip a whitespace run (also swallows leading whitespace).
+		for i < len(s) && asciiSpace[s[i]] {
+			i++
+		}
+		if i >= len(s) {
+			return n // a trailing collapsed space is trimmed, so no +1
+		}
+		if n > 0 {
+			n++ // the collapsed space separating this word from the last
+		}
+		start := i
+		for i < len(s) && !asciiSpace[s[i]] {
+			i++
+		}
+		n += i - start
+	}
+}
+
+// asciiSpace flags the whitespace bytes CollapseSpace collapses.
+var asciiSpace = [256]bool{' ': true, '\t': true, '\n': true, '\r': true, '\f': true, '\v': true}
+
 // Walk calls fn for every node in the subtree rooted at n (including n) in
 // document order. Returning false from fn prunes that node's subtree.
 func (n *Node) Walk(fn func(*Node) bool) {

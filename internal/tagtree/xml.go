@@ -34,18 +34,13 @@ func ParseXMLContext(ctx context.Context, doc string, lim Limits) (*Tree, error)
 // end-tag closes any still-open elements nested inside its match; EOF
 // closes everything.
 func NormalizeXML(tokens []htmlparse.Token) []htmlparse.Token {
-	out := make([]htmlparse.Token, 0, len(tokens))
-	var stack []string
+	out, _ := normalizeXMLInto(tokens, make([]htmlparse.Token, 0, len(tokens)), nil)
+	return out
+}
 
-	closeTop := func(pos int) {
-		name := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		out = append(out, htmlparse.Token{
-			Type: htmlparse.EndTag, Name: name,
-			Pos: pos, End: pos, Synthetic: true,
-		})
-	}
-
+// normalizeXMLInto is NormalizeXML writing into caller-provided buffers,
+// the XML counterpart of normalizeHTMLInto.
+func normalizeXMLInto(tokens, out []htmlparse.Token, stack []string) ([]htmlparse.Token, []string) {
 	for _, tok := range tokens {
 		switch tok.Type {
 		case htmlparse.Comment, htmlparse.Doctype:
@@ -69,7 +64,9 @@ func NormalizeXML(tokens []htmlparse.Token) []htmlparse.Token {
 				continue
 			}
 			for len(stack) > match+1 {
-				closeTop(tok.Pos)
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				out = append(out, syntheticEnd(top, tok.Pos))
 			}
 			stack = stack[:len(stack)-1]
 			out = append(out, tok)
@@ -80,7 +77,9 @@ func NormalizeXML(tokens []htmlparse.Token) []htmlparse.Token {
 		end = tokens[len(tokens)-1].End
 	}
 	for len(stack) > 0 {
-		closeTop(end)
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, syntheticEnd(top, end))
 	}
-	return out
+	return out, stack
 }

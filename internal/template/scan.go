@@ -10,9 +10,10 @@ import (
 
 // FingerprintDoc fingerprints a raw HTML document without building the tag
 // tree: a single tag-only pass that skips text, entity decoding, and
-// attribute materialization, replicating the htmlparse tokenizer's tag
-// grammar and tagtree.Normalize's balancing rules (void elements, implied
-// closings, orphan end-tags, raw-text content). It returns exactly what
+// attribute materialization. The tag grammar comes from the htmlparse scan
+// core (the same primitives the arena tokenizer runs on), and the balancing
+// rules replicate tagtree.Normalize (void elements, implied closings, orphan
+// end-tags, raw-text content). It returns exactly what
 // FingerprintTree(tagtree.Parse(doc)) returns, at a small fraction of the
 // cost — this is what lets a template hit undercut full discovery by ~50×.
 func FingerprintDoc(doc string) Fingerprint {
@@ -164,14 +165,15 @@ func (sc *docScanner) leaf(id int32) {
 	sc.elems = append(sc.elems, elemRec{enter: enter, end: enter + 2})
 }
 
-// scan runs the tag-only pass over doc. The grammar decisions mirror
-// htmlparse.Tokenizer byte for byte: what counts as markup, how comments and
+// scan runs the tag-only pass over doc on the htmlparse scan core
+// (MarkupStartsAt / ScanDeclarationSpans / ScanPISpans / ScanTagAttrs /
+// RawTextEnd), so the grammar — what counts as markup, how comments and
 // bogus comments terminate, how quoted attribute values hide '>', when a
-// start tag is self-closing, and how raw-text content ends. The balancing
-// decisions mirror tagtree.Normalize: voids and self-closing tags are
-// leaves, arriving tags imply closings per the HTML 3.2/4.0 optional-end-tag
-// rules (stopped at a table boundary), orphan end-tags are dropped, and EOF
-// closes everything.
+// start tag is self-closing, and how raw-text content ends — is the
+// tokenizer's own, not a replica. The balancing decisions mirror
+// tagtree.Normalize: voids and self-closing tags are leaves, arriving tags
+// imply closings per the HTML 3.2/4.0 optional-end-tag rules (stopped at a
+// table boundary), orphan end-tags are dropped, and EOF closes everything.
 func (sc *docScanner) scan(doc string) {
 	i, n := 0, len(doc)
 	for i < n {
@@ -182,29 +184,20 @@ func (sc *docScanner) scan(doc string) {
 			}
 			i += j
 		}
-		if i+1 >= n {
-			break
-		}
-		switch c := doc[i+1]; {
-		case c == '!':
-			if strings.HasPrefix(doc[i:], "<!--") {
-				if k := strings.Index(doc[i+4:], "-->"); k < 0 {
-					i = n
-				} else {
-					i += 4 + k + 3
-				}
-			} else {
-				i = skipPast(doc, i, '>')
-			}
-		case c == '?':
-			i = skipPast(doc, i, '>')
-		case c == '/':
-			i = sc.endTag(doc, i)
-		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
-			i = sc.startTag(doc, i)
-		default:
+		if !htmlparse.MarkupStartsAt(doc, i) {
 			// A lone '<' that is not markup: character data.
 			i++
+			continue
+		}
+		switch doc[i+1] {
+		case '!':
+			_, _, i, _ = htmlparse.ScanDeclarationSpans(doc, i)
+		case '?':
+			_, _, i = htmlparse.ScanPISpans(doc, i)
+		case '/':
+			i = sc.endTag(doc, i)
+		default:
+			i = sc.startTag(doc, i)
 		}
 	}
 	for len(sc.stack) > 0 {
@@ -222,11 +215,8 @@ func skipPast(s string, from int, b byte) int {
 }
 
 func (sc *docScanner) endTag(s string, i int) int {
-	j := i + 2
-	start := j
-	for j < len(s) && isNameByte(s[j]) {
-		j++
-	}
+	start := i + 2
+	j := htmlparse.NameEnd(s, start)
 	id := sc.intern(s[start:j])
 	j = skipPast(s, j, '>')
 	if isVoidID(id) {
@@ -249,57 +239,12 @@ func (sc *docScanner) endTag(s string, i int) int {
 }
 
 func (sc *docScanner) startTag(s string, i int) int {
-	j := i + 1
-	start := j
-	for j < len(s) && isNameByte(s[j]) {
-		j++
-	}
+	start := i + 1
+	j := htmlparse.NameEnd(s, start)
 	id := sc.intern(s[start:j])
-	selfClosing := false
-	for j < len(s) && s[j] != '>' {
-		for j < len(s) && isSpace(s[j]) {
-			j++
-		}
-		if j >= len(s) || s[j] == '>' {
-			break
-		}
-		if s[j] == '/' {
-			j++
-			if j < len(s) && s[j] == '>' {
-				selfClosing = true
-			}
-			continue
-		}
-		for j < len(s) && !isSpace(s[j]) && s[j] != '=' && s[j] != '>' && s[j] != '/' {
-			j++
-		}
-		for j < len(s) && isSpace(s[j]) {
-			j++
-		}
-		if j < len(s) && s[j] == '=' {
-			j++
-			for j < len(s) && isSpace(s[j]) {
-				j++
-			}
-			if j < len(s) && (s[j] == '"' || s[j] == '\'') {
-				q := s[j]
-				j++
-				for j < len(s) && s[j] != q {
-					j++
-				}
-				if j < len(s) {
-					j++
-				}
-			} else {
-				for j < len(s) && !isSpace(s[j]) && s[j] != '>' {
-					j++
-				}
-			}
-		}
-	}
-	if j < len(s) {
-		j++ // consume '>'
-	}
+	// nil visit: the fingerprint only needs structure, so attribute spans are
+	// scanned (for the quote-aware '>' rules) but never materialized.
+	j, selfClosing := htmlparse.ScanTagAttrs(s, j, nil)
 
 	if isVoidID(id) {
 		sc.leaf(id)
@@ -320,38 +265,12 @@ func (sc *docScanner) startTag(s string, i int) int {
 	}
 	sc.push(id)
 	if isRawTextID(id) {
-		j = skipRawText(s, j, sc.name(id))
+		// Raw-text content runs to the first case-insensitive "</name" (no
+		// delimiter check after the name, exactly like the tokenizer); the
+		// end-tag itself is then parsed by the main loop.
+		j = htmlparse.RawTextEnd(s, j, sc.name(id))
 	}
 	return j
-}
-
-// skipRawText advances past raw-text content: everything up to the first
-// case-insensitive "</name" (with no delimiter check after the name, exactly
-// like the tokenizer), whose end-tag is then parsed by the main loop.
-func skipRawText(s string, i int, name string) int {
-	for ; i < len(s); i++ {
-		if s[i] != '<' || i+1 >= len(s) || s[i+1] != '/' {
-			continue
-		}
-		if i+2+len(name) > len(s) {
-			continue
-		}
-		match := true
-		for k := 0; k < len(name); k++ {
-			c := s[i+2+k]
-			if c >= 'A' && c <= 'Z' {
-				c += 'a' - 'A'
-			}
-			if c != name[k] {
-				match = false
-				break
-			}
-		}
-		if match {
-			return i
-		}
-	}
-	return len(s)
 }
 
 func contains(ids []int32, id int32) bool {
@@ -408,20 +327,6 @@ func (sc *docScanner) appendEvents(buf []byte, from, to int32) []byte {
 
 // rootName matches the tagtree synthetic document root.
 const rootName = "#document"
-
-func isNameByte(b byte) bool {
-	switch {
-	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9':
-		return true
-	case b == '-' || b == '_' || b == ':' || b == '.':
-		return true
-	}
-	return false
-}
-
-func isSpace(b byte) bool {
-	return b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\f'
-}
 
 // The built-in name table: fixed IDs shared by every scan so the hot path
 // never allocates a tag name. It must cover every name with normalization

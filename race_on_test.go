@@ -1,0 +1,10 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports whether this binary was built with the race detector.
+// Allocation ceilings and throughput floors are meaningless under its
+// instrumentation (it allocates shadow state and slows the hot path ~5×),
+// so those gates skip; the arena-safety tests run regardless — -race is
+// their whole point.
+const raceEnabled = true
